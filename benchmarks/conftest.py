@@ -1,0 +1,137 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure from the paper.  The
+expensive artifact — the pre-computed :class:`ScoutDataset` over the
+full nine-month synthetic incident history — is cached on disk under
+``benchmarks/.cache``; everything downstream (training, evaluation,
+simulation replays) runs live.
+
+Rendered outputs are written to ``benchmarks/results/<experiment>.txt``
+and echoed to stdout (run with ``-s`` to see them inline).
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import pytest
+
+from repro.config import phynet_config
+from repro.core import ScoutFramework, TrainingOptions
+from repro.ml import imbalance_aware_split
+from repro.simulation import CloudSimulation, SimulationConfig
+
+# Bump when generation or feature logic changes to invalidate caches.
+CACHE_VERSION = "v8"
+SEED = 7
+N_INCIDENTS = 2000
+DURATION_DAYS = 270.0
+
+_CACHE_DIR = Path(__file__).parent / ".cache"
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _cached(name: str, build):
+    _CACHE_DIR.mkdir(exist_ok=True)
+    path = _CACHE_DIR / f"{name}-{CACHE_VERSION}.pkl"
+    if path.exists():
+        with path.open("rb") as handle:
+            return pickle.load(handle)
+    artifact = build()
+    with path.open("wb") as handle:
+        pickle.dump(artifact, handle)
+    return artifact
+
+
+@pytest.fixture(scope="session")
+def sim_full() -> CloudSimulation:
+    return CloudSimulation(
+        SimulationConfig(seed=SEED, duration_days=DURATION_DAYS)
+    )
+
+
+@pytest.fixture(scope="session")
+def incidents_full(sim_full):
+    # Deterministic given the seed, so it pairs correctly with the
+    # cached dataset even across processes.
+    return sim_full.generate(N_INCIDENTS)
+
+
+@pytest.fixture(scope="session")
+def framework_full(sim_full) -> ScoutFramework:
+    return ScoutFramework(
+        phynet_config(),
+        sim_full.topology,
+        sim_full.store,
+        TrainingOptions(n_estimators=120, cv_folds=3, rng=0),
+    )
+
+
+@pytest.fixture(scope="session")
+def dataset_full(framework_full, incidents_full):
+    return _cached(
+        f"dataset-seed{SEED}-n{N_INCIDENTS}",
+        lambda: framework_full.dataset(incidents_full),
+    )
+
+
+@pytest.fixture(scope="session")
+def split_full(dataset_full):
+    usable = dataset_full.usable()
+    train_idx, test_idx = imbalance_aware_split(usable.y, rng=3)
+    return usable.subset(train_idx), usable.subset(test_idx)
+
+
+@pytest.fixture(scope="session")
+def scout_full(framework_full, split_full):
+    train, _ = split_full
+    return framework_full.train(train)
+
+
+@pytest.fixture(scope="session")
+def test_incident_store(incidents_full, split_full):
+    """The IncidentStore restricted to test-set incidents (with traces)."""
+    _, test = split_full
+    test_ids = {ex.incident.incident_id for ex in test}
+    return incidents_full.filter(lambda i: i.incident_id in test_ids)
+
+
+@pytest.fixture(scope="session")
+def nlp_corpus():
+    """A historical incident corpus with the *natural* class mix.
+
+    The production NLP recommender trains on the full incident history,
+    not on the Scout evaluation's class-rebalanced split — training it
+    on the latter would skew its priors toward PhyNet.
+    """
+    historical = CloudSimulation(
+        SimulationConfig(seed=8, duration_days=DURATION_DAYS)
+    )
+    return historical.generate(1500)
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write one experiment's rendered output and echo it."""
+    _RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        (_RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n===== {name} =====\n{text}\n")
+
+    return _record
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    The default benchmark fixture calibrates with many rounds, which is
+    wrong for multi-second experiment reproductions.
+    """
+
+    def _once(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _once

@@ -1,0 +1,57 @@
+"""Appendix B — the Storage team's rule-based Scout.
+
+Paper: the rule system (monitor-generated incidents only) reaches
+precision 76.15% / recall 99.5% — evidence other teams can build useful
+Scouts even without ML.
+"""
+
+from repro.analysis import render_table
+from repro.core import ComponentExtractor
+from repro.incidents import IncidentSource
+from repro.simulation import StorageRuleScout
+from repro.simulation.teams import STORAGE
+
+
+def _compute(sim, framework, incidents):
+    extractor = ComponentExtractor(framework.config, sim.topology)
+    rule_scout = StorageRuleScout(extractor, sim.topology, sim.store)
+    tp = fp = fn = tn = skipped = 0
+    for incident in incidents:
+        verdict = rule_scout.predict(incident)
+        if verdict is None:
+            skipped += 1
+            continue
+        truth = incident.responsible_team == STORAGE
+        if verdict and truth:
+            tp += 1
+        elif verdict and not truth:
+            fp += 1
+        elif truth:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    table = render_table(
+        ["metric", "value"],
+        [
+            ["precision", precision],
+            ["recall", recall],
+            ["monitor-generated incidents", tp + fp + fn + tn],
+            ["CRIs skipped (system does not trigger)", skipped],
+        ],
+        title="Appendix B — storage rule-based Scout "
+        "(paper: precision 76.15%, recall 99.5%)",
+    )
+    return table, precision, recall
+
+
+def test_appb_storage_scout(sim_full, framework_full, incidents_full, once, record):
+    table, precision, recall = once(
+        _compute, sim_full, framework_full, incidents_full
+    )
+    record("appb_storage_scout", table)
+    # Shape: recall near-perfect, precision clearly lower.
+    assert recall > 0.9
+    assert precision < recall
+    assert precision > 0.4

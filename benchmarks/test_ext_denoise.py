@@ -1,0 +1,95 @@
+"""Extension — label de-noising under recorded-owner noise (§8).
+
+Generates a history where a fraction of incidents carry the wrong
+recorded owner ("operators do not officially transfer the incident"),
+then compares Scouts trained on (a) the noisy labels, (b) de-noised
+labels, and (c) ground truth — all evaluated against ground truth.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.config import phynet_config
+from repro.core import LabelDenoiser, ScoutFramework, TrainingOptions
+from repro.ml import (
+    MeanImputer,
+    RandomForestClassifier,
+    classification_report,
+    imbalance_aware_split,
+)
+from repro.simulation import CloudSimulation, SimulationConfig
+from repro.simulation.teams import PHYNET
+
+_NOISE = 0.15
+_N = 800
+
+
+def _rf_score(X_train, y_train, X_test, y_test):
+    imputer = MeanImputer().fit(X_train)
+    forest = RandomForestClassifier(n_estimators=60, rng=0)
+    forest.fit(imputer.transform(X_train), y_train)
+    return classification_report(
+        y_test, forest.predict(imputer.transform(X_test))
+    )
+
+
+def _compute():
+    sim = CloudSimulation(
+        SimulationConfig(seed=17, duration_days=180.0, label_noise=_NOISE)
+    )
+    incidents = sim.generate(_N)
+    framework = ScoutFramework(
+        phynet_config(), sim.topology, sim.store,
+        TrainingOptions(n_estimators=60, cv_folds=0, rng=0),
+    )
+    data = framework.dataset(incidents, compute_signals=False).usable()
+    recorded = data.y  # noisy
+    truth = np.array(
+        [ex.incident.true_label(PHYNET) for ex in data]
+    )
+    noise_rate = float((recorded != truth).mean())
+
+    train_idx, test_idx = imbalance_aware_split(recorded, rng=3)
+    X_train, X_test = data.X[train_idx], data.X[test_idx]
+    y_test_truth = truth[test_idx]
+
+    denoiser = LabelDenoiser(rng=1)
+    report = denoiser.denoise(
+        X_train, recorded[train_idx],
+        [data.texts[int(i)] for i in train_idx],
+    )
+    residual = float(
+        (report.clean_labels != truth[train_idx]).mean()
+    )
+
+    rows = []
+    scores = {}
+    for label, y_train in (
+        ("recorded (noisy) labels", recorded[train_idx]),
+        ("de-noised labels", report.clean_labels),
+        ("ground-truth labels", truth[train_idx]),
+    ):
+        result = _rf_score(X_train, y_train, X_test, y_test_truth)
+        rows.append([label, result.precision, result.recall, result.f1])
+        scores[label] = result.f1
+    rows.append(["train-label noise before/after",
+                 float((recorded[train_idx] != truth[train_idx]).mean()),
+                 residual, ""])
+    rows.append(["suspicious / flipped",
+                 report.n_suspicious, report.n_flipped, ""])
+    table = render_table(
+        ["training labels", "precision", "recall", "F1"],
+        rows,
+        title=f"Extension — label de-noising at {_NOISE:.0%} recorded-owner "
+        "noise (evaluated against ground truth)",
+    )
+    return table, scores, noise_rate, residual
+
+
+def test_ext_denoise(once, record):
+    table, scores, noise_rate, residual = once(_compute)
+    record("ext_denoise", table)
+    assert noise_rate > 0.05  # the noise actually exists
+    # De-noising closes (part of) the gap toward ground-truth training.
+    assert scores["de-noised labels"] >= scores["recorded (noisy) labels"] - 0.01
+    assert scores["ground-truth labels"] >= scores["de-noised labels"] - 0.02

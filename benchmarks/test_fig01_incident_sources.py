@@ -1,0 +1,56 @@
+"""Figure 1 — PhyNet incidents by creation source and mis-route rates.
+
+Paper: (a) the per-day fraction of PhyNet incidents created by its own
+monitors dominates, with customer-reported and other-team-monitor
+incidents as minorities; (b) incidents created by *other* teams'
+monitors and customers are mis-routed far more often than PhyNet's own.
+"""
+
+import numpy as np
+
+from repro.analysis import per_day_fractions, render_cdf, render_table
+from repro.incidents import IncidentSource
+from repro.simulation.teams import PHYNET
+
+
+def _compute(incidents):
+    phynet = incidents.filter(lambda i: i.responsible_team == PHYNET)
+    ts = phynet.timestamps()
+    rows = []
+    cdf_lines = []
+    for label, source in [
+        ("created by PhyNet monitors", IncidentSource.OWN_MONITOR),
+        ("created by other teams' monitors", IncidentSource.OTHER_MONITOR),
+        ("customer reported (CRI)", IncidentSource.CUSTOMER),
+    ]:
+        flags = np.array([i.source is source for i in phynet])
+        fractions = per_day_fractions(ts, flags)
+        cdf_lines.append(render_cdf(fractions, f"per-day fraction {label}"))
+        subset = [i for i in phynet if i.source is source]
+        mis = [
+            i for i in subset
+            if phynet.trace(i.incident_id).mis_routed
+        ]
+        rows.append(
+            [label, len(subset), len(mis) / len(subset) if subset else 0.0]
+        )
+    table = render_table(
+        ["source", "n incidents", "fraction mis-routed"],
+        rows,
+        title="Figure 1 — PhyNet incident sources and mis-routing",
+    )
+    return table + "\n\n" + "\n".join(cdf_lines), rows
+
+
+def test_fig01(incidents_full, once, record):
+    text, rows = once(_compute, incidents_full)
+    record("fig01_incident_sources", text)
+    by_label = {row[0]: row for row in rows}
+    own = by_label["created by PhyNet monitors"]
+    other = by_label["created by other teams' monitors"]
+    cri = by_label["customer reported (CRI)"]
+    # Shape: own monitors dominate creation...
+    assert own[1] > other[1] and own[1] > cri[1]
+    # ...and are mis-routed far less often than the other two sources.
+    assert own[2] < other[2]
+    assert own[2] < cri[2]

@@ -1,0 +1,42 @@
+"""Figure 3 — % of investigation time reducible for mis-routed PhyNet
+incidents.
+
+Paper: "For 20% of them, time-to-mitigation could have been reduced by
+more than half by sending it directly to PhyNet."
+"""
+
+import numpy as np
+
+from repro.analysis import render_cdf
+from repro.simulation.teams import PHYNET
+
+
+def _compute(incidents):
+    reducible = []
+    for incident in incidents:
+        if incident.responsible_team != PHYNET:
+            continue
+        trace = incidents.trace(incident.incident_id)
+        if not trace.mis_routed:
+            continue
+        reducible.append(100.0 * trace.time_before(PHYNET) / trace.total_time)
+    reducible = np.array(reducible)
+    frac_over_half = float((reducible > 50.0).mean())
+    text = "\n".join(
+        [
+            "Figure 3 — investigation time reducible by perfect routing (%)",
+            render_cdf(reducible, "mis-routed PhyNet incidents"),
+            f"fraction reducible by >50%: {frac_over_half:.2f} (paper: ~0.2 of all "
+            "mis-routed PhyNet incidents)",
+        ]
+    )
+    return text, reducible, frac_over_half
+
+
+def test_fig03(incidents_full, once, record):
+    text, reducible, frac_over_half = once(_compute, incidents_full)
+    record("fig03_reducible_time", text)
+    assert len(reducible) > 50
+    # Shape: a substantial share of mis-routed incidents would save more
+    # than half their investigation time.
+    assert frac_over_half > 0.15

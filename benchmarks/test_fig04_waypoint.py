@@ -1,0 +1,39 @@
+"""Figure 4 — per-day fraction of PhyNet-engaged incidents where PhyNet
+was not responsible (a spurious waypoint).
+
+Paper: "daily statistics show that, in the median, in 35% of incidents
+where PhyNet was engaged, the incident was caused by a problem
+elsewhere."
+"""
+
+import numpy as np
+
+from repro.analysis import per_day_fractions, render_cdf
+from repro.simulation.teams import PHYNET
+
+
+def _compute(incidents):
+    engaged = incidents.filter(
+        lambda i: incidents.trace(i.incident_id).visited(PHYNET)
+    )
+    flags = np.array(
+        [i.responsible_team != PHYNET for i in engaged]
+    )
+    fractions = per_day_fractions(engaged.timestamps(), flags)
+    median = float(np.median(fractions))
+    text = "\n".join(
+        [
+            "Figure 4 — per-day fraction of PhyNet-engaged incidents where "
+            "PhyNet was a waypoint, not the cause",
+            render_cdf(100.0 * fractions, "waypoint fraction (%)"),
+            f"median: {100 * median:.0f}% (paper: ~35%)",
+        ]
+    )
+    return text, median
+
+
+def test_fig04(incidents_full, once, record):
+    text, median = once(_compute, incidents_full)
+    record("fig04_waypoint", text)
+    # Shape: PhyNet is regularly engaged for problems it did not cause.
+    assert 0.10 < median < 0.60

@@ -1,0 +1,31 @@
+"""Figure 6 — distribution of overhead-in under the legacy router.
+
+The fraction of total investigation time burned at PhyNet when it was
+wrongly engaged; this baseline distribution is what §7 samples to
+estimate the Scout's overhead-in.
+"""
+
+import numpy as np
+
+from repro.analysis import overhead_in_distribution, render_cdf
+from repro.simulation.teams import PHYNET
+
+
+def _compute(incidents):
+    pool = overhead_in_distribution(incidents, PHYNET)
+    text = "\n".join(
+        [
+            "Figure 6 — overhead-in of baseline mis-routings to PhyNet",
+            render_cdf(pool, "fraction of total investigation time"),
+        ]
+    )
+    return text, pool
+
+
+def test_fig06(incidents_full, once, record):
+    text, pool = once(_compute, incidents_full)
+    record("fig06_overhead_dist", text)
+    assert len(pool) > 50
+    assert np.all((pool >= 0.0) & (pool <= 1.0))
+    # Wrongful PhyNet stints consume a real share of investigations.
+    assert 0.1 < np.median(pool) < 0.95

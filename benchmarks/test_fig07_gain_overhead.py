@@ -1,0 +1,55 @@
+"""Figure 7 — the PhyNet Scout's gain and overhead on mis-routed
+incidents vs the best possible gate-keeper.
+
+Paper: "in the median, the gap between our Scout and one with 100%
+accuracy is less than 5% ... Even at the 99.5th percentile of the
+overhead distribution the Scout's overhead remains below 7.5%."
+"""
+
+import numpy as np
+
+from repro.analysis import evaluate_gain_overhead, render_cdf
+
+
+def _compute(framework, scout, split, test_store):
+    _, test = split
+    predictions = {
+        ex.incident.incident_id: p
+        for ex, p in zip(test, framework.predictions(scout, test))
+    }
+    result = evaluate_gain_overhead(test_store, predictions, scout.team, rng=0)
+    text = "\n".join(
+        [
+            "Figure 7 — Scout gain/overhead on mis-routed incidents "
+            "(fractions of total investigation time)",
+            render_cdf(100 * np.array(result.gain_in), "(a) gain-in (%)"),
+            render_cdf(
+                100 * np.array(result.best_gain_in), "(a) best possible gain-in (%)"
+            ),
+            render_cdf(
+                100 * np.array(result.overhead_in), "(a) overhead-in (%)"
+            ),
+            render_cdf(100 * np.array(result.gain_out), "(b) gain-out (%)"),
+            render_cdf(
+                100 * np.array(result.best_gain_out), "(b) best possible gain-out (%)"
+            ),
+            f"(b) error-out: {100 * result.error_out:.2f}% (paper: 1.7%)",
+        ]
+    )
+    return text, result
+
+
+def test_fig07(framework_full, scout_full, split_full, test_incident_store, once, record):
+    text, result = once(
+        _compute, framework_full, scout_full, split_full, test_incident_store
+    )
+    record("fig07_gain_overhead", text)
+    gain_in = np.array(result.gain_in)
+    best_in = np.array(result.best_gain_in)
+    assert len(gain_in) > 20
+    # Shape: the Scout captures most of the perfect-router gain...
+    assert np.median(gain_in) >= 0.6 * np.median(best_in)
+    # ...with modest mistakes.
+    assert result.error_out < 0.15
+    if result.overhead_in:
+        assert np.median(result.overhead_in) < np.median(best_in) + 0.2

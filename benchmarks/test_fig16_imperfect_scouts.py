@@ -1,0 +1,72 @@
+"""Figure 16 — Scout Master gains with *imperfect* Scouts.
+
+Paper: per-Scout accuracy P ~ U(α, α+5%) and confidence intervals
+parameterized by β; even three imperfect Scouts can reduce
+investigation time substantially, and gains grow with α and β.
+"""
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.simulation import AbstractScout, default_teams, simulate_master_gain
+
+
+def _sweep(incidents, registry, teams, n_scouts, alpha, beta, rng):
+    combos = list(combinations(teams, n_scouts))
+    if len(combos) > 15:
+        idx = rng.choice(len(combos), size=15, replace=False)
+        combos = [combos[i] for i in idx]
+    means, p95s = [], []
+    for combo in combos:
+        scouts = [
+            AbstractScout(
+                team,
+                accuracy=float(rng.uniform(alpha, min(1.0, alpha + 0.05))),
+                beta=beta,
+            )
+            for team in combo
+        ]
+        gains = simulate_master_gain(
+            incidents, scouts, registry, rng=rng
+        )
+        positive = np.maximum(gains, 0.0)
+        means.append(float(np.mean(positive)))
+        p95s.append(float(np.quantile(positive, 0.95)))
+    return float(np.mean(means)), float(np.mean(p95s))
+
+
+def _compute(incidents):
+    registry = default_teams()
+    teams = registry.internal_names
+    rng = np.random.default_rng(2)
+    rows = []
+    lookup = {}
+    for n_scouts in (1, 2, 3):
+        for alpha in (0.7, 0.85, 1.0):
+            for beta in (0.0, 0.25, 0.5):
+                mean, p95 = _sweep(
+                    incidents, registry, teams, n_scouts, alpha, beta, rng
+                )
+                rows.append([n_scouts, alpha, beta, mean, p95])
+                lookup[(n_scouts, alpha, beta)] = mean
+    table = render_table(
+        ["#scouts", "alpha", "beta", "mean gain", "p95 gain"],
+        rows,
+        title="Figure 16 — lower-bound gains with imperfect Scouts",
+    )
+    return table, lookup
+
+
+def test_fig16(incidents_full, once, record):
+    table, lookup = once(_compute, incidents_full)
+    record("fig16_imperfect_scouts", table)
+    # Shape: higher accuracy always helps (averaged over assignments).
+    for n in (1, 2, 3):
+        assert lookup[(n, 1.0, 0.0)] >= lookup[(n, 0.7, 0.0)] - 0.02
+    # More Scouts help at high accuracy.
+    assert lookup[(3, 1.0, 0.0)] >= lookup[(1, 1.0, 0.0)] - 0.02
+    # Wider confidence spread (beta) degrades correct answers toward the
+    # floor: it never *increases* gain at fixed accuracy.
+    assert lookup[(3, 0.85, 0.0)] >= lookup[(3, 0.85, 0.5)] - 0.02

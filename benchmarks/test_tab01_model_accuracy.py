@@ -1,0 +1,87 @@
+"""Table 1 — precision/recall/F1 of the RF, CPD+, and the NLP baseline.
+
+Paper: RF 97.2/97.6/0.97, CPD+ 93.1/94.0/0.94, NLP 96.5/91.3/0.94 — the
+supervised RF wins overall; the NLP baseline's recall trails its
+precision.  Footnote 3: a OneClassSVM anomaly detector in CPD+'s place
+reached 86% precision / 98% recall.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import CPDPlus
+from repro.ml import OneClassSVM, StandardScaler, classification_report
+from repro.simulation import NlpRouter
+from repro.simulation.teams import PHYNET
+
+
+def _compute(framework, scout, split, nlp_incidents):
+    train, test = split
+    y_true = test.y
+
+    # -- RF (the Scout's supervised path, forced for every incident) ----
+    X_test = scout.imputer.transform(test.X)
+    y_rf = (scout.forest.predict_proba(X_test)[:, 1] >= 0.5).astype(int)
+    rf_report = classification_report(y_true, y_rf)
+
+    # -- CPD+ standalone --------------------------------------------------
+    cpd = CPDPlus(framework.builder)
+    cpd.fit_cluster_model(train.signals_matrix, train.y, rng=1)
+    y_cpd = []
+    for example in test:
+        if not cpd.is_cluster_scope(example.extracted):
+            y_cpd.append(int(bool(example.triggers)))
+        else:
+            proba = cpd._cluster_rf.predict_proba(
+                example.signals.reshape(1, -1)
+            )[0]
+            classes = list(cpd._cluster_rf.classes_)
+            p = proba[classes.index(1)] if 1 in classes else 0.0
+            y_cpd.append(int(p >= 0.5))
+    cpd_report = classification_report(y_true, np.array(y_cpd))
+
+    # -- NLP baseline (text only, trained on the natural-mix corpus) ----
+    nlp = NlpRouter().fit(list(nlp_incidents))
+    y_nlp = np.array(
+        [int(nlp.predict_team(ex.incident) == PHYNET) for ex in test]
+    )
+    nlp_report = classification_report(y_true, y_nlp)
+
+    # -- footnote 3: OneClassSVM anomaly detection in CPD+'s place -------
+    scaler = StandardScaler().fit(scout.imputer.transform(train.X))
+    X_train_pos = scaler.transform(
+        scout.imputer.transform(train.X)
+    )[train.y == 1]
+    ocsvm = OneClassSVM(nu=0.05).fit(X_train_pos)
+    y_svm = (ocsvm.predict(scaler.transform(X_test)) == 1).astype(int)
+    svm_report = classification_report(y_true, y_svm)
+
+    rows = [
+        ["RF", rf_report.precision, rf_report.recall, rf_report.f1],
+        ["CPD+", cpd_report.precision, cpd_report.recall, cpd_report.f1],
+        ["NLP", nlp_report.precision, nlp_report.recall, nlp_report.f1],
+        ["OneClassSVM (footnote 3)", svm_report.precision,
+         svm_report.recall, svm_report.f1],
+    ]
+    table = render_table(
+        ["model", "precision", "recall", "F1"],
+        rows,
+        title="Table 1 — per-model accuracy (paper: RF .972/.976/.97, "
+        "CPD+ .931/.940/.94, NLP .965/.913/.94)",
+    )
+    return table, {row[0]: row for row in rows}
+
+
+def test_tab01(framework_full, scout_full, split_full, nlp_corpus, once, record):
+    table, rows = once(
+        _compute, framework_full, scout_full, split_full, nlp_corpus
+    )
+    record("tab01_model_accuracy", table)
+    rf, cpd, nlp = rows["RF"], rows["CPD+"], rows["NLP"]
+    # Shape: the RF is the best overall model (Table 1's ordering).
+    assert rf[3] >= cpd[3]
+    assert rf[3] >= nlp[3]
+    assert rf[3] > 0.85
+    # The baselines are credible, not strawmen.
+    assert nlp[3] > 0.75
+    assert cpd[2] > 0.8  # CPD+ keeps recall high (its design goal)

@@ -1,0 +1,35 @@
+"""Table 3 — the Appendix A operator survey (reproduced as data).
+
+There is no system to run here: the survey is a measured artifact of
+the paper.  The bench renders it and sanity-checks internal
+consistency (bucket totals match the respondent count).
+"""
+
+from repro.analysis import render_table
+from repro.analysis.survey import SURVEY_FACTS, TEAM_BUCKETS, USER_BUCKETS
+
+
+def _compute():
+    team_rows = [[b.label, b.respondents] for b in TEAM_BUCKETS]
+    user_rows = [[b.label, b.respondents] for b in USER_BUCKETS]
+    parts = [
+        render_table(["# of teams", "respondents"], team_rows,
+                     title="Table 3 — survey respondents (Appendix A)"),
+        render_table(["# of users", "respondents"], user_rows),
+        render_table(
+            ["fact", "count"],
+            [[key, value] for key, value in sorted(SURVEY_FACTS.items())],
+        ),
+    ]
+    return "\n\n".join(parts)
+
+
+def test_tab03(once, record):
+    text = once(_compute)
+    record("tab03_survey", text)
+    total = SURVEY_FACTS["respondents"]
+    assert sum(b.respondents for b in TEAM_BUCKETS) <= total
+    assert sum(b.respondents for b in USER_BUCKETS) == total
+    assert SURVEY_FACTS["impact_score_at_least_4"] <= SURVEY_FACTS[
+        "impact_score_at_least_3"
+    ]

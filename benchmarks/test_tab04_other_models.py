@@ -1,0 +1,73 @@
+"""Table 4 — alternative supervised models on the Scout's features.
+
+Paper: KNN 0.95, 1-layer NN 0.93, AdaBoost 0.96, GaussianNB 0.73,
+QDA 0.9 — all trailing the RF's 0.98; the RF wins *and* explains.
+"""
+
+from repro.analysis import render_table
+from repro.ml import (
+    AdaBoostClassifier,
+    GaussianNB,
+    GradientBoostingClassifier,
+    KNeighborsClassifier,
+    MLPClassifier,
+    QuadraticDiscriminantAnalysis,
+    StandardScaler,
+    f1_score,
+)
+
+
+def _compute(scout, split):
+    train, test = split
+    imputer = scout.imputer
+    X_train = imputer.transform(train.X)
+    X_test = imputer.transform(test.X)
+    scaler = StandardScaler().fit(X_train)
+    Z_train, Z_test = scaler.transform(X_train), scaler.transform(X_test)
+
+    models = [
+        ("KNN", KNeighborsClassifier(5), True),
+        ("Neural Network (1 layer)", MLPClassifier(64, max_epochs=150, rng=0), True),
+        ("Adaboost", AdaBoostClassifier(n_estimators=80, base_max_depth=2, rng=0), False),
+        ("Gaussian Naive Bayes", GaussianNB(), False),
+        ("Quadratic Discriminant Analysis",
+         QuadraticDiscriminantAnalysis(reg_param=0.1), True),
+        # Beyond the paper's Table 4: a modern boosted-trees baseline.
+        ("Gradient Boosting (extension)",
+         GradientBoostingClassifier(n_estimators=120, max_depth=3, rng=0),
+         False),
+    ]
+    rows = []
+    scores = {}
+    for name, model, scaled in models:
+        Xtr, Xte = (Z_train, Z_test) if scaled else (X_train, X_test)
+        model.fit(Xtr, train.y)
+        score = f1_score(test.y, model.predict(Xte))
+        rows.append([name, score])
+        scores[name] = score
+    rf_f1 = f1_score(
+        test.y, (scout.forest.predict_proba(X_test)[:, 1] >= 0.5).astype(int)
+    )
+    rows.append(["Random Forest (deployed)", rf_f1])
+    scores["RF"] = rf_f1
+    table = render_table(
+        ["algorithm", "F1"],
+        rows,
+        title="Table 4 — comparing RFs to other ML models "
+        "(paper: KNN .95, NN .93, Ada .96, GNB .73, QDA .9, RF .98)",
+    )
+    return table, scores
+
+
+def test_tab04(scout_full, split_full, once, record):
+    table, scores = once(_compute, scout_full, split_full)
+    record("tab04_other_models", table)
+    # Shape: the RF is competitive with the best alternative (the paper
+    # picks it for explainability, not raw accuracy), and the naive
+    # Bayes assumption hurts the most.
+    best = max(score for name, score in scores.items() if name != "RF")
+    assert scores["RF"] >= best - 0.04
+    assert scores["Gaussian Naive Bayes"] <= min(
+        score for name, score in scores.items() if name != "Gaussian Naive Bayes"
+    ) + 0.02
+    assert scores["KNN"] > 0.7

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Build a Scout for a *different* team from a hand-written config.
+
+The framework is team-agnostic: give it (a) regexes that extract your
+components from incident text, (b) your monitoring registrations, and
+(c) optional exclusions — it does the rest (§5).  This example writes a
+small config for a hypothetical "FabricEdge" flavor of the PhyNet team
+that only owns switch-level data, trains the starter Scout, then shows
+two §5.3 features: EXCLUDE rules and the legacy-fallback for incidents
+with no extractable components.
+
+Run:  python examples/build_your_own_scout.py
+"""
+
+from repro import CloudSimulation, ScoutFramework, SimulationConfig, TrainingOptions
+from repro import parse_config
+from repro.core import Route
+from repro.ml import imbalance_aware_split
+
+CONFIG_TEXT = r"""
+TEAM PhyNet;  # gate-keeps the same ground-truth labels as PhyNet
+
+# -- component extraction ------------------------------------------------
+let switch  = "\bsw-(?:tor|agg|spine)\d+\.c\d+\.dc\d+\b";
+let cluster = "(?<![.\w-])c\d+\.dc\d+\b";
+
+# -- the monitoring this team owns (switch-level only) -----------------
+MONITORING drops_l  = CREATE_MONITORING("link_drop_statistics",
+    {switch=all}, TIME_SERIES, PACKET_DROPS);
+MONITORING drops_s  = CREATE_MONITORING("switch_drop_statistics",
+    {switch=all}, TIME_SERIES, PACKET_DROPS);
+MONITORING loss     = CREATE_MONITORING("link_loss_status",
+    {switch=all}, TIME_SERIES);
+MONITORING syslogs  = CREATE_MONITORING("snmp_syslogs",
+    {switch=all}, EVENT);
+MONITORING reboots  = CREATE_MONITORING("device_reboots",
+    {switch=all}, EVENT);
+MONITORING fcs      = CREATE_MONITORING("fcs_corruption",
+    {switch=all}, EVENT);
+
+# -- scoping ----------------------------------------------------------------
+# Lab gear is out of scope, as are decommissioning work items (§5.3).
+EXCLUDE TITLE = "decommission";
+EXCLUDE BODY  = "lab-only";
+
+SET lookback = 7200;
+"""
+
+
+def main() -> None:
+    config = parse_config(CONFIG_TEXT)
+    print(f"Parsed config for team {config.team!r}:")
+    print(f"  component kinds: {[k.value for k in config.kinds]}")
+    print(f"  monitoring datasets: {[m.locator for m in config.monitoring]}")
+    print(f"  exclusions: {len(config.excludes)}, lookback T = {config.lookback:.0f}s")
+
+    sim = CloudSimulation(SimulationConfig(seed=13, duration_days=120.0))
+    incidents = sim.generate(600)
+    framework = ScoutFramework(
+        config, sim.topology, sim.store,
+        TrainingOptions(n_estimators=60, cv_folds=2, rng=0),
+    )
+    print(f"\nFeature vector: {len(framework.builder.schema)} features")
+
+    data = framework.dataset(incidents)
+    usable = data.usable()
+    fallbacks = len(data) - len(usable)
+    print(
+        f"{len(data)} incidents -> {len(usable)} usable, "
+        f"{fallbacks} fall back to legacy routing (no components found)"
+    )
+
+    train_idx, test_idx = imbalance_aware_split(usable.y, rng=1)
+    scout = framework.train(usable.subset(train_idx))
+    report = framework.evaluate(scout, usable.subset(test_idx))
+    print(f"switch-only starter Scout: {report}")
+
+    # EXCLUDE in action: a decommissioning work item never reaches the
+    # models, whatever its text says.
+    sample = usable[0].incident
+    from repro.incidents import Incident
+    excluded = Incident(
+        incident_id=999_000,
+        created_at=sample.created_at,
+        title="decommission rack hardware",
+        body=sample.body,
+        severity=sample.severity,
+        source=sample.source,
+        source_team=sample.source_team,
+        responsible_team=sample.responsible_team,
+    )
+    prediction = scout.predict(excluded)
+    print(
+        f"\nEXCLUDE rule demo: route={prediction.route.value!r} "
+        f"verdict={prediction.responsible} (out of scope, auto-declined)"
+    )
+    assert prediction.route is Route.EXCLUDED
+
+    vague = Incident(
+        incident_id=999_001,
+        created_at=sample.created_at,
+        title="customers report slowness",
+        body="No further details provided yet.",
+        severity=sample.severity,
+        source=sample.source,
+        source_team=sample.source_team,
+        responsible_team=sample.responsible_team,
+    )
+    prediction = scout.predict(vague)
+    print(
+        f"Fallback demo: route={prediction.route.value!r} "
+        f"verdict={prediction.responsible} (too broad in scope -> legacy routing)"
+    )
+    assert prediction.route is Route.FALLBACK
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Scouts: domain-customized incident routing - SIGCOMM 2020 reproduction.
+
+The public API re-exports the pieces a downstream user needs:
+
+* ``repro.config`` - the Scout configuration DSL (``parse_config``,
+  ``phynet_config``);
+* ``repro.core`` - the Scout framework (``ScoutFramework`` trains a
+  ``Scout`` that predicts/explains per incident);
+* ``repro.simulation`` - the synthetic cloud (``CloudSimulation``
+  generates incidents with monitoring signatures), the legacy-routing
+  baseline, the NLP recommender, and the Scout Master;
+* ``repro.ml`` - the from-scratch model zoo;
+* ``repro.analysis`` - gain/overhead metrics and reporting helpers.
+
+Quickstart::
+
+    from repro import CloudSimulation, ScoutFramework, phynet_config
+
+    sim = CloudSimulation()
+    incidents = sim.generate(500)
+    framework = ScoutFramework(phynet_config(), sim.topology, sim.store)
+    data = framework.dataset(incidents).usable()
+    scout = framework.train(data)
+    print(scout.predict(incidents[0]).report(scout.team))
+"""
+
+from .config import PHYNET_CONFIG_TEXT, ScoutConfig, parse_config, phynet_config
+from .core import (
+    EvaluationReport,
+    Scout,
+    ScoutDataset,
+    ScoutFramework,
+    ScoutPrediction,
+    TrainingOptions,
+)
+from .incidents import Incident, IncidentSource, IncidentStore, Severity
+from .simulation import (
+    AbstractScout,
+    CloudSimulation,
+    NlpRouter,
+    ScoutMaster,
+    SimulationConfig,
+    simulate_master_gain,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractScout",
+    "CloudSimulation",
+    "EvaluationReport",
+    "Incident",
+    "IncidentSource",
+    "IncidentStore",
+    "NlpRouter",
+    "PHYNET_CONFIG_TEXT",
+    "Scout",
+    "ScoutConfig",
+    "ScoutDataset",
+    "ScoutFramework",
+    "ScoutMaster",
+    "ScoutPrediction",
+    "Severity",
+    "SimulationConfig",
+    "TrainingOptions",
+    "parse_config",
+    "phynet_config",
+    "simulate_master_gain",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Evaluation machinery: gain/overhead metrics, distributions, tables."""
+
+from .calibration import (
+    ReliabilityBucket,
+    accuracy_above_threshold,
+    expected_calibration_error,
+    reliability_curve,
+)
+from .distributions import (
+    cdf_points,
+    class_distance_profiles,
+    pairwise_distances,
+    per_day_fractions,
+)
+from .routing_metrics import (
+    GainOverheadResult,
+    evaluate_gain_overhead,
+    overhead_in_distribution,
+)
+from .tables import percentile_row, render_cdf, render_series, render_table
+
+__all__ = [
+    "GainOverheadResult",
+    "ReliabilityBucket",
+    "accuracy_above_threshold",
+    "expected_calibration_error",
+    "reliability_curve",
+    "cdf_points",
+    "class_distance_profiles",
+    "evaluate_gain_overhead",
+    "overhead_in_distribution",
+    "pairwise_distances",
+    "per_day_fractions",
+    "percentile_row",
+    "render_cdf",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,107 @@
+"""Confidence calibration analysis.
+
+§8's fine print — "We recommend not using this output if confidence is
+below 0.8 ... operators did not read this fine-print and complained of
+mistakes when confidence was around 0.5" — only makes sense if the
+Scout's confidence is informative.  This module measures that:
+reliability curves (accuracy per confidence bucket) and the
+accuracy-above-threshold view behind the 0.8 recommendation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ReliabilityBucket",
+    "reliability_curve",
+    "accuracy_above_threshold",
+    "expected_calibration_error",
+]
+
+
+@dataclass(frozen=True)
+class ReliabilityBucket:
+    """One confidence bucket of a reliability curve."""
+
+    lower: float
+    upper: float
+    mean_confidence: float
+    accuracy: float
+    count: int
+
+
+def _validate(confidences, correct) -> tuple[np.ndarray, np.ndarray]:
+    confidences = np.asarray(confidences, dtype=float)
+    correct = np.asarray(correct, dtype=bool)
+    if confidences.shape != correct.shape:
+        raise ValueError("confidences and correct must align")
+    if confidences.size and (
+        confidences.min() < 0.0 or confidences.max() > 1.0
+    ):
+        raise ValueError("confidences must lie in [0, 1]")
+    return confidences, correct
+
+
+def reliability_curve(
+    confidences, correct, n_buckets: int = 5, lower: float = 0.5
+) -> list[ReliabilityBucket]:
+    """Accuracy per confidence bucket over ``[lower, 1]``.
+
+    Binary-verdict confidences never fall below 0.5 (the predicted class
+    is the argmax), hence the default range.
+    """
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    confidences, correct = _validate(confidences, correct)
+    edges = np.linspace(lower, 1.0, n_buckets + 1)
+    buckets = []
+    for i in range(n_buckets):
+        lo, hi = edges[i], edges[i + 1]
+        if i == n_buckets - 1:
+            mask = (confidences >= lo) & (confidences <= hi)
+        else:
+            mask = (confidences >= lo) & (confidences < hi)
+        if not np.any(mask):
+            continue
+        buckets.append(
+            ReliabilityBucket(
+                lower=float(lo),
+                upper=float(hi),
+                mean_confidence=float(confidences[mask].mean()),
+                accuracy=float(correct[mask].mean()),
+                count=int(mask.sum()),
+            )
+        )
+    return buckets
+
+
+def accuracy_above_threshold(
+    confidences, correct, threshold: float
+) -> tuple[float, float]:
+    """(accuracy when confidence ≥ threshold, fraction of verdicts kept)."""
+    confidences, correct = _validate(confidences, correct)
+    mask = confidences >= threshold
+    if not np.any(mask):
+        return 0.0, 0.0
+    return float(correct[mask].mean()), float(mask.mean())
+
+
+def expected_calibration_error(
+    confidences, correct, n_buckets: int = 5, lower: float = 0.5
+) -> float:
+    """ECE: count-weighted |confidence − accuracy| over the buckets."""
+    confidences, correct = _validate(confidences, correct)
+    buckets = reliability_curve(confidences, correct, n_buckets, lower)
+    total = sum(bucket.count for bucket in buckets)
+    if total == 0:
+        return 0.0
+    return float(
+        sum(
+            bucket.count * abs(bucket.mean_confidence - bucket.accuracy)
+            for bucket in buckets
+        )
+        / total
+    )

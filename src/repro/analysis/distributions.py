@@ -1,0 +1,95 @@
+"""Distribution helpers: CDFs, per-day aggregation, class distances.
+
+Backs the paper's measurement figures (Figures 1-4, 6, 13, 14).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "cdf_points",
+    "per_day_fractions",
+    "pairwise_distances",
+    "class_distance_profiles",
+]
+
+_DAY = 86400.0
+
+
+def cdf_points(values, n_points: int = 50) -> tuple[np.ndarray, np.ndarray]:
+    """(x, F(x)) pairs of the empirical CDF, for table/figure rendering."""
+    values = np.sort(np.asarray(values, dtype=float))
+    if values.size == 0:
+        return np.empty(0), np.empty(0)
+    quantiles = np.linspace(0.0, 1.0, n_points)
+    x = np.quantile(values, quantiles)
+    return x, quantiles
+
+
+def per_day_fractions(
+    timestamps, flags
+) -> np.ndarray:
+    """Per-day fraction of flagged items (the paper's per-day CDFs).
+
+    ``flags`` marks items counted in the numerator; days with no items
+    are skipped.
+    """
+    timestamps = np.asarray(timestamps, dtype=float)
+    flags = np.asarray(flags, dtype=bool)
+    if timestamps.shape != flags.shape:
+        raise ValueError("timestamps and flags must align")
+    if timestamps.size == 0:
+        return np.empty(0)
+    days = (timestamps // _DAY).astype(int)
+    fractions = []
+    for day in np.unique(days):
+        mask = days == day
+        fractions.append(flags[mask].mean())
+    return np.array(fractions)
+
+
+def pairwise_distances(A: np.ndarray, B: np.ndarray | None = None) -> np.ndarray:
+    """Flattened Euclidean distances between rows of A (and B).
+
+    With one argument: all within-set pairs (upper triangle).  With two:
+    all cross-set pairs.
+    """
+    A = np.asarray(A, dtype=float)
+    if B is None:
+        diff = A[:, None, :] - A[None, :, :]
+        d = np.sqrt(np.sum(diff**2, axis=2))
+        iu = np.triu_indices(len(A), k=1)
+        return d[iu]
+    B = np.asarray(B, dtype=float)
+    d2 = (
+        np.sum(A**2, axis=1)[:, None]
+        - 2.0 * A @ B.T
+        + np.sum(B**2, axis=1)[None, :]
+    )
+    np.maximum(d2, 0.0, out=d2)
+    return np.sqrt(d2).ravel()
+
+
+def class_distance_profiles(
+    X: np.ndarray, y, max_per_class: int = 300, rng_seed: int = 0
+) -> dict[str, np.ndarray]:
+    """Figure 13/14: within-positive, within-negative, and cross-class
+    Euclidean distance distributions over feature vectors."""
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y)
+    rng = np.random.default_rng(rng_seed)
+
+    def sample(rows: np.ndarray) -> np.ndarray:
+        if len(rows) > max_per_class:
+            idx = rng.choice(len(rows), size=max_per_class, replace=False)
+            return rows[idx]
+        return rows
+
+    pos = sample(X[y == 1])
+    neg = sample(X[y == 0])
+    return {
+        "within_positive": pairwise_distances(pos),
+        "within_negative": pairwise_distances(neg),
+        "cross": pairwise_distances(pos, neg),
+    }

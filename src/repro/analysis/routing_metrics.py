@@ -1,0 +1,155 @@
+"""Gain/overhead metrics comparing a Scout to the legacy baseline (§7).
+
+The paper measures the benefit of a Scout against the operator's
+existing routing process:
+
+* **gain-in** — time saved by routing an incident *directly to* the
+  team when it is responsible (the hops before the team are skipped);
+* **gain-out** — time saved by routing an incident *away from* the team
+  when it is not responsible (the team's stints are skipped);
+* **overhead-in** — time wasted when the Scout wrongly pulls an
+  incident into the team.  There is no ground truth for this, so —
+  exactly like the paper — it is estimated by sampling the baseline
+  distribution of mis-routings into the team (Figure 6);
+* **error-out** — the fraction of the team's incidents mistakenly sent
+  away (overhead-out cannot be estimated, §7).
+
+All times are reported as fractions of the incident's total
+investigation time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.scout import ScoutPrediction
+from ..incidents.store import IncidentStore
+from ..ml.base import as_rng
+
+__all__ = [
+    "overhead_in_distribution",
+    "GainOverheadResult",
+    "evaluate_gain_overhead",
+]
+
+
+def overhead_in_distribution(
+    incidents: IncidentStore, team: str
+) -> np.ndarray:
+    """Fractions of investigation time burned at ``team`` when it was
+    wrongly engaged under the baseline (Figure 6)."""
+    fractions = []
+    for incident in incidents:
+        trace = incidents.trace(incident.incident_id)
+        if trace is None or not trace.was_waypoint(team):
+            continue
+        total = trace.total_time
+        if total > 0:
+            fractions.append(trace.time_at(team) / total)
+    return np.array(fractions)
+
+
+@dataclass
+class GainOverheadResult:
+    """Per-incident gain/overhead fractions for one Scout run."""
+
+    team: str
+    gain_in: list[float] = field(default_factory=list)
+    gain_out: list[float] = field(default_factory=list)
+    best_gain_in: list[float] = field(default_factory=list)
+    best_gain_out: list[float] = field(default_factory=list)
+    overhead_in: list[float] = field(default_factory=list)
+    n_error_out: int = 0
+    n_team_incidents: int = 0
+    n_considered: int = 0
+
+    @property
+    def error_out(self) -> float:
+        """Fraction of the team's incidents mistakenly routed away."""
+        if self.n_team_incidents == 0:
+            return 0.0
+        return self.n_error_out / self.n_team_incidents
+
+    def summary(self) -> dict[str, float]:
+        def med(values: list[float]) -> float:
+            return float(np.median(values)) if values else 0.0
+
+        return {
+            "median_gain_in": med(self.gain_in),
+            "median_gain_out": med(self.gain_out),
+            "median_best_gain_in": med(self.best_gain_in),
+            "median_best_gain_out": med(self.best_gain_out),
+            "median_overhead_in": med(self.overhead_in),
+            "error_out": self.error_out,
+            "n_considered": float(self.n_considered),
+        }
+
+
+def evaluate_gain_overhead(
+    incidents: IncidentStore,
+    predictions: dict[int, ScoutPrediction],
+    team: str,
+    overhead_pool: np.ndarray | None = None,
+    rng: int | np.random.Generator | None = 0,
+    mis_routed_only: bool = True,
+) -> GainOverheadResult:
+    """Score Scout predictions against baseline routing traces.
+
+    ``predictions`` maps incident id → Scout verdict (abstentions keep
+    the baseline routing: no gain, no overhead).  When
+    ``mis_routed_only`` is set, only incidents the baseline mis-routed
+    are scored for gain — matching Figure 7's population.  ``overhead_pool``
+    is the Figure 6 baseline distribution used to sample overhead-in for
+    false positives (defaults to the distribution of ``incidents``).
+    """
+    rng = as_rng(rng)
+    if overhead_pool is None:
+        overhead_pool = overhead_in_distribution(incidents, team)
+    result = GainOverheadResult(team=team)
+
+    for incident in incidents:
+        trace = incidents.trace(incident.incident_id)
+        if trace is None:
+            continue
+        prediction = predictions.get(incident.incident_id)
+        is_team = incident.responsible_team == team
+        if is_team:
+            result.n_team_incidents += 1
+        said_yes = (
+            prediction is not None and prediction.responsible is True
+        )
+        said_no = (
+            prediction is not None and prediction.responsible is False
+        )
+        if is_team and said_no:
+            result.n_error_out += 1
+
+        total = trace.total_time
+        if total <= 0:
+            continue
+        if mis_routed_only and not trace.mis_routed:
+            # Correctly-routed incidents offer no gain; a false positive
+            # on them is pure overhead, handled below via overhead_in.
+            if not is_team and said_yes and len(overhead_pool):
+                result.overhead_in.append(
+                    float(rng.choice(overhead_pool))
+                )
+            continue
+        result.n_considered += 1
+
+        if is_team:
+            # Best possible: skip everything before the team.
+            best = trace.time_before(team) / total
+            result.best_gain_in.append(best)
+            result.gain_in.append(best if said_yes else 0.0)
+        else:
+            time_at_team = trace.time_at(team) / total
+            result.best_gain_out.append(time_at_team)
+            result.gain_out.append(time_at_team if said_no else 0.0)
+            if said_yes and len(overhead_pool):
+                # The Scout would have pulled this incident into the
+                # team: charge a sampled baseline mis-routing cost.
+                result.overhead_in.append(float(rng.choice(overhead_pool)))
+    return result

@@ -1,0 +1,50 @@
+"""Appendix A's operator-survey data (Table 3) as structured constants.
+
+The paper surveyed 27 practicing network operators to validate the §3
+findings.  These are measured facts reported in the paper, reproduced
+verbatim as data (there is no system to simulate here).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["SurveyBucket", "TEAM_BUCKETS", "USER_BUCKETS", "SURVEY_FACTS"]
+
+
+@dataclass(frozen=True)
+class SurveyBucket:
+    """One histogram bucket of Table 3."""
+
+    label: str
+    respondents: int
+
+
+# Table 3 (top): number of teams in the respondent's organization.
+TEAM_BUCKETS = (
+    SurveyBucket("1-10", 14),
+    SurveyBucket("10-20", 1),
+    SurveyBucket("20-100", 8),
+    SurveyBucket("100-1000", 1),
+    SurveyBucket(">1000", 1),
+)
+
+# Table 3 (bottom): number of users served.
+USER_BUCKETS = (
+    SurveyBucket("<1k", 4),
+    SurveyBucket("1k-10k", 5),
+    SurveyBucket("10k-100k", 11),
+    SurveyBucket("100k-1m", 3),
+    SurveyBucket(">1m", 4),
+)
+
+# Headline facts quoted in Appendix A.
+SURVEY_FACTS = {
+    "respondents": 27,
+    "impact_score_at_least_3": 23,
+    "impact_score_at_least_4": 17,
+    "network_blamed_over_60pct": 17,
+    "other_teams_blamed_under_20pct": 20,
+    "investigations_over_3_teams": 14,
+    "investigations_at_least_2_teams": 19,
+}

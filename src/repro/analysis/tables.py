@@ -1,0 +1,65 @@
+"""ASCII rendering of the paper's tables and figure series.
+
+Benchmarks regenerate every table/figure as text so runs are easy to
+diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["render_table", "render_cdf", "render_series", "percentile_row"]
+
+
+def render_table(
+    headers: list[str], rows: list[list], title: str | None = None
+) -> str:
+    """A fixed-width table. Floats print with three decimals."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    table = [[fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in table)) if table else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(values, label: str, quantiles=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99)) -> str:
+    """A one-line CDF summary at the given quantiles."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return f"{label}: (empty)"
+    parts = [
+        f"p{int(q * 100)}={np.quantile(values, q):.3f}" for q in quantiles
+    ]
+    return f"{label}: n={values.size} " + " ".join(parts)
+
+
+def render_series(x, y, label: str) -> str:
+    """An (x, y) series as aligned columns, for figure lines."""
+    lines = [label]
+    for xi, yi in zip(x, y):
+        xs = f"{xi:.3f}" if isinstance(xi, float) else str(xi)
+        ys = f"{yi:.3f}" if isinstance(yi, float) else str(yi)
+        lines.append(f"  {xs:>12}  {ys}")
+    return "\n".join(lines)
+
+
+def percentile_row(values, quantiles=(0.5, 0.9, 0.95, 0.99)) -> list[float]:
+    """Quantile values as a table row fragment."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return [0.0 for _ in quantiles]
+    return [float(np.quantile(values, q)) for q in quantiles]

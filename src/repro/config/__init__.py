@@ -1,0 +1,27 @@
+"""Scout configuration DSL: spec objects, parser, PhyNet's config."""
+
+from .parser import ConfigSyntaxError, parse_config
+from .phynet import PHYNET_CONFIG_TEXT, phynet_config
+from .spec import ExcludeRule, MonitoringRef, ScoutConfig
+from .teams import (
+    database_config,
+    dns_config,
+    slb_config,
+    storage_config,
+    team_scout_configs,
+)
+
+__all__ = [
+    "ConfigSyntaxError",
+    "ExcludeRule",
+    "MonitoringRef",
+    "PHYNET_CONFIG_TEXT",
+    "ScoutConfig",
+    "database_config",
+    "dns_config",
+    "parse_config",
+    "phynet_config",
+    "slb_config",
+    "storage_config",
+    "team_scout_configs",
+]

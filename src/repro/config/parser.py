@@ -1,0 +1,194 @@
+"""Parser for the Scout configuration DSL of §5.1/§5.3.
+
+The surface syntax follows the paper's examples::
+
+    # component extraction
+    let VM = "vm-\\d+\\.c\\d+\\.dc\\d+";
+    let switch = "sw-(?:tor|agg|spine)\\d+\\.c\\d+\\.dc\\d+";
+
+    # monitoring registration
+    MONITORING dataset_1 = CREATE_MONITORING(
+        "ping_statistics", {cluster=Y, server=Z}, TIME_SERIES, LATENCY);
+
+    # scoping
+    EXCLUDE switch = "sw-tor9.*";
+    EXCLUDE TITLE = "decommission";
+
+    # options
+    SET lookback = 7200;
+
+Strings are double-quoted; ``\\"`` escapes a quote.  ``#`` starts a
+comment.  Statements end with ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..monitoring.base import DataKind
+from .spec import ExcludeRule, MonitoringRef, ScoutConfig, parse_kind
+
+__all__ = ["parse_config", "ConfigSyntaxError"]
+
+
+class ConfigSyntaxError(ValueError):
+    """Raised on malformed Scout configuration text."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        prefix = f"line {line}: " if line is not None else ""
+        super().__init__(prefix + message)
+        self.line = line
+
+
+_STRING = r'"((?:[^"\\]|\\.)*)"'
+_LET = re.compile(rf"^let\s+(\w+)\s*=\s*{_STRING}$", re.DOTALL)
+_MONITORING = re.compile(
+    rf"^MONITORING\s+(\w+)\s*=\s*CREATE_MONITORING\s*\(\s*{_STRING}\s*"
+    r"(?:,\s*\{([^}]*)\}\s*)?"
+    r",\s*(TIME_SERIES|EVENT)\s*"
+    r"(?:,\s*(\w+)\s*)?\)$",
+    re.DOTALL,
+)
+_EXCLUDE = re.compile(rf"^EXCLUDE\s+(\w+)\s*=\s*{_STRING}$", re.DOTALL)
+_SET = re.compile(r"^SET\s+(\w+)\s*=\s*([\w.]+)$")
+_TEAM = re.compile(r"^TEAM\s+(\S+)$")
+
+
+def _strip_comments(text: str) -> str:
+    lines = []
+    # Split on "\n" only: splitlines() would also split on \r, \x0c and
+    # Unicode line separators, leaking the tail of a comment containing
+    # them into the statement stream.
+    for line in text.split("\n"):
+        in_string = False
+        out = []
+        i = 0
+        while i < len(line):
+            char = line[i]
+            if char == '"' and (i == 0 or line[i - 1] != "\\"):
+                in_string = not in_string
+            if char == "#" and not in_string:
+                break
+            out.append(char)
+            i += 1
+        lines.append("".join(out))
+    return "\n".join(lines)
+
+
+def _unescape(raw: str) -> str:
+    return raw.replace('\\"', '"')
+
+
+def _split_statements(text: str) -> list[tuple[str, int]]:
+    """Split on ``;`` outside strings, tracking starting line numbers."""
+    statements: list[tuple[str, int]] = []
+    current: list[str] = []
+    line = 1
+    start_line = 1
+    in_string = False
+    previous = ""
+    for char in text:
+        if char == "\n":
+            line += 1
+        if char == '"' and previous != "\\":
+            in_string = not in_string
+        if char == ";" and not in_string:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append((statement, start_line))
+            current = []
+            start_line = line
+        else:
+            if not current:
+                if char.isspace():
+                    previous = char
+                    continue  # skip leading whitespace between statements
+                start_line = line
+            current.append(char)
+        previous = char
+    tail = "".join(current).strip()
+    if tail:
+        raise ConfigSyntaxError(f"missing ';' after: {tail[:50]!r}", start_line)
+    return statements
+
+
+def parse_config(text: str, team: str | None = None) -> ScoutConfig:
+    """Parse DSL text into a :class:`ScoutConfig`.
+
+    ``team`` may be given either here or via a ``TEAM <name>;``
+    statement in the text (the statement wins).
+    """
+    component_patterns = {}
+    monitoring: list[MonitoringRef] = []
+    excludes: list[ExcludeRule] = []
+    options: dict[str, float] = {}
+    declared_team = team
+
+    for statement, line in _split_statements(_strip_comments(text)):
+        if match := _LET.match(statement):
+            kind_name, pattern = match.groups()
+            try:
+                kind = parse_kind(kind_name)
+            except ValueError as exc:
+                raise ConfigSyntaxError(str(exc), line) from None
+            if kind in component_patterns:
+                raise ConfigSyntaxError(f"duplicate let for {kind_name}", line)
+            component_patterns[kind] = _unescape(pattern)
+        elif match := _MONITORING.match(statement):
+            name, locator, tags_raw, data_type, class_tag = match.groups()
+            tags = {}
+            if tags_raw and tags_raw.strip():
+                for item in tags_raw.split(","):
+                    if "=" not in item:
+                        raise ConfigSyntaxError(
+                            f"bad tag {item.strip()!r} (expected key=value)", line
+                        )
+                    key, value = item.split("=", 1)
+                    tags[key.strip()] = value.strip()
+            monitoring.append(
+                MonitoringRef(
+                    name=name,
+                    locator=_unescape(locator),
+                    data_type=DataKind(data_type),
+                    tags=tags,
+                    class_tag=class_tag,
+                )
+            )
+        elif match := _EXCLUDE.match(statement):
+            field, pattern = match.groups()
+            try:
+                excludes.append(ExcludeRule(field, _unescape(pattern)))
+            except (ValueError, re.error) as exc:
+                raise ConfigSyntaxError(str(exc), line) from None
+        elif match := _SET.match(statement):
+            key, value = match.groups()
+            if key not in ("lookback", "reference_multiple", "max_members_per_container"):
+                raise ConfigSyntaxError(f"unknown option {key!r}", line)
+            try:
+                options[key] = float(value)
+            except ValueError:
+                raise ConfigSyntaxError(f"bad value for {key}: {value!r}", line) from None
+        elif match := _TEAM.match(statement):
+            declared_team = match.group(1)
+        else:
+            raise ConfigSyntaxError(f"unrecognized statement: {statement[:60]!r}", line)
+
+    if not declared_team:
+        raise ConfigSyntaxError("no team declared (pass team= or add 'TEAM <name>;')")
+    if not component_patterns:
+        raise ConfigSyntaxError("no 'let' component patterns declared")
+
+    kwargs = {}
+    if "lookback" in options:
+        kwargs["lookback"] = options["lookback"]
+    if "reference_multiple" in options:
+        kwargs["reference_multiple"] = options["reference_multiple"]
+    if "max_members_per_container" in options:
+        kwargs["max_members_per_container"] = int(options["max_members_per_container"])
+    return ScoutConfig(
+        team=declared_team,
+        component_patterns=component_patterns,
+        monitoring=monitoring,
+        excludes=excludes,
+        **kwargs,
+    )

@@ -1,0 +1,63 @@
+"""The PhyNet Scout's configuration (§6).
+
+"The configuration file of PhyNet's Scout describes three types of
+components: server, switch, and cluster and twelve types of monitoring
+data."  We additionally declare VM and DC patterns as in the §5.1
+example — VM features are dropped automatically because no PhyNet
+dataset covers VMs, and DC features pool cluster signals.
+"""
+
+from __future__ import annotations
+
+from .parser import parse_config
+from .spec import ScoutConfig
+
+__all__ = ["PHYNET_CONFIG_TEXT", "phynet_config"]
+
+PHYNET_CONFIG_TEXT = r"""
+TEAM PhyNet;
+
+# --- component extraction (machine-generated names) -------------------
+let VM      = "\bvm-\d+\.c\d+\.dc\d+\b";
+let server  = "\bsrv-\d+\.c\d+\.dc\d+\b";
+let switch  = "\bsw-(?:tor|agg|spine)\d+\.c\d+\.dc\d+\b";
+let cluster = "(?<![.\w-])c\d+\.dc\d+\b";
+let DC      = "(?<![.\w-])dc\d+\b";
+
+# --- the twelve Table 2 datasets ---------------------------------------
+MONITORING ping       = CREATE_MONITORING("ping_statistics",
+    {server=all}, TIME_SERIES);
+MONITORING link_drops = CREATE_MONITORING("link_drop_statistics",
+    {switch=all}, TIME_SERIES, PACKET_DROPS);
+MONITORING sw_drops   = CREATE_MONITORING("switch_drop_statistics",
+    {switch=all}, TIME_SERIES, PACKET_DROPS);
+MONITORING canaries   = CREATE_MONITORING("canaries",
+    {server=all}, EVENT);
+MONITORING reboots    = CREATE_MONITORING("device_reboots",
+    {server=all, switch=all}, EVENT);
+MONITORING link_loss  = CREATE_MONITORING("link_loss_status",
+    {switch=all}, TIME_SERIES);
+MONITORING fcs        = CREATE_MONITORING("fcs_corruption",
+    {switch=all}, EVENT);
+MONITORING syslogs    = CREATE_MONITORING("snmp_syslogs",
+    {switch=all}, EVENT);
+MONITORING pfc        = CREATE_MONITORING("pfc_counters",
+    {switch=all}, TIME_SERIES);
+MONITORING ifcounters = CREATE_MONITORING("interface_counters",
+    {switch=all}, TIME_SERIES);
+MONITORING temp       = CREATE_MONITORING("temperature",
+    {server=all, switch=all}, TIME_SERIES);
+MONITORING cpu        = CREATE_MONITORING("cpu_usage",
+    {server=all, switch=all}, TIME_SERIES);
+
+# --- scoping -------------------------------------------------------------
+# Decommissioned hardware is another team's problem (§5.3 example).
+EXCLUDE TITLE = "decommission";
+
+SET lookback = 7200;
+"""
+
+
+def phynet_config() -> ScoutConfig:
+    """Parse and return the PhyNet Scout configuration."""
+    return parse_config(PHYNET_CONFIG_TEXT)

@@ -1,0 +1,125 @@
+"""Scout configuration objects (§5.1, §5.3).
+
+A :class:`ScoutConfig` is everything a team hands the Scout framework:
+
+* how to extract its component types from incident text (regexes);
+* which monitoring datasets it owns, with their data types, component
+  associations and optional class tags;
+* exclusion rules for out-of-scope incidents/components;
+* the look-back window ``T``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..datacenter.components import ComponentKind
+from ..monitoring.base import DataKind
+
+__all__ = ["MonitoringRef", "ExcludeRule", "ScoutConfig"]
+
+_KIND_ALIASES = {
+    "vm": ComponentKind.VM,
+    "server": ComponentKind.SERVER,
+    "switch": ComponentKind.SWITCH,
+    "cluster": ComponentKind.CLUSTER,
+    "dc": ComponentKind.DC,
+}
+
+
+def parse_kind(name: str) -> ComponentKind:
+    try:
+        return _KIND_ALIASES[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown component kind: {name!r}") from None
+
+
+@dataclass(frozen=True)
+class MonitoringRef:
+    """One ``CREATE_MONITORING`` registration.
+
+    ``locator`` names the dataset inside the provider's monitoring
+    plane (our :class:`~repro.monitoring.store.MonitoringStore`);
+    ``tags`` records the component associations the operator declared;
+    ``class_tag`` marks datasets whose features may be merged (§5.1).
+    """
+
+    name: str
+    locator: str
+    data_type: DataKind
+    tags: dict[str, str] = field(default_factory=dict)
+    class_tag: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.locator:
+            raise ValueError("monitoring refs need a name and a locator")
+
+
+@dataclass(frozen=True)
+class ExcludeRule:
+    """One ``EXCLUDE`` command (§5.3).
+
+    ``field`` is ``"TITLE"``, ``"BODY"`` or a component-kind name; the
+    rule fires when ``pattern`` matches the corresponding text or any
+    extracted component name of that kind.
+    """
+
+    field: str
+    pattern: str
+
+    def __post_init__(self) -> None:
+        if self.field.upper() not in ("TITLE", "BODY") and self.field.lower() not in _KIND_ALIASES:
+            raise ValueError(f"bad EXCLUDE field: {self.field!r}")
+        re.compile(self.pattern)  # fail fast on bad regexes
+
+    def matches(self, title: str, body: str, components) -> bool:
+        regex = re.compile(self.pattern)
+        key = self.field.upper()
+        if key == "TITLE":
+            return regex.search(title) is not None
+        if key == "BODY":
+            return regex.search(body) is not None
+        kind = parse_kind(self.field)
+        return any(
+            component.kind is kind and regex.search(component.name)
+            for component in components
+        )
+
+
+@dataclass
+class ScoutConfig:
+    """The full configuration of one team's Scout."""
+
+    team: str
+    component_patterns: dict[ComponentKind, str]
+    monitoring: list[MonitoringRef]
+    excludes: list[ExcludeRule] = field(default_factory=list)
+    lookback: float = 7200.0          # T, seconds (§7 uses two hours)
+    # Reference window used to normalize time series against recent
+    # healthy history (multiple of lookback).
+    reference_multiple: float = 3.0
+    # Containers (cluster/DC) pool member signals; cap the member count
+    # so DC-wide features stay tractable.
+    max_members_per_container: int = 40
+
+    def __post_init__(self) -> None:
+        if not self.team:
+            raise ValueError("config needs a team name")
+        if not self.component_patterns:
+            raise ValueError("config needs at least one component pattern")
+        for pattern in self.component_patterns.values():
+            re.compile(pattern)
+        if self.lookback <= 0:
+            raise ValueError("lookback must be positive")
+        names = [ref.name for ref in self.monitoring]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate monitoring names")
+
+    @property
+    def kinds(self) -> list[ComponentKind]:
+        """Component kinds in declaration order."""
+        return list(self.component_patterns)
+
+    def refs_with_class(self, class_tag: str) -> list[MonitoringRef]:
+        return [ref for ref in self.monitoring if ref.class_tag == class_tag]

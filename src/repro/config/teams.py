@@ -1,0 +1,84 @@
+"""Starter Scout configurations for the non-PhyNet teams.
+
+"These same techniques can be used to develop new 'starter' Scouts as
+well" (§1).  Each config follows the same DSL as PhyNet's: extraction
+regexes for the components the team reasons about, its own monitoring
+registrations, and the look-back window.  The framework turns each of
+these into a working Scout without further team effort.
+"""
+
+from __future__ import annotations
+
+from .parser import parse_config
+from .spec import ScoutConfig
+
+__all__ = [
+    "storage_config",
+    "slb_config",
+    "dns_config",
+    "database_config",
+    "team_scout_configs",
+]
+
+_COMMON_PATTERNS = r"""
+let VM      = "\bvm-\d+\.c\d+\.dc\d+\b";
+let server  = "\bsrv-\d+\.c\d+\.dc\d+\b";
+let cluster = "(?<![.\w-])c\d+\.dc\d+\b";
+let DC      = "(?<![.\w-])dc\d+\b";
+"""
+
+STORAGE_CONFIG_TEXT = f"""
+TEAM Storage;
+{_COMMON_PATTERNS}
+MONITORING io_errors = CREATE_MONITORING("disk_io_errors",
+    {{server=all}}, EVENT);
+MONITORING latency   = CREATE_MONITORING("storage_latency",
+    {{server=all}}, TIME_SERIES);
+SET lookback = 7200;
+"""
+
+SLB_CONFIG_TEXT = f"""
+TEAM SLB;
+{_COMMON_PATTERNS}
+MONITORING probes = CREATE_MONITORING("vip_probe_failures",
+    {{cluster=all}}, EVENT);
+SET lookback = 7200;
+"""
+
+DNS_CONFIG_TEXT = f"""
+TEAM DNS;
+{_COMMON_PATTERNS}
+MONITORING timeouts = CREATE_MONITORING("dns_query_timeouts",
+    {{cluster=all}}, EVENT);
+SET lookback = 7200;
+"""
+
+DATABASE_CONFIG_TEXT = f"""
+TEAM Database;
+{_COMMON_PATTERNS}
+MONITORING query_latency = CREATE_MONITORING("db_query_latency",
+    {{server=all}}, TIME_SERIES);
+SET lookback = 7200;
+"""
+
+
+def storage_config() -> ScoutConfig:
+    return parse_config(STORAGE_CONFIG_TEXT)
+
+
+def slb_config() -> ScoutConfig:
+    return parse_config(SLB_CONFIG_TEXT)
+
+
+def dns_config() -> ScoutConfig:
+    return parse_config(DNS_CONFIG_TEXT)
+
+
+def database_config() -> ScoutConfig:
+    return parse_config(DATABASE_CONFIG_TEXT)
+
+
+def team_scout_configs() -> dict[str, ScoutConfig]:
+    """All non-PhyNet starter configs, keyed by team name."""
+    configs = [storage_config(), slb_config(), dns_config(), database_config()]
+    return {config.team: config for config in configs}

@@ -1,0 +1,46 @@
+"""The paper's contribution: the Scout and the Scout framework."""
+
+from .cpd_plus import CPDPlus, CPDVerdict
+from .denoise import DenoiseReport, LabelDenoiser
+from .drift import DriftAlarm, DriftMonitor, PageHinkleyDetector
+from .persistence import ScoutBundle, load_scout, save_scout
+from .dataset import ScoutDataset, ScoutExample
+from .explain import Explanation, FeatureAttribution, explain_forest, render_report
+from .extraction import ComponentExtractor, ExtractedComponents
+from .features import STAT_NAMES, FeatureBuilder, FeatureSchema
+from .framework import EvaluationReport, ScoutFramework, TrainingOptions
+from .scout import Scout, ScoutPrediction
+from .selector import MetaFeaturizer, ModelSelector, Route, SelectorDecision
+
+__all__ = [
+    "CPDPlus",
+    "DenoiseReport",
+    "DriftAlarm",
+    "DriftMonitor",
+    "LabelDenoiser",
+    "PageHinkleyDetector",
+    "ScoutBundle",
+    "load_scout",
+    "save_scout",
+    "CPDVerdict",
+    "ComponentExtractor",
+    "EvaluationReport",
+    "Explanation",
+    "ExtractedComponents",
+    "FeatureAttribution",
+    "FeatureBuilder",
+    "FeatureSchema",
+    "MetaFeaturizer",
+    "ModelSelector",
+    "Route",
+    "STAT_NAMES",
+    "Scout",
+    "ScoutDataset",
+    "ScoutExample",
+    "ScoutFramework",
+    "ScoutPrediction",
+    "SelectorDecision",
+    "TrainingOptions",
+    "explain_forest",
+    "render_report",
+]

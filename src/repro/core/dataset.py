@@ -1,0 +1,231 @@
+"""Pre-computed Scout datasets.
+
+Pulling monitoring data dominates Scout cost (the deployed Scout takes
+~1.8 minutes per incident, §6).  Experiments evaluate thousands of
+incidents across many model variants, so this module materializes each
+incident's pipeline state once — extracted components, static routing
+decision, feature vector, CPD+ signal vector and triggers — into a
+:class:`ScoutDataset` every experiment can slice, subset, and
+column-mask (Figure 9's monitoring-system removal is a column
+operation, exactly like the paper's "remove all features related to
+them from the training set").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..incidents.incident import Incident
+from ..incidents.store import IncidentStore
+from .cpd_plus import CPDPlus
+from .extraction import ComponentExtractor, ExtractedComponents
+from .features import FeatureBuilder
+from .selector import Route
+
+__all__ = ["ScoutExample", "ScoutDataset"]
+
+
+@dataclass
+class ScoutExample:
+    """Everything the Scout pipeline derives from one incident."""
+
+    incident: Incident
+    extracted: ExtractedComponents
+    static_route: Route | None  # EXCLUDED / FALLBACK, or None (model decides)
+    features: np.ndarray
+    signals: np.ndarray
+    triggers: tuple[str, ...]
+    label: int
+
+    @property
+    def usable(self) -> bool:
+        """Does this example reach the ML models?"""
+        return self.static_route is None
+
+
+class ScoutDataset:
+    """A column-addressable cache of Scout pipeline state."""
+
+    def __init__(
+        self,
+        examples: list[ScoutExample],
+        feature_names: list[str],
+        signal_names: list[str],
+        team: str,
+    ) -> None:
+        self.examples = examples
+        self.feature_names = feature_names
+        self.signal_names = signal_names
+        self.team = team
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        builder: FeatureBuilder,
+        extractor: ComponentExtractor,
+        cpd: CPDPlus,
+        incidents: IncidentStore | list[Incident],
+        compute_signals: bool = True,
+    ) -> "ScoutDataset":
+        config = builder.config
+        examples: list[ScoutExample] = []
+        n_signals = len(cpd.signal_names())
+        for incident in incidents:
+            builder.clear_cache()
+            extracted = extractor.extract(incident.text)
+            static_route: Route | None = None
+            for rule in config.excludes:
+                if rule.matches(incident.title, incident.body, extracted.all):
+                    static_route = Route.EXCLUDED
+                    break
+            if static_route is None and extracted.is_empty:
+                static_route = Route.FALLBACK
+            if static_route is None:
+                features = builder.features(extracted, incident.created_at)
+                if compute_signals:
+                    signals, triggers = cpd.signals(extracted, incident.created_at)
+                else:
+                    signals, triggers = np.zeros(n_signals), []
+            else:
+                features = np.zeros(len(builder.schema))
+                signals, triggers = np.zeros(n_signals), []
+            examples.append(
+                ScoutExample(
+                    incident=incident,
+                    extracted=extracted,
+                    static_route=static_route,
+                    features=features,
+                    signals=signals,
+                    triggers=tuple(triggers),
+                    label=incident.label(config.team),
+                )
+            )
+        return cls(
+            examples,
+            list(builder.schema.names),
+            cpd.signal_names(),
+            config.team,
+        )
+
+    # -- container ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.examples)
+
+    def __iter__(self):
+        return iter(self.examples)
+
+    def __getitem__(self, index: int) -> ScoutExample:
+        return self.examples[index]
+
+    def subset(self, indices) -> "ScoutDataset":
+        return ScoutDataset(
+            [self.examples[int(i)] for i in indices],
+            self.feature_names,
+            self.signal_names,
+            self.team,
+        )
+
+    def split_by_ids(self, ids: set[int]) -> tuple["ScoutDataset", "ScoutDataset"]:
+        inside = [i for i, ex in enumerate(self.examples) if ex.incident.incident_id in ids]
+        outside = [i for i, ex in enumerate(self.examples) if ex.incident.incident_id not in ids]
+        return self.subset(inside), self.subset(outside)
+
+    # -- matrices ----------------------------------------------------------------
+
+    @property
+    def usable_indices(self) -> np.ndarray:
+        return np.array(
+            [i for i, ex in enumerate(self.examples) if ex.usable], dtype=int
+        )
+
+    def usable(self) -> "ScoutDataset":
+        return self.subset(self.usable_indices)
+
+    @property
+    def X(self) -> np.ndarray:
+        return np.vstack([ex.features for ex in self.examples])
+
+    @property
+    def signals_matrix(self) -> np.ndarray:
+        return np.vstack([ex.signals for ex in self.examples])
+
+    @property
+    def y(self) -> np.ndarray:
+        return np.array([ex.label for ex in self.examples], dtype=int)
+
+    @property
+    def texts(self) -> list[str]:
+        return [ex.incident.text for ex in self.examples]
+
+    @property
+    def timestamps(self) -> np.ndarray:
+        return np.array([ex.incident.created_at for ex in self.examples])
+
+    # -- column addressing --------------------------------------------------------
+
+    def feature_columns_for_locator(self, locator: str) -> list[int]:
+        """Feature columns fed by one monitoring system.
+
+        Time-series columns embed the group label (the locator for
+        singleton groups, the class tag for merged ones) and event
+        columns embed the locator directly.
+        """
+        out = []
+        for i, name in enumerate(self.feature_names):
+            parts = name.split(".")
+            if len(parts) >= 2 and locator in parts:
+                out.append(i)
+        return out
+
+    def signal_columns_for_locator(self, locator: str) -> list[int]:
+        return [
+            i for i, name in enumerate(self.signal_names)
+            if locator in name.split(".")
+        ]
+
+    def with_locators_removed(
+        self, locators: list[str], class_tags: dict[str, list[str]] | None = None
+    ) -> "ScoutDataset":
+        """A copy with all columns of the given monitoring systems zeroed.
+
+        ``class_tags`` maps a class-tag label to its member locators so
+        that merged columns are removed only when *all* members are gone.
+        """
+        class_tags = class_tags or {}
+        removed = set(locators)
+        feature_cols: set[int] = set()
+        signal_cols: set[int] = set()
+        for locator in locators:
+            feature_cols.update(self.feature_columns_for_locator(locator))
+            signal_cols.update(self.signal_columns_for_locator(locator))
+        for tag, members in class_tags.items():
+            if set(members) <= removed:
+                feature_cols.update(self.feature_columns_for_locator(tag))
+                signal_cols.update(self.signal_columns_for_locator(tag))
+        feature_idx = sorted(feature_cols)
+        signal_idx = sorted(signal_cols)
+        examples = []
+        for ex in self.examples:
+            features = ex.features.copy()
+            features[feature_idx] = 0.0
+            signals = ex.signals.copy()
+            signals[signal_idx] = 0.0
+            examples.append(
+                ScoutExample(
+                    incident=ex.incident,
+                    extracted=ex.extracted,
+                    static_route=ex.static_route,
+                    features=features,
+                    signals=signals,
+                    triggers=ex.triggers,
+                    label=ex.label,
+                )
+            )
+        return ScoutDataset(
+            examples, self.feature_names, self.signal_names, self.team
+        )

@@ -1,0 +1,154 @@
+"""Training-label de-noising (§8 "Not all incidents have the right label").
+
+The incident-management system records the team that *closed* the
+incident, which is sometimes not the team that found the root cause —
+operators skip the official transfer.  Left alone, those wrong labels
+get *up-weighted* by the learn-from-mistakes loop and poison retraining.
+§8: "This problem can be mitigated by de-noising techniques and by
+analysis of the incident text (the text of the incident often does
+reveal the correct label)."
+
+:class:`LabelDenoiser` implements exactly that combination:
+
+1. an ensemble-disagreement filter — k-fold cross-validated feature
+   models vote on every training incident; high-confidence, unanimous
+   disagreement with the recorded label marks it suspicious;
+2. a text cross-check — a bag-of-words model trained on the *trusted*
+   incidents must also disagree with the recorded label before the
+   label is actually flipped (text often reveals the correct owner).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.base import as_rng
+from ..ml.forest import RandomForestClassifier
+from ..ml.naive_bayes import MultinomialNB
+from ..ml.text import CountVectorizer
+
+__all__ = ["DenoiseReport", "LabelDenoiser"]
+
+
+@dataclass(frozen=True)
+class DenoiseReport:
+    """Outcome of one de-noising pass."""
+
+    n_examined: int
+    n_suspicious: int
+    n_flipped: int
+    flipped_indices: tuple[int, ...]
+    clean_labels: np.ndarray
+
+
+class LabelDenoiser:
+    """Flags and corrects probably-wrong binary training labels."""
+
+    def __init__(
+        self,
+        n_folds: int = 4,
+        feature_confidence: float = 0.85,
+        text_confidence: float = 0.7,
+        rng: int | np.random.Generator | None = 0,
+    ) -> None:
+        if n_folds < 2:
+            raise ValueError("n_folds must be >= 2")
+        if not 0.5 <= feature_confidence <= 1.0:
+            raise ValueError("feature_confidence must be in [0.5, 1]")
+        self.n_folds = n_folds
+        self.feature_confidence = feature_confidence
+        self.text_confidence = text_confidence
+        self._rng = as_rng(rng)
+
+    # -- stage 1: ensemble disagreement ------------------------------------
+
+    def _cross_val_proba(self, X: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Out-of-fold P(label=1) for every training row."""
+        n = len(y)
+        proba = np.full(n, np.nan)
+        order = self._rng.permutation(n)
+        for fold in np.array_split(order, self.n_folds):
+            mask = np.ones(n, dtype=bool)
+            mask[fold] = False
+            if len(np.unique(y[mask])) < 2:
+                proba[fold] = y[mask].mean() if mask.any() else 0.5
+                continue
+            forest = RandomForestClassifier(
+                n_estimators=40,
+                rng=np.random.default_rng(int(self._rng.integers(2**31))),
+            )
+            forest.fit(X[mask], y[mask])
+            fold_proba = forest.predict_proba(X[fold])
+            classes = list(forest.classes_)
+            proba[fold] = (
+                fold_proba[:, classes.index(1)] if 1 in classes else 0.0
+            )
+        return proba
+
+    # -- stage 2: text cross-check -------------------------------------------
+
+    def _text_proba(
+        self, texts: list[str], y: np.ndarray, trusted: np.ndarray
+    ) -> np.ndarray:
+        """P(label=1 | text), trained only on non-suspicious incidents."""
+        trusted_texts = [texts[i] for i in np.flatnonzero(trusted)]
+        trusted_labels = y[trusted]
+        if len(np.unique(trusted_labels)) < 2:
+            return np.full(len(texts), 0.5)
+        vectorizer = CountVectorizer(max_features=300, min_df=2)
+        X_text = vectorizer.fit_transform(trusted_texts)
+        model = MultinomialNB().fit(X_text, trusted_labels)
+        all_proba = model.predict_proba(vectorizer.transform(texts))
+        classes = list(model.classes_)
+        return (
+            all_proba[:, classes.index(1)]
+            if 1 in classes
+            else np.zeros(len(texts))
+        )
+
+    # -- the pass ---------------------------------------------------------------
+
+    def denoise(
+        self, X: np.ndarray, y: np.ndarray, texts: list[str]
+    ) -> DenoiseReport:
+        """Return corrected labels plus a full accounting.
+
+        Only labels where *both* evidence sources (monitoring-feature
+        ensemble and incident text) confidently contradict the record
+        are flipped — a deliberately conservative policy, because a
+        de-noiser that flips genuine labels is worse than none.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=int)
+        if len(y) != len(X) or len(texts) != len(y):
+            raise ValueError("X, y, texts must align")
+        proba = self._cross_val_proba(X, y)
+        disagrees = np.where(
+            y == 1, proba < 1.0 - self.feature_confidence,
+            proba > self.feature_confidence,
+        )
+        suspicious = np.flatnonzero(disagrees)
+        trusted = ~disagrees
+        clean = y.copy()
+        flipped = []
+        if suspicious.size:
+            text_proba = self._text_proba(texts, y, trusted)
+            for idx in suspicious:
+                recorded = y[idx]
+                text_says_one = text_proba[idx] > self.text_confidence
+                text_says_zero = text_proba[idx] < 1.0 - self.text_confidence
+                if recorded == 1 and text_says_zero:
+                    clean[idx] = 0
+                    flipped.append(int(idx))
+                elif recorded == 0 and text_says_one:
+                    clean[idx] = 1
+                    flipped.append(int(idx))
+        return DenoiseReport(
+            n_examined=len(y),
+            n_suspicious=int(suspicious.size),
+            n_flipped=len(flipped),
+            flipped_indices=tuple(flipped),
+            clean_labels=clean,
+        )

@@ -1,0 +1,123 @@
+"""Concept-drift monitoring (§8 "Concept drift").
+
+"During the last two years, there were a few weeks (despite frequent
+retraining) where the accuracy of the Scout dropped down to 50%.  This
+is a known problem in the machine learning community and we are working
+on exploring known solutions."
+
+This module is one such known solution: a Page–Hinkley change detector
+over the Scout's rolling error stream plus a retraining policy.  Each
+resolved incident yields one correct/incorrect observation; the monitor
+raises an alarm when the cumulative error deviation exceeds its
+threshold, signalling the owning framework to retrain ahead of
+schedule.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["DriftAlarm", "PageHinkleyDetector", "DriftMonitor"]
+
+
+@dataclass(frozen=True)
+class DriftAlarm:
+    """One raised drift alarm."""
+
+    at_observation: int
+    rolling_error: float
+    statistic: float
+
+
+class PageHinkleyDetector:
+    """Page–Hinkley test for an upward shift in a bounded error stream.
+
+    Tracks ``m_t = Σ (x_i - mean_i - delta)`` and alarms when
+    ``m_t - min(m_t)`` exceeds ``threshold``.  ``delta`` is the
+    magnitude of tolerated drift; larger thresholds mean fewer, later
+    alarms.
+    """
+
+    def __init__(self, delta: float = 0.05, threshold: float = 3.0) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.delta = delta
+        self.threshold = threshold
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._cumulative = 0.0
+        self._minimum = 0.0
+
+    def update(self, value: float) -> bool:
+        """Feed one observation; True when drift is detected."""
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        self._cumulative += value - self._mean - self.delta
+        self._minimum = min(self._minimum, self._cumulative)
+        return (self._cumulative - self._minimum) > self.threshold
+
+    @property
+    def statistic(self) -> float:
+        return self._cumulative - self._minimum
+
+
+@dataclass
+class DriftMonitor:
+    """Rolling Scout-accuracy watchdog with a retraining policy.
+
+    Feed it ``record(correct=...)`` per resolved incident; it keeps a
+    rolling error window (for reporting) and a Page–Hinkley detector
+    (for alarms).  After an alarm it resets, so a retrained Scout starts
+    from a clean slate.
+    """
+
+    window: int = 50
+    detector: PageHinkleyDetector = field(
+        default_factory=lambda: PageHinkleyDetector(delta=0.05, threshold=3.0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        self._recent: deque[int] = deque(maxlen=self.window)
+        self._observations = 0
+        self.alarms: list[DriftAlarm] = []
+
+    @property
+    def observations(self) -> int:
+        return self._observations
+
+    @property
+    def rolling_error(self) -> float:
+        if not self._recent:
+            return 0.0
+        return sum(self._recent) / len(self._recent)
+
+    @property
+    def rolling_accuracy(self) -> float:
+        return 1.0 - self.rolling_error
+
+    def record(self, correct: bool) -> DriftAlarm | None:
+        """Observe one prediction outcome; returns an alarm if raised."""
+        self._observations += 1
+        error = 0 if correct else 1
+        self._recent.append(error)
+        if self.detector.update(float(error)):
+            alarm = DriftAlarm(
+                at_observation=self._observations,
+                rolling_error=self.rolling_error,
+                statistic=self.detector.statistic,
+            )
+            self.alarms.append(alarm)
+            self.detector.reset()
+            return alarm
+        return None
+
+    def notify_retrained(self) -> None:
+        """Reset state after the framework retrains the Scout."""
+        self.detector.reset()
+        self._recent.clear()

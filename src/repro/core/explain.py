@@ -1,0 +1,129 @@
+"""Explanations (§5.2.1, §8).
+
+The deployed Scout augments every routed incident with an explanation:
+the components it investigated, the monitoring data it consulted, and —
+for positive verdicts — the features that pointed at the team, computed
+with the feature-contribution method of Palczewska et al. [57].
+§8's deployment lessons are baked into the rendered report: the
+confidence caveat and the known-false-negative fine print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ml.forest import RandomForestClassifier
+from .features import FeatureSchema
+
+__all__ = ["FeatureAttribution", "Explanation", "explain_forest", "render_report"]
+
+
+@dataclass(frozen=True)
+class FeatureAttribution:
+    """One feature's pull toward the predicted class."""
+
+    feature: str
+    value: float
+    contribution: float
+
+
+@dataclass
+class Explanation:
+    """Everything the Scout can say about one verdict."""
+
+    components: list[str] = field(default_factory=list)
+    datasets: list[str] = field(default_factory=list)
+    attributions: list[FeatureAttribution] = field(default_factory=list)
+    triggers: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def top_features(self, k: int = 5) -> list[FeatureAttribution]:
+        return self.attributions[:k]
+
+
+def explain_forest(
+    forest: RandomForestClassifier,
+    schema: FeatureSchema,
+    row: np.ndarray,
+    predicted_class: int,
+    top_k: int = 8,
+    include_count_features: bool = True,
+) -> list[FeatureAttribution]:
+    """Rank features by their contribution toward ``predicted_class``.
+
+    ``include_count_features=False`` hides the number-of-components
+    features from the explanation — §8: "the model finds them useful
+    but operators do not".
+    """
+    contributions = forest.feature_contributions(row)
+    classes = list(forest.classes_)
+    if predicted_class not in classes:
+        return []
+    column = contributions[:, classes.index(predicted_class)]
+    order = np.argsort(-column)
+    out: list[FeatureAttribution] = []
+    for idx in order:
+        if column[idx] <= 0.0:
+            break
+        name = schema.names[idx]
+        if not include_count_features and name.startswith("n_"):
+            continue
+        out.append(
+            FeatureAttribution(
+                feature=name,
+                value=float(row[idx]),
+                contribution=float(column[idx]),
+            )
+        )
+        if len(out) >= top_k:
+            break
+    return out
+
+
+def render_report(
+    team: str,
+    responsible: bool | None,
+    confidence: float,
+    explanation: Explanation,
+    confidence_floor: float = 0.8,
+) -> str:
+    """The §8-style recommendation text attached to an incident."""
+    if responsible is None:
+        return (
+            f"The {team} Scout could not scope this incident "
+            "(no components identified); falling back to the existing "
+            "incident routing process."
+        )
+    components = ", ".join(explanation.components) or "no specific components"
+    verdict = (
+        f"suggests this IS a {team} incident"
+        if responsible
+        else f"suggests this is NOT a {team} incident"
+    )
+    lines = [
+        f"The {team} Scout investigated [{components}] and {verdict}.",
+        f"Its confidence is {confidence:.2f}. We recommend not using this "
+        f"output if confidence is below {confidence_floor:.1f}.",
+    ]
+    if explanation.datasets:
+        lines.append(
+            "Monitoring data consulted: " + ", ".join(explanation.datasets) + "."
+        )
+    if responsible and explanation.attributions:
+        top = ", ".join(
+            f"{a.feature} (+{a.contribution:.2f})"
+            for a in explanation.top_features(5)
+        )
+        lines.append(f"Features pointing at {team}: {top}.")
+    if explanation.triggers:
+        lines.append("Detected signals: " + "; ".join(explanation.triggers[:5]) + ".")
+    lines.append(
+        "Attention: known false negatives occur for transient issues, when "
+        "an incident is created after the problem has already been "
+        "resolved, and if the incident is too broad in scope."
+    )
+    for note in explanation.notes:
+        lines.append(note)
+    return "\n".join(lines)

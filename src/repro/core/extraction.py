@@ -1,0 +1,89 @@
+"""Component extraction from incident text (§5.1, §5.3).
+
+"Scouts extract relevant components from the incident description ...
+dependent components can be extracted by using the operator's
+logical/physical topology abstractions."  Extraction anchors the whole
+pipeline: it limits which monitoring data the Scout pulls (avoiding the
+curse of dimensionality) and, when it finds nothing, the incident is
+"too broad in scope" and falls back to the legacy router.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..config.spec import ScoutConfig
+from ..datacenter.components import Component, ComponentKind
+from ..datacenter.topology import Topology
+
+__all__ = ["ExtractedComponents", "ComponentExtractor"]
+
+
+@dataclass
+class ExtractedComponents:
+    """Components found in (and inferred from) one incident."""
+
+    mentioned: list[Component] = field(default_factory=list)
+    dependencies: list[Component] = field(default_factory=list)
+
+    @property
+    def all(self) -> list[Component]:
+        seen: set[str] = set()
+        out: list[Component] = []
+        for component in [*self.mentioned, *self.dependencies]:
+            if component.name not in seen:
+                seen.add(component.name)
+                out.append(component)
+        return out
+
+    def of_kind(self, kind: ComponentKind) -> list[Component]:
+        return [c for c in self.all if c.kind is kind]
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.mentioned
+
+    def __len__(self) -> int:
+        return len(self.all)
+
+
+class ComponentExtractor:
+    """Applies the config's ``let`` regexes plus dependency expansion."""
+
+    def __init__(self, config: ScoutConfig, topology: Topology) -> None:
+        self._topology = topology
+        self._patterns = [
+            (kind, re.compile(pattern))
+            for kind, pattern in config.component_patterns.items()
+        ]
+
+    def extract(self, text: str) -> ExtractedComponents:
+        """All components named in ``text``, plus their dependencies.
+
+        Names that match a regex but do not exist in the topology are
+        ignored — stale references in noisy conversation logs must not
+        fabricate components.
+        """
+        result = ExtractedComponents()
+        seen: set[str] = set()
+        for kind, regex in self._patterns:
+            for match in regex.findall(text):
+                name = match if isinstance(match, str) else match[0]
+                if name in seen or name not in self._topology:
+                    continue
+                component = self._topology.component(name)
+                if component.kind is not kind:
+                    # e.g. a cluster regex that happened to match a DC
+                    # label; trust the topology's notion of kind.
+                    continue
+                seen.add(name)
+                result.mentioned.append(component)
+        # Dependency expansion via the topology abstraction.
+        dep_seen = set(seen)
+        for component in result.mentioned:
+            for dep in self._topology.expand_dependencies(component.name):
+                if dep.name not in dep_seen:
+                    dep_seen.add(dep.name)
+                    result.dependencies.append(dep)
+        return result

@@ -1,0 +1,312 @@
+"""Feature construction (§5.2).
+
+Per component type, the Scout builds a fixed-length feature block:
+
+* for every time-series *group* (datasets sharing a class tag are
+  merged; others stand alone): the paper's eleven statistics — mean,
+  std, min, max and the 1/10/25/50/75/90/99th percentiles — computed
+  over all normalized points of all relevant components in the
+  look-back window ``[t - T, t]``;
+* for every event dataset and event type: the event count;
+* plus one count-of-components feature per declared component type.
+
+Series are normalized against a trailing reference window (healthy
+recent history), so a failure-induced distribution shift shows up in
+the upper/lower percentiles exactly as §5.2 describes.  Component types
+with no covering dataset (VMs, for PhyNet) contribute no monitoring
+features; component types with no extracted components contribute
+zeros; *deactivated* monitoring systems contribute NaNs, which the
+serving layer imputes with training means (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config.spec import ScoutConfig
+from ..datacenter.components import Component, ComponentKind
+from ..datacenter.topology import Topology
+from ..monitoring.base import DataKind
+from ..monitoring.store import MonitoringStore
+from .extraction import ExtractedComponents
+
+__all__ = ["FeatureSchema", "FeatureBuilder", "STAT_NAMES"]
+
+STAT_NAMES = (
+    "mean", "std", "min", "max",
+    "p1", "p10", "p25", "p50", "p75", "p90", "p99",
+)
+_PERCENTILES = (1, 10, 25, 50, 75, 90, 99)
+
+_LEAF_KINDS = (ComponentKind.SERVER, ComponentKind.SWITCH, ComponentKind.VM)
+_CONTAINER_KINDS = (ComponentKind.CLUSTER, ComponentKind.DC)
+
+
+@dataclass(frozen=True)
+class _TsGroup:
+    """A mergeable group of time-series datasets (same class tag)."""
+
+    kind: ComponentKind
+    label: str
+    locators: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _EventFeature:
+    kind: ComponentKind
+    locator: str
+    event_type: str
+
+
+class FeatureSchema:
+    """The fixed feature layout implied by a Scout config."""
+
+    def __init__(self, config: ScoutConfig, store: MonitoringStore) -> None:
+        self.config = config
+        self.ts_groups: list[_TsGroup] = []
+        self.event_features: list[_EventFeature] = []
+        for kind in config.kinds:
+            singles: list[tuple[str, str]] = []  # (label, locator)
+            by_class: dict[str, list[str]] = {}
+            for ref in config.monitoring:
+                schema = store.schema(ref.locator)
+                if not _covers(schema.component_kinds, kind):
+                    continue
+                if schema.kind is DataKind.TIME_SERIES:
+                    if ref.class_tag:
+                        by_class.setdefault(ref.class_tag, []).append(ref.locator)
+                    else:
+                        singles.append((ref.locator, ref.locator))
+                else:
+                    for event_type in sorted(schema.events.rates):
+                        self.event_features.append(
+                            _EventFeature(kind, ref.locator, event_type)
+                        )
+            for class_tag in sorted(by_class):
+                self.ts_groups.append(
+                    _TsGroup(kind, class_tag, tuple(sorted(by_class[class_tag])))
+                )
+            for label, locator in sorted(singles):
+                self.ts_groups.append(_TsGroup(kind, label, (locator,)))
+        # Stable global ordering: time-series stat blocks, then event
+        # counts, then component counts.
+        self.names: list[str] = []
+        for group in self.ts_groups:
+            for stat in STAT_NAMES:
+                self.names.append(f"{group.kind.value}.{group.label}.{stat}")
+        for feature in self.event_features:
+            self.names.append(
+                f"{feature.kind.value}.{feature.locator}.{feature.event_type}"
+            )
+        for kind in config.kinds:
+            self.names.append(f"n_{kind.value}")
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def index_of(self, name: str) -> int:
+        return self.names.index(name)
+
+
+def _covers(dataset_kinds: frozenset[ComponentKind], kind: ComponentKind) -> bool:
+    """Does a dataset produce data for components of ``kind``?
+
+    Containers (cluster, DC) are covered indirectly: their features pool
+    the signals of their leaf members.
+    """
+    if kind in dataset_kinds:
+        return True
+    if kind in _CONTAINER_KINDS:
+        return bool(dataset_kinds & set(_LEAF_KINDS))
+    return False
+
+
+def _stats(pooled: np.ndarray) -> np.ndarray:
+    out = np.empty(len(STAT_NAMES))
+    out[0] = pooled.mean()
+    out[1] = pooled.std()
+    out[2] = pooled.min()
+    out[3] = pooled.max()
+    out[4:] = np.percentile(pooled, _PERCENTILES)
+    return out
+
+
+class FeatureBuilder:
+    """Builds feature vectors (and raw pulls for CPD+) per incident."""
+
+    def __init__(
+        self,
+        config: ScoutConfig,
+        topology: Topology,
+        store: MonitoringStore,
+    ) -> None:
+        self.config = config
+        self.topology = topology
+        self.store = store
+        self.schema = FeatureSchema(config, store)
+        # Per-incident memo: cluster/DC/leaf feature groups and CPD+ all
+        # re-query the same (dataset, device, window) series.  Callers
+        # reset it between incidents via clear_cache().
+        self._series_memo: dict = {}
+        self._norm_memo: dict = {}
+        self._events_memo: dict = {}
+
+    def clear_cache(self) -> None:
+        """Reset the per-incident query memo (call between incidents)."""
+        self._series_memo.clear()
+        self._norm_memo.clear()
+        self._events_memo.clear()
+
+    def series(self, locator: str, device: Component, t0: float, t1: float):
+        """Memoized MonitoringStore.query_series."""
+        key = (locator, device.name, t0, t1)
+        if key not in self._series_memo:
+            self._series_memo[key] = self.store.query_series(locator, device, t0, t1)
+        return self._series_memo[key]
+
+    def events(self, locator: str, device: Component, t0: float, t1: float):
+        """Memoized MonitoringStore.query_events."""
+        key = (locator, device.name, t0, t1)
+        if key not in self._events_memo:
+            self._events_memo[key] = self.store.query_events(locator, device, t0, t1)
+        return self._events_memo[key]
+
+    # -- component resolution ----------------------------------------------
+
+    def _observables(
+        self, component: Component, dataset_kinds: frozenset[ComponentKind]
+    ) -> list[Component]:
+        """The concrete devices whose data represents ``component``."""
+        if component.kind in dataset_kinds:
+            return [component]
+        if component.kind not in _CONTAINER_KINDS:
+            return []
+        cache = getattr(self, "_observables_memo", None)
+        if cache is None:
+            cache = self._observables_memo = {}
+        key = (component.name, dataset_kinds)
+        if key in cache:
+            return cache[key]
+        members: list[Component] = []
+        for leaf in sorted(dataset_kinds & set(_LEAF_KINDS)):
+            members.extend(self.topology.members(component.name, leaf))
+        cap = self.config.max_members_per_container
+        if len(members) > cap:
+            # Deterministic, evenly-spaced subsample keeps DC-wide
+            # feature pulls tractable.
+            idx = np.linspace(0, len(members) - 1, cap).astype(int)
+            members = [members[i] for i in idx]
+        cache[key] = members
+        return members
+
+    # -- signal pulls -----------------------------------------------------------
+
+    def _normalized_window(
+        self, locator: str, device: Component, t: float
+    ) -> np.ndarray | None:
+        """The look-back window z-scored against trailing history."""
+        key = (locator, device.name, t)
+        if key in self._norm_memo:
+            return self._norm_memo[key]
+        normalized = self._compute_normalized_window(locator, device, t)
+        self._norm_memo[key] = normalized
+        return normalized
+
+    def _compute_normalized_window(
+        self, locator: str, device: Component, t: float
+    ) -> np.ndarray | None:
+        T = self.config.lookback
+        ref_span = self.config.reference_multiple * T
+        window = self.series(locator, device, t - T, t)
+        if window is None:
+            return None
+        if len(window) == 0:
+            return np.empty(0)
+        reference = self.series(locator, device, t - T - ref_span, t - T)
+        if reference is None or len(reference) < 2:
+            mean, std = window.values.mean(), window.values.std()
+        else:
+            mean, std = reference.values.mean(), reference.values.std()
+        if std == 0.0:
+            std = 1.0
+        return (window.values - mean) / std
+
+    def pull_group(
+        self,
+        group: _TsGroup,
+        components: list[Component],
+        t: float,
+    ) -> tuple[list[np.ndarray], bool]:
+        """Normalized windows for a group; bool marks 'any data source up'."""
+        windows: list[np.ndarray] = []
+        any_active = False
+        for locator in group.locators:
+            if not self.store.is_active(locator):
+                continue
+            dataset_kinds = self.store.schema(locator).component_kinds
+            any_active = True
+            for component in components:
+                for device in self._observables(component, dataset_kinds):
+                    normalized = self._normalized_window(locator, device, t)
+                    if normalized is not None and len(normalized):
+                        windows.append(normalized)
+        return windows, any_active
+
+    def pull_events(
+        self,
+        feature: _EventFeature,
+        components: list[Component],
+        t: float,
+    ) -> float:
+        """Event count for one (dataset, type) over all components; NaN if down."""
+        if not self.store.is_active(feature.locator):
+            return float("nan")
+        T = self.config.lookback
+        dataset_kinds = self.store.schema(feature.locator).component_kinds
+        count = 0
+        for component in components:
+            for device in self._observables(component, dataset_kinds):
+                events = self.events(feature.locator, device, t - T, t)
+                if events is None:
+                    continue
+                count += sum(
+                    1 for etype in events.types if etype == feature.event_type
+                )
+        return float(count)
+
+    # -- the feature vector ----------------------------------------------------
+
+    def features(
+        self, extracted: ExtractedComponents, t: float
+    ) -> np.ndarray:
+        """The fixed-length feature vector for one incident at time ``t``."""
+        vector = np.empty(len(self.schema))
+        pos = 0
+        for group in self.schema.ts_groups:
+            components = extracted.of_kind(group.kind)
+            if not components:
+                vector[pos : pos + len(STAT_NAMES)] = 0.0
+            else:
+                windows, any_active = self.pull_group(group, components, t)
+                if not any_active:
+                    vector[pos : pos + len(STAT_NAMES)] = np.nan
+                elif not windows:
+                    vector[pos : pos + len(STAT_NAMES)] = 0.0
+                else:
+                    vector[pos : pos + len(STAT_NAMES)] = _stats(
+                        np.concatenate(windows)
+                    )
+            pos += len(STAT_NAMES)
+        for feature in self.schema.event_features:
+            components = extracted.of_kind(feature.kind)
+            if not components:
+                vector[pos] = 0.0
+            else:
+                vector[pos] = self.pull_events(feature, components, t)
+            pos += 1
+        for kind in self.config.kinds:
+            vector[pos] = float(len(extracted.of_kind(kind)))
+            pos += 1
+        return vector

@@ -1,0 +1,107 @@
+"""Scout persistence.
+
+The deployed system's lifecycle (§6): Resource Central trains models
+offline, puts them "in a highly available storage system", and serves
+them online.  This module is that storage hop: a fitted Scout's *model
+state* (forest, imputer, selector, CPD+ cluster model) is saved to one
+file and later re-attached to a live environment (topology + monitoring
+store), which is how the online serving component works — models move,
+monitoring data does not.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config.spec import ScoutConfig
+from ..datacenter.topology import Topology
+from ..monitoring.store import MonitoringStore
+from .cpd_plus import CPDPlus
+from .extraction import ComponentExtractor
+from .features import FeatureBuilder
+from .scout import Scout
+
+__all__ = ["ScoutBundle", "save_scout", "load_scout", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+_MAGIC = b"SCOUTPKL"
+
+
+@dataclass
+class ScoutBundle:
+    """The serializable model state of a fitted Scout."""
+
+    format_version: int
+    team: str
+    config: ScoutConfig
+    forest: object
+    imputer: object
+    selector: object
+    cpd_cluster_rf: object
+    cpd_handful_threshold: int
+    cpd_fallback_threshold: float
+
+
+def _bundle(scout: Scout) -> ScoutBundle:
+    return ScoutBundle(
+        format_version=FORMAT_VERSION,
+        team=scout.team,
+        config=scout.config,
+        forest=scout.forest,
+        imputer=scout.imputer,
+        selector=scout.selector,
+        cpd_cluster_rf=scout.cpd._cluster_rf,
+        cpd_handful_threshold=scout.cpd.handful_threshold,
+        cpd_fallback_threshold=scout.cpd.fallback_threshold,
+    )
+
+
+def save_scout(scout: Scout, path: str | Path) -> None:
+    """Serialize a fitted Scout's model state to ``path``."""
+    buffer = io.BytesIO()
+    buffer.write(_MAGIC)
+    pickle.dump(_bundle(scout), buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    Path(path).write_bytes(buffer.getvalue())
+
+
+def load_scout(
+    path: str | Path,
+    topology: Topology,
+    store: MonitoringStore,
+) -> Scout:
+    """Load a Scout and attach it to a live monitoring environment.
+
+    Raises ``ValueError`` for non-Scout files or incompatible format
+    versions — a corrupted model store must fail loudly, not serve
+    garbage predictions.
+    """
+    raw = Path(path).read_bytes()
+    if not raw.startswith(_MAGIC):
+        raise ValueError(f"{path}: not a Scout bundle")
+    bundle = pickle.loads(raw[len(_MAGIC):])
+    if not isinstance(bundle, ScoutBundle):
+        raise ValueError(f"{path}: unexpected payload type")
+    if bundle.format_version != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: format version {bundle.format_version} "
+            f"(this build reads {FORMAT_VERSION})"
+        )
+    builder = FeatureBuilder(bundle.config, topology, store)
+    cpd = CPDPlus(
+        builder,
+        handful_threshold=bundle.cpd_handful_threshold,
+        fallback_threshold=bundle.cpd_fallback_threshold,
+    )
+    cpd._cluster_rf = bundle.cpd_cluster_rf
+    return Scout(
+        config=bundle.config,
+        extractor=ComponentExtractor(bundle.config, topology),
+        builder=builder,
+        selector=bundle.selector,
+        forest=bundle.forest,
+        imputer=bundle.imputer,
+        cpd=cpd,
+    )

@@ -1,0 +1,195 @@
+"""The Scout — a team's ML-assisted gate-keeper (§4, Figure 5).
+
+A fitted Scout answers, for one incident: *is this team responsible?*
+The answer carries an independent confidence score and an explanation
+(§4).  The end-to-end pipeline (§5.3):
+
+1. extract components from the incident text (config regexes +
+   dependency expansion);
+2. apply EXCLUDE rules; fall back to legacy routing when no component
+   is found;
+3. the model selector picks the supervised RF (common incidents) or
+   CPD+ (new/rare incidents);
+4. the chosen model classifies, and the verdict is explained.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config.spec import ScoutConfig
+from ..incidents.incident import Incident
+from ..ml.forest import RandomForestClassifier
+from ..ml.preprocessing import MeanImputer
+from .cpd_plus import CPDPlus
+from .dataset import ScoutExample
+from .explain import Explanation, explain_forest, render_report
+from .extraction import ComponentExtractor, ExtractedComponents
+from .features import FeatureBuilder
+from .selector import ModelSelector, Route
+
+__all__ = ["ScoutPrediction", "Scout"]
+
+
+@dataclass
+class ScoutPrediction:
+    """One Scout verdict.
+
+    ``responsible`` is None when the Scout abstains (fallback to the
+    legacy routing process).
+    """
+
+    incident_id: int
+    responsible: bool | None
+    confidence: float
+    route: Route
+    explanation: Explanation = field(default_factory=Explanation)
+    novelty: float = 0.0
+
+    def report(self, team: str) -> str:
+        """The operator-facing recommendation text (§8)."""
+        return render_report(team, self.responsible, self.confidence, self.explanation)
+
+
+class Scout:
+    """A fitted per-team incident gate-keeper."""
+
+    def __init__(
+        self,
+        config: ScoutConfig,
+        extractor: ComponentExtractor,
+        builder: FeatureBuilder,
+        selector: ModelSelector,
+        forest: RandomForestClassifier,
+        imputer: MeanImputer,
+        cpd: CPDPlus,
+    ) -> None:
+        self.config = config
+        self.extractor = extractor
+        self.builder = builder
+        self.selector = selector
+        self.forest = forest
+        self.imputer = imputer
+        self.cpd = cpd
+
+    @property
+    def team(self) -> str:
+        return self.config.team
+
+    # -- live prediction -----------------------------------------------------
+
+    def predict(self, incident: Incident) -> ScoutPrediction:
+        """Run the full pipeline, pulling monitoring data live."""
+        self.builder.clear_cache()
+        extracted = self.extractor.extract(incident.text)
+        decision = self.selector.decide(incident.title, incident.body, extracted)
+        if decision.route is Route.EXCLUDED:
+            return ScoutPrediction(
+                incident.incident_id,
+                responsible=False,
+                confidence=1.0,
+                route=Route.EXCLUDED,
+                explanation=Explanation(notes=[decision.reason]),
+            )
+        if decision.route is Route.FALLBACK:
+            return ScoutPrediction(
+                incident.incident_id,
+                responsible=None,
+                confidence=0.0,
+                route=Route.FALLBACK,
+                explanation=Explanation(notes=[decision.reason]),
+            )
+        if decision.route is Route.UNSUPERVISED:
+            return self._predict_cpd(incident, extracted, decision.novelty)
+        features = self.builder.features(extracted, incident.created_at)
+        return self._predict_forest(incident, extracted, features, decision.novelty)
+
+    # -- cached prediction ------------------------------------------------------
+
+    def predict_example(self, example: ScoutExample) -> ScoutPrediction:
+        """Predict from a pre-computed :class:`ScoutExample`."""
+        incident = example.incident
+        if example.static_route is Route.EXCLUDED:
+            return ScoutPrediction(
+                incident.incident_id, False, 1.0, Route.EXCLUDED
+            )
+        if example.static_route is Route.FALLBACK:
+            return ScoutPrediction(
+                incident.incident_id, None, 0.0, Route.FALLBACK
+            )
+        novelty = self.selector.novelty(incident.text)
+        if novelty > self.selector.novelty_threshold:
+            return self._cpd_verdict_from_cache(example, novelty)
+        return self._predict_forest(
+            incident, example.extracted, example.features, novelty
+        )
+
+    # -- model paths -----------------------------------------------------------------
+
+    def _predict_forest(
+        self,
+        incident: Incident,
+        extracted: ExtractedComponents,
+        features: np.ndarray,
+        novelty: float,
+    ) -> ScoutPrediction:
+        row = self.imputer.transform(features.reshape(1, -1))
+        proba = self.forest.predict_proba(row)[0]
+        classes = list(self.forest.classes_)
+        p_responsible = proba[classes.index(1)] if 1 in classes else 0.0
+        responsible = p_responsible >= 0.5
+        explanation = Explanation(
+            components=[c.name for c in extracted.mentioned],
+            datasets=[ref.locator for ref in self.config.monitoring],
+        )
+        if responsible:
+            explanation.attributions = explain_forest(
+                self.forest, self.builder.schema, row[0], predicted_class=1
+            )
+        return ScoutPrediction(
+            incident.incident_id,
+            responsible=bool(responsible),
+            confidence=float(max(p_responsible, 1.0 - p_responsible)),
+            route=Route.SUPERVISED,
+            explanation=explanation,
+            novelty=novelty,
+        )
+
+    def _predict_cpd(
+        self,
+        incident: Incident,
+        extracted: ExtractedComponents,
+        novelty: float,
+    ) -> ScoutPrediction:
+        verdict = self.cpd.predict(extracted, incident.created_at)
+        return ScoutPrediction(
+            incident.incident_id,
+            responsible=verdict.responsible,
+            confidence=verdict.confidence,
+            route=Route.UNSUPERVISED,
+            explanation=Explanation(
+                components=[c.name for c in extracted.mentioned],
+                triggers=list(verdict.triggers),
+            ),
+            novelty=novelty,
+        )
+
+    def _cpd_verdict_from_cache(
+        self, example: ScoutExample, novelty: float
+    ) -> ScoutPrediction:
+        verdict = self.cpd.verdict_from_signals(
+            example.extracted, example.signals, example.triggers
+        )
+        return ScoutPrediction(
+            example.incident.incident_id,
+            responsible=verdict.responsible,
+            confidence=verdict.confidence,
+            route=Route.UNSUPERVISED,
+            explanation=Explanation(
+                components=[c.name for c in example.extracted.mentioned],
+                triggers=list(verdict.triggers[:5]),
+            ),
+            novelty=novelty,
+        )

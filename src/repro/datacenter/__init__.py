@@ -1,0 +1,28 @@
+"""Datacenter topology substrate: components, naming, dependency graph."""
+
+from .components import Component, ComponentKind
+from .naming import (
+    DEFAULT_NAME_PATTERNS,
+    cluster_name,
+    dc_name,
+    kind_of_name,
+    server_name,
+    switch_name,
+    vm_name,
+)
+from .topology import Topology, TopologySpec, build_topology
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "DEFAULT_NAME_PATTERNS",
+    "Topology",
+    "TopologySpec",
+    "build_topology",
+    "cluster_name",
+    "dc_name",
+    "kind_of_name",
+    "server_name",
+    "switch_name",
+    "vm_name",
+]

@@ -1,0 +1,61 @@
+"""Component identity model for the synthetic cloud.
+
+The paper's Scouts reason about *components* — "DC sub-systems such as
+VMs, switches, and servers" (§5.1).  Every component has a *kind* (the
+paper's component type: the PhyNet config declares VM, server, switch,
+cluster, DC) and a machine-generated hierarchical name.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ComponentKind", "Component"]
+
+
+class ComponentKind(str, enum.Enum):
+    """Component types known to the topology abstraction."""
+
+    VM = "vm"
+    SERVER = "server"
+    SWITCH = "switch"
+    CLUSTER = "cluster"
+    DC = "dc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Component:
+    """One addressable component of the datacenter.
+
+    ``name`` is the fully-qualified machine name (e.g. ``vm-3.c10.dc3``)
+    that incident text refers to; components are compared by name so the
+    same component extracted from two incidents is equal.
+    """
+
+    kind: ComponentKind
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("component name must be non-empty")
+
+    @property
+    def cluster_name(self) -> str | None:
+        """The ``cK.dcJ`` suffix for components below cluster level."""
+        parts = self.name.split(".")
+        for i, part in enumerate(parts):
+            if part.startswith("c") and part[1:].isdigit():
+                return ".".join(parts[i:])
+        return None
+
+    @property
+    def dc_name(self) -> str:
+        """The trailing ``dcJ`` label."""
+        return self.name.split(".")[-1]
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.name}"

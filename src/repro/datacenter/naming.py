@@ -1,0 +1,86 @@
+"""Machine-generated component names and the regexes that extract them.
+
+The paper: "Operators typically use machine-generated names for these
+components and can specify how they can be extracted from the incident
+using regular expressions" (§5.1).  Our synthetic cloud uses a
+consistent naming scheme so both the generators and the Scout config
+agree:
+
+========  ==========================  =======================
+kind      format                      example
+========  ==========================  =======================
+DC        ``dc<j>``                   ``dc3``
+cluster   ``c<k>.dc<j>``              ``c10.dc3``
+switch    ``sw-<role><i>.c<k>.dc<j>`` ``sw-tor4.c10.dc3``
+server    ``srv-<i>.c<k>.dc<j>``      ``srv-17.c10.dc3``
+VM        ``vm-<i>.c<k>.dc<j>``       ``vm-42.c10.dc3``
+========  ==========================  =======================
+"""
+
+from __future__ import annotations
+
+from .components import ComponentKind
+
+__all__ = [
+    "dc_name",
+    "cluster_name",
+    "switch_name",
+    "server_name",
+    "vm_name",
+    "DEFAULT_NAME_PATTERNS",
+    "kind_of_name",
+]
+
+# Switch roles in a cluster: top-of-rack, aggregation, spine.
+SWITCH_ROLES = ("tor", "agg", "spine")
+
+
+def dc_name(dc: int) -> str:
+    return f"dc{dc}"
+
+
+def cluster_name(cluster: int, dc: int) -> str:
+    return f"c{cluster}.{dc_name(dc)}"
+
+
+def switch_name(role: str, index: int, cluster: int, dc: int) -> str:
+    if role not in SWITCH_ROLES:
+        raise ValueError(f"unknown switch role: {role!r}")
+    return f"sw-{role}{index}.{cluster_name(cluster, dc)}"
+
+
+def server_name(index: int, cluster: int, dc: int) -> str:
+    return f"srv-{index}.{cluster_name(cluster, dc)}"
+
+
+def vm_name(index: int, cluster: int, dc: int) -> str:
+    return f"vm-{index}.{cluster_name(cluster, dc)}"
+
+
+# The extraction regexes a PhyNet-style Scout config would declare
+# (``let VM = <regex>;`` in §5.1).  Cluster/DC patterns use word
+# boundaries with negative lookbehind so that the embedded suffix of a
+# VM name does not double as a standalone cluster mention — the cluster
+# is still reachable through dependency expansion.
+DEFAULT_NAME_PATTERNS: dict[ComponentKind, str] = {
+    ComponentKind.VM: r"\bvm-\d+\.c\d+\.dc\d+\b",
+    ComponentKind.SERVER: r"\bsrv-\d+\.c\d+\.dc\d+\b",
+    ComponentKind.SWITCH: r"\bsw-(?:tor|agg|spine)\d+\.c\d+\.dc\d+\b",
+    ComponentKind.CLUSTER: r"(?<![.\w-])c\d+\.dc\d+\b",
+    ComponentKind.DC: r"(?<![.\w-])dc\d+\b",
+}
+
+
+def kind_of_name(name: str) -> ComponentKind | None:
+    """Classify a fully-qualified name by its prefix."""
+    if name.startswith("vm-"):
+        return ComponentKind.VM
+    if name.startswith("srv-"):
+        return ComponentKind.SERVER
+    if name.startswith("sw-"):
+        return ComponentKind.SWITCH
+    if name.startswith("c") and "." in name and name.split(".")[0][1:].isdigit():
+        return ComponentKind.CLUSTER
+    if name.startswith("dc") and name[2:].isdigit():
+        return ComponentKind.DC
+    return None

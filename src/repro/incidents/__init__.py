@@ -1,0 +1,16 @@
+"""Incident substrate: incident model, routing traces, text generation."""
+
+from .incident import Incident, IncidentSource, Severity
+from .routing import RoutingHop, RoutingTrace
+from .store import IncidentStore
+from .text_gen import IncidentTextGenerator
+
+__all__ = [
+    "Incident",
+    "IncidentSource",
+    "IncidentStore",
+    "IncidentTextGenerator",
+    "RoutingHop",
+    "RoutingTrace",
+    "Severity",
+]

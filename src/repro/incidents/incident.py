@@ -1,0 +1,80 @@
+"""The incident model.
+
+"Incidents constitute unintended behavior that can potentially impact
+service availability and performance. Incidents are reported by
+customers, automated watchdogs, or discovered and reported manually by
+operators." (§2)
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "IncidentSource", "Incident"]
+
+
+class Severity(enum.IntEnum):
+    """Incident severity. §3: all teams engage on the highest severity."""
+
+    LOW = 0
+    MEDIUM = 1
+    HIGH = 2
+
+
+class IncidentSource(str, enum.Enum):
+    """How the incident was created (§2, Figure 1)."""
+
+    CUSTOMER = "customer"            # CRI via the 24x7 support team
+    OWN_MONITOR = "own_monitor"      # the studied team's own watchdogs
+    OTHER_MONITOR = "other_monitor"  # another team's watchdogs
+
+
+@dataclass
+class Incident:
+    """One incident, as the Scout and the routing simulators see it.
+
+    ``responsible_team`` is the ground-truth owner (the team that found
+    the root cause); ``recorded_team`` is the possibly-noisy label the
+    incident-management system stores (§8: "Not all incidents have the
+    right label").  ``scenario`` names the failure scenario that
+    generated it — analysis-only metadata a real Scout would not have.
+    """
+
+    incident_id: int
+    created_at: float  # seconds since simulation epoch
+    title: str
+    body: str
+    severity: Severity
+    source: IncidentSource
+    source_team: str               # team whose monitor created it ("" for CRIs)
+    responsible_team: str
+    recorded_team: str = ""
+    scenario: str = ""
+    annotations: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.title and not self.body:
+            raise ValueError("incident must have some text")
+        if not self.recorded_team:
+            self.recorded_team = self.responsible_team
+
+    @property
+    def text(self) -> str:
+        """Full searchable text (title + body)."""
+        return f"{self.title}\n{self.body}"
+
+    def is_responsible(self, team: str) -> bool:
+        return self.responsible_team == team
+
+    def label(self, team: str) -> int:
+        """Scout training label: 1 if ``team`` is responsible else 0.
+
+        Uses the *recorded* owner — what a production training pipeline
+        would actually have (§8).
+        """
+        return int(self.recorded_team == team)
+
+    def true_label(self, team: str) -> int:
+        """Ground-truth label, for measuring label-noise effects."""
+        return int(self.responsible_team == team)

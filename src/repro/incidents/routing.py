@@ -1,0 +1,92 @@
+"""Routing traces: the path an incident took through teams.
+
+The paper's internal logs "include records of the teams the incident
+was routed through, the time spent in each team" (§3).  A
+:class:`RoutingTrace` is that record for one incident; the §7 metrics
+(gain-in/out, overhead-in/out) are all defined over these traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["RoutingHop", "RoutingTrace"]
+
+
+@dataclass(frozen=True)
+class RoutingHop:
+    """One team's stint investigating an incident."""
+
+    team: str
+    time_spent: float  # hours of investigation at this team
+
+    def __post_init__(self) -> None:
+        if self.time_spent < 0:
+            raise ValueError("time_spent must be non-negative")
+
+
+@dataclass
+class RoutingTrace:
+    """The ordered sequence of teams an incident visited.
+
+    The last hop is the team that resolved the incident.  ``hops`` with
+    a single entry means the incident was routed correctly on the first
+    try.
+    """
+
+    incident_id: int
+    hops: list[RoutingHop] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("a routing trace needs at least one hop")
+
+    @property
+    def teams(self) -> list[str]:
+        return [hop.team for hop in self.hops]
+
+    @property
+    def resolved_by(self) -> str:
+        return self.hops[-1].team
+
+    @property
+    def first_team(self) -> str:
+        return self.hops[0].team
+
+    @property
+    def n_teams(self) -> int:
+        """Distinct teams that investigated."""
+        return len(set(self.teams))
+
+    @property
+    def total_time(self) -> float:
+        return sum(hop.time_spent for hop in self.hops)
+
+    @property
+    def mis_routed(self) -> bool:
+        """True when any team other than the resolver spent time."""
+        return any(hop.team != self.resolved_by for hop in self.hops)
+
+    def time_at(self, team: str) -> float:
+        return sum(hop.time_spent for hop in self.hops if hop.team == team)
+
+    def time_before(self, team: str) -> float:
+        """Investigation time burned before the incident reached ``team``.
+
+        This is the §3/Figure 3 quantity: the reduction a perfect router
+        would achieve by sending the incident straight to ``team``.
+        Returns the full duration if the incident never reached it.
+        """
+        elapsed = 0.0
+        for hop in self.hops:
+            if hop.team == team:
+                return elapsed
+            elapsed += hop.time_spent
+        return elapsed
+
+    def visited(self, team: str) -> bool:
+        return team in set(self.teams)
+
+    def was_waypoint(self, team: str) -> bool:
+        """True if ``team`` investigated but did not resolve (Figure 4)."""
+        return self.visited(team) and self.resolved_by != team

@@ -1,0 +1,170 @@
+"""Incident dataset container with the paper's split protocols."""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Iterable, Iterator
+from dataclasses import asdict
+
+import numpy as np
+
+from ..ml.validation import imbalance_aware_split, time_based_windows
+from .incident import Incident, IncidentSource, Severity
+from .routing import RoutingHop, RoutingTrace
+
+__all__ = ["IncidentStore"]
+
+
+class IncidentStore:
+    """An ordered collection of incidents plus their routing traces."""
+
+    def __init__(
+        self,
+        incidents: Iterable[Incident] = (),
+        traces: Iterable[RoutingTrace] = (),
+    ) -> None:
+        self._incidents: list[Incident] = list(incidents)
+        self._traces: dict[int, RoutingTrace] = {
+            trace.incident_id: trace for trace in traces
+        }
+        ids = [incident.incident_id for incident in self._incidents]
+        if len(set(ids)) != len(ids):
+            raise ValueError("duplicate incident ids")
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._incidents)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(self._incidents)
+
+    def __getitem__(self, index: int) -> Incident:
+        return self._incidents[index]
+
+    def add(self, incident: Incident, trace: RoutingTrace | None = None) -> None:
+        if any(i.incident_id == incident.incident_id for i in self._incidents):
+            raise ValueError(f"duplicate incident id {incident.incident_id}")
+        self._incidents.append(incident)
+        if trace is not None:
+            if trace.incident_id != incident.incident_id:
+                raise ValueError("trace does not match incident")
+            self._traces[incident.incident_id] = trace
+
+    def trace(self, incident_id: int) -> RoutingTrace | None:
+        return self._traces.get(incident_id)
+
+    # -- views ----------------------------------------------------------------
+
+    def subset(self, indices) -> "IncidentStore":
+        incidents = [self._incidents[int(i)] for i in indices]
+        traces = [
+            self._traces[incident.incident_id]
+            for incident in incidents
+            if incident.incident_id in self._traces
+        ]
+        return IncidentStore(incidents, traces)
+
+    def filter(self, predicate) -> "IncidentStore":
+        keep = [i for i, inc in enumerate(self._incidents) if predicate(inc)]
+        return IncidentStore(
+            [self._incidents[i] for i in keep],
+            [
+                self._traces[self._incidents[i].incident_id]
+                for i in keep
+                if self._incidents[i].incident_id in self._traces
+            ],
+        )
+
+    def labels(self, team: str) -> np.ndarray:
+        return np.array([incident.label(team) for incident in self._incidents])
+
+    def timestamps(self) -> np.ndarray:
+        return np.array([incident.created_at for incident in self._incidents])
+
+    def texts(self) -> list[str]:
+        return [incident.text for incident in self._incidents]
+
+    # -- paper split protocols -------------------------------------------------
+
+    def paper_split(
+        self, team: str, rng=None
+    ) -> tuple["IncidentStore", "IncidentStore"]:
+        """§7's imbalance-aware random split (50% pos / 35% neg train)."""
+        train_idx, test_idx = imbalance_aware_split(self.labels(team), rng=rng)
+        return self.subset(train_idx), self.subset(test_idx)
+
+    def time_windows(
+        self,
+        retrain_interval_days: float,
+        history_days: float | None = None,
+        warmup_days: float | None = None,
+    ) -> list[tuple["IncidentStore", "IncidentStore"]]:
+        """§7.3's rolling retraining windows, in days."""
+        day = 86400.0
+        windows = time_based_windows(
+            self.timestamps(),
+            retrain_interval=retrain_interval_days * day,
+            history_window=None if history_days is None else history_days * day,
+            warmup=None if warmup_days is None else warmup_days * day,
+        )
+        return [
+            (self.subset(train_idx), self.subset(eval_idx))
+            for train_idx, eval_idx in windows
+        ]
+
+    # -- (de)serialization -------------------------------------------------------
+
+    def to_json(self) -> str:
+        payload = {
+            "incidents": [
+                {
+                    **asdict(incident),
+                    "severity": int(incident.severity),
+                    "source": incident.source.value,
+                }
+                for incident in self._incidents
+            ],
+            "traces": [
+                {
+                    "incident_id": trace.incident_id,
+                    "hops": [
+                        {"team": hop.team, "time_spent": hop.time_spent}
+                        for hop in trace.hops
+                    ],
+                }
+                for trace in self._traces.values()
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "IncidentStore":
+        payload = json.loads(text)
+        incidents = [
+            Incident(
+                incident_id=item["incident_id"],
+                created_at=item["created_at"],
+                title=item["title"],
+                body=item["body"],
+                severity=Severity(item["severity"]),
+                source=IncidentSource(item["source"]),
+                source_team=item["source_team"],
+                responsible_team=item["responsible_team"],
+                recorded_team=item["recorded_team"],
+                scenario=item.get("scenario", ""),
+                annotations=item.get("annotations", {}),
+            )
+            for item in payload["incidents"]
+        ]
+        traces = [
+            RoutingTrace(
+                incident_id=item["incident_id"],
+                hops=[
+                    RoutingHop(hop["team"], hop["time_spent"])
+                    for hop in item["hops"]
+                ],
+            )
+            for item in payload["traces"]
+        ]
+        return cls(incidents, traces)

@@ -1,0 +1,142 @@
+"""Synthetic incident-description generation.
+
+Incident text in the wild is messy: "the text of the incident often
+describes the symptoms observed but does not reflect the actual state
+of the network's components; [and] it is often noisy — it contains logs
+of conversation which often lead the ML model astray" (§7).  The
+generator reproduces both properties: the wording follows the
+*observed symptom* (which correlates with the team whose watchdog
+fired, not necessarily the responsible team), and optional
+conversation-noise paragraphs mention unrelated teams and components.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.base import as_rng
+
+__all__ = ["IncidentTextGenerator"]
+
+# Symptom phrasebook keyed by symptom tag.  Scenarios declare which
+# symptom the watchdog (or customer) observed.
+_SYMPTOM_TEMPLATES: dict[str, list[str]] = {
+    "connectivity_loss": [
+        "Customers report intermittent connection failures to {targets}.",
+        "Probes show packet loss reaching {targets}.",
+        "Connectivity to {targets} is degraded; retries exceed threshold.",
+    ],
+    "latency": [
+        "Latency alert: round-trip times to {targets} exceed the SLA.",
+        "P99 latency regression detected involving {targets}.",
+        "Slow responses observed when reaching {targets}.",
+    ],
+    "storage_failure": [
+        "Virtual disk failures across {targets}; IO requests time out.",
+        "Storage account access errors observed on {targets}.",
+        "Customers cannot mount file-shares backed by {targets}.",
+    ],
+    "vm_crash": [
+        "VMs on {targets} are rebooting frequently.",
+        "Unexpected VM restarts detected on {targets}.",
+        "Guest OS heartbeats lost for VMs on {targets}.",
+    ],
+    "dns_failure": [
+        "Name resolution failures for services in {targets}.",
+        "DNS lookups time out for records served from {targets}.",
+    ],
+    "lb_failure": [
+        "Virtual IP availability drop behind the load balancer in {targets}.",
+        "SLB health probes fail for backends in {targets}.",
+    ],
+    "auth_failure": [
+        "Login attempts fail for tenants homed in {targets}.",
+        "Token issuance errors for workloads in {targets}.",
+    ],
+    "throughput": [
+        "Throughput collapse on flows crossing {targets}.",
+        "RDMA transfers stall between endpoints in {targets}.",
+    ],
+    "hardware": [
+        "Hardware health alert raised for {targets}.",
+        "Device diagnostics report faults on {targets}.",
+    ],
+    "db_errors": [
+        "Database query timeouts for instances on {targets}.",
+        "Replication lag spike for databases hosted on {targets}.",
+    ],
+}
+
+_WATCHDOG_PREFIX = [
+    "[auto] Watchdog {monitor} triggered.",
+    "[auto] Alert fired by {monitor}.",
+    "[auto] {monitor} detected an anomaly.",
+]
+
+_CRI_PREFIX = [
+    "Support ticket from customer.",
+    "Customer reported via support portal.",
+    "Escalation from 24x7 support.",
+]
+
+_NOISE_SENTENCES = [
+    "Engineer joined the bridge and is collecting traces.",
+    "Mitigation attempt: restarted the agent, no improvement.",
+    "Please attach recent deployment history to this ticket.",
+    "Linked to parent work item for tracking.",
+    "Customer impact is under assessment.",
+    "Previous similar issue was resolved by another team.",
+    "Checked dashboards, nothing obvious on the host metrics.",
+    "DNS looks clean per resolver logs.",
+    "Possibly related to the ongoing fabric rollout.",
+    "Escalating per runbook after 30 minutes without progress.",
+]
+
+
+class IncidentTextGenerator:
+    """Renders incident titles/bodies from scenario metadata."""
+
+    def __init__(self, rng: int | np.random.Generator | None = None) -> None:
+        self._rng = as_rng(rng)
+
+    def _pick(self, options: list[str]) -> str:
+        return options[int(self._rng.integers(len(options)))]
+
+    def render(
+        self,
+        symptom: str,
+        component_names: list[str],
+        from_monitor: str | None = None,
+        noise_sentences: int = 2,
+        omit_components: bool = False,
+        detail: str | None = None,
+    ) -> tuple[str, str]:
+        """Return ``(title, body)`` for one incident.
+
+        ``omit_components`` models CRIs that "often do not include
+        necessary information" (§7.4): the component names are withheld
+        from the text entirely.  ``detail`` is the diagnostic phrasing a
+        team's *own* watchdog emits (team-specific vocabulary); it is
+        absent when another team's monitor — which only sees the
+        symptom — created the incident.
+        """
+        if symptom not in _SYMPTOM_TEMPLATES:
+            raise ValueError(f"unknown symptom tag: {symptom!r}")
+        if omit_components or not component_names:
+            targets = "the affected resources"
+        else:
+            shown = list(component_names)
+            self._rng.shuffle(shown)
+            targets = ", ".join(shown[:4])
+        headline = self._pick(_SYMPTOM_TEMPLATES[symptom]).format(targets=targets)
+        if from_monitor:
+            prefix = self._pick(_WATCHDOG_PREFIX).format(monitor=from_monitor)
+        else:
+            prefix = self._pick(_CRI_PREFIX)
+        title = headline.split(";")[0].split(".")[0]
+        body_parts = [prefix, headline]
+        if detail:
+            body_parts.append(detail)
+        for _ in range(noise_sentences):
+            body_parts.append(self._pick(_NOISE_SENTENCES))
+        return title, " ".join(body_parts)

@@ -1,0 +1,82 @@
+"""From-scratch ML substrate for the Scouts reproduction.
+
+Every model the paper references — the Scout's random forest, the CPD+
+change-point machinery, the model-selector alternatives of Figure 8, and
+the Table 4 comparison classifiers — implemented on numpy.
+"""
+
+from .adaboost import AdaBoostClassifier
+from .base import Classifier, Estimator, NotFittedError, as_rng
+from .cpd import ChangePoint, CusumDetector, EDivisive, energy_statistic
+from .forest import RandomForestClassifier
+from .gbdt import GradientBoostingClassifier, RegressionTree
+from .inspection import permutation_importance
+from .knn import KNeighborsClassifier
+from .linear import LogisticRegression
+from .metrics import (
+    BinaryReport,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from .mlp import MLPClassifier
+from .naive_bayes import GaussianNB, MultinomialNB
+from .preprocessing import (
+    MeanImputer,
+    MinMaxScaler,
+    StandardScaler,
+    normalize_series,
+)
+from .qda import QuadraticDiscriminantAnalysis
+from .svm import OneClassSVM, polynomial_kernel, rbf_kernel
+from .text import CountVectorizer, TfidfVectorizer, important_words, tokenize
+from .tree import DecisionTreeClassifier, TreeNode
+from .validation import imbalance_aware_split, time_based_windows, train_test_split
+
+__all__ = [
+    "AdaBoostClassifier",
+    "BinaryReport",
+    "ChangePoint",
+    "Classifier",
+    "CountVectorizer",
+    "CusumDetector",
+    "DecisionTreeClassifier",
+    "EDivisive",
+    "Estimator",
+    "GaussianNB",
+    "GradientBoostingClassifier",
+    "RegressionTree",
+    "permutation_importance",
+    "KNeighborsClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "MeanImputer",
+    "MinMaxScaler",
+    "MultinomialNB",
+    "NotFittedError",
+    "OneClassSVM",
+    "QuadraticDiscriminantAnalysis",
+    "RandomForestClassifier",
+    "StandardScaler",
+    "TfidfVectorizer",
+    "TreeNode",
+    "accuracy_score",
+    "as_rng",
+    "classification_report",
+    "confusion_matrix",
+    "energy_statistic",
+    "f1_score",
+    "imbalance_aware_split",
+    "important_words",
+    "normalize_series",
+    "polynomial_kernel",
+    "precision_score",
+    "rbf_kernel",
+    "recall_score",
+    "time_based_windows",
+    "tokenize",
+    "train_test_split",
+]

@@ -1,0 +1,90 @@
+"""AdaBoost (SAMME) over decision stumps.
+
+Used both as a Table 4 comparison model and as one of the candidate
+model-selector ("decider") algorithms in Figure 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, as_rng, check_Xy, check_matrix
+from .tree import DecisionTreeClassifier
+
+__all__ = ["AdaBoostClassifier"]
+
+
+class AdaBoostClassifier(Classifier):
+    """Discrete AdaBoost with shallow-tree weak learners (SAMME)."""
+
+    def __init__(
+        self,
+        n_estimators: int = 50,
+        learning_rate: float = 1.0,
+        base_max_depth: int = 1,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.base_max_depth = base_max_depth
+        self._rng = as_rng(rng)
+
+    def fit(self, X, y) -> "AdaBoostClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n = len(encoded)
+        n_classes = len(self.classes_)
+        weights = np.full(n, 1.0 / n)
+        self.estimators_: list[DecisionTreeClassifier] = []
+        self.estimator_weights_: list[float] = []
+        for _ in range(self.n_estimators):
+            stump = DecisionTreeClassifier(
+                max_depth=self.base_max_depth, rng=self._rng
+            )
+            stump.fit(X, encoded, sample_weight=weights)
+            pred = stump.predict(X)
+            miss = pred != encoded
+            err = float(weights[miss].sum())
+            if err <= 1e-12:
+                # Perfect weak learner: take it with a large weight, stop.
+                self.estimators_.append(stump)
+                self.estimator_weights_.append(10.0)
+                break
+            if err >= 1.0 - 1.0 / n_classes:
+                # Worse than chance — boosting cannot continue.
+                break
+            alpha = self.learning_rate * (
+                np.log((1.0 - err) / err) + np.log(n_classes - 1.0)
+            )
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(float(alpha))
+            weights *= np.exp(alpha * miss)
+            weights /= weights.sum()
+        if not self.estimators_:
+            # Degenerate data: fall back to a single stump so that
+            # predict() still works.
+            stump = DecisionTreeClassifier(
+                max_depth=self.base_max_depth, rng=self._rng
+            )
+            stump.fit(X, encoded)
+            self.estimators_.append(stump)
+            self.estimator_weights_.append(1.0)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        n_classes = len(self.classes_)
+        scores = np.zeros((X.shape[0], n_classes))
+        for stump, alpha in zip(self.estimators_, self.estimator_weights_):
+            pred = stump.predict(X).astype(int)
+            scores[np.arange(X.shape[0]), pred] += alpha
+        total = scores.sum(axis=1, keepdims=True)
+        total[total == 0.0] = 1.0
+        return scores / total

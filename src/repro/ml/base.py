@@ -1,0 +1,99 @@
+"""Base classes and utilities shared by all from-scratch ML models.
+
+scikit-learn is not available in this environment, so the :mod:`repro.ml`
+package re-implements every model the paper references on top of numpy.
+The estimator protocol intentionally mirrors sklearn's ``fit`` /
+``predict`` / ``predict_proba`` so readers familiar with that API can
+follow along.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "Estimator",
+    "Classifier",
+    "NotFittedError",
+    "check_matrix",
+    "check_Xy",
+    "as_rng",
+]
+
+
+class NotFittedError(RuntimeError):
+    """Raised when ``predict`` is called before ``fit``."""
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a numpy Generator from a seed, Generator, or None."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_matrix(X) -> np.ndarray:
+    """Coerce ``X`` to a 2-D float array, validating its shape."""
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D feature matrix, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError("feature matrix has no rows")
+    return X
+
+
+def check_Xy(X, y) -> tuple[np.ndarray, np.ndarray]:
+    """Coerce and validate a training pair ``(X, y)``."""
+    X = check_matrix(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"expected a 1-D label vector, got shape {y.shape}")
+    if len(y) != X.shape[0]:
+        raise ValueError(
+            f"X has {X.shape[0]} rows but y has {len(y)} labels"
+        )
+    return X, y
+
+
+class Estimator:
+    """Minimal estimator protocol: ``fit`` returns ``self``."""
+
+    _fitted = False
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} must be fitted before use"
+            )
+
+
+class Classifier(Estimator):
+    """A classifier over arbitrary (hashable) class labels.
+
+    Subclasses must set ``classes_`` during ``fit`` and implement
+    ``predict_proba``; ``predict`` is derived from it.
+    """
+
+    classes_: np.ndarray
+
+    def fit(self, X, y):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict_proba(self, X) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def predict(self, X) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return integer-encoded labels."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        return encoded
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        y = np.asarray(y)
+        return float(np.mean(self.predict(X) == y))

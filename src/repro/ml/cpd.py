@@ -1,0 +1,156 @@
+"""Nonparametric change-point detection.
+
+The unsupervised arm of the Scout (CPD+, §5.2.2) builds on change-point
+detection "that detects when a time series goes from one stationary
+distribution to another" [51] (Matteson & James, e-divisive).  This
+module implements:
+
+* :func:`energy_statistic` — the two-sample E-divisive divergence.
+* :class:`EDivisive` — binary segmentation with a permutation test.
+* :class:`CusumDetector` — a cheap mean-shift CUSUM alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import as_rng
+
+__all__ = ["energy_statistic", "EDivisive", "CusumDetector", "ChangePoint"]
+
+
+@dataclass(frozen=True)
+class ChangePoint:
+    """A detected change at ``index`` with its divergence ``score``."""
+
+    index: int
+    score: float
+
+
+def energy_statistic(left: np.ndarray, right: np.ndarray, alpha: float = 1.0) -> float:
+    """E-divisive sample divergence between two 1-D samples.
+
+    ``E = 2*E|X-Y|^a - E|X-X'|^a - E|Y-Y'|^a`` scaled by
+    ``m*n/(m+n)``; larger values mean the samples are more likely drawn
+    from different distributions.
+    """
+    left = np.asarray(left, dtype=float)
+    right = np.asarray(right, dtype=float)
+    m, n = len(left), len(right)
+    if m == 0 or n == 0:
+        return 0.0
+    cross = np.abs(left[:, None] - right[None, :]) ** alpha
+    within_l = np.abs(left[:, None] - left[None, :]) ** alpha
+    within_r = np.abs(right[:, None] - right[None, :]) ** alpha
+    e = (
+        2.0 * cross.mean()
+        - (within_l.sum() / (m * m))
+        - (within_r.sum() / (n * n))
+    )
+    return float(e * m * n / (m + n))
+
+
+class EDivisive:
+    """Binary-segmentation e-divisive change-point detector.
+
+    Parameters
+    ----------
+    min_segment:
+        Minimum points on each side of a candidate change.
+    n_permutations:
+        Permutations for the significance test at each segmentation step.
+    significance:
+        Required significance level (permutation p-value).
+    """
+
+    def __init__(
+        self,
+        min_segment: int = 5,
+        n_permutations: int = 19,
+        significance: float = 0.05,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if min_segment < 2:
+            raise ValueError("min_segment must be >= 2")
+        self.min_segment = min_segment
+        self.n_permutations = n_permutations
+        self.significance = significance
+        self._rng = as_rng(rng)
+
+    def _best_split(self, values: np.ndarray) -> ChangePoint | None:
+        n = len(values)
+        if n < 2 * self.min_segment:
+            return None
+        best_idx, best_score = -1, -np.inf
+        for idx in range(self.min_segment, n - self.min_segment + 1):
+            score = energy_statistic(values[:idx], values[idx:])
+            if score > best_score:
+                best_idx, best_score = idx, score
+        if best_idx < 0:
+            return None
+        return ChangePoint(index=best_idx, score=best_score)
+
+    def _significant(self, values: np.ndarray, observed: float) -> bool:
+        exceed = 0
+        for _ in range(self.n_permutations):
+            shuffled = self._rng.permutation(values)
+            candidate = self._best_split(shuffled)
+            if candidate is not None and candidate.score >= observed:
+                exceed += 1
+        p_value = (exceed + 1) / (self.n_permutations + 1)
+        return p_value <= self.significance
+
+    def detect(self, values, max_points: int | None = None) -> list[ChangePoint]:
+        """All significant change points (indices into ``values``)."""
+        values = np.asarray(values, dtype=float)
+        found: list[ChangePoint] = []
+        queue: list[tuple[int, np.ndarray]] = [(0, values)]
+        while queue:
+            offset, segment = queue.pop()
+            candidate = self._best_split(segment)
+            if candidate is None:
+                continue
+            if not self._significant(segment, candidate.score):
+                continue
+            split = candidate.index
+            found.append(ChangePoint(offset + split, candidate.score))
+            if max_points is not None and len(found) >= max_points:
+                break
+            queue.append((offset, segment[:split]))
+            queue.append((offset + split, segment[split:]))
+        return sorted(found, key=lambda cp: cp.index)
+
+
+class CusumDetector:
+    """Mean-shift CUSUM detector with a standardized threshold.
+
+    Much cheaper than :class:`EDivisive`; used where the Scout needs to
+    scan many series quickly.  A change is flagged when the cumulative
+    sum of standardized deviations exceeds ``threshold`` standard units.
+    """
+
+    def __init__(self, threshold: float = 5.0, drift: float = 0.5) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+        self.drift = drift
+
+    def detect(self, values) -> list[ChangePoint]:
+        values = np.asarray(values, dtype=float)
+        if len(values) < 3:
+            return []
+        std = values.std()
+        if std == 0.0:
+            return []
+        z = (values - values.mean()) / std
+        found: list[ChangePoint] = []
+        pos = neg = 0.0
+        for i, value in enumerate(z):
+            pos = max(0.0, pos + value - self.drift)
+            neg = max(0.0, neg - value - self.drift)
+            if pos > self.threshold or neg > self.threshold:
+                found.append(ChangePoint(index=i, score=max(pos, neg)))
+                pos = neg = 0.0
+        return found

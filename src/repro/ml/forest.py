@@ -1,0 +1,137 @@
+"""Random forest classifier — the Scout's main supervised model (§5.2.1).
+
+"RFs are a natural first choice: they are resilient to over-fitting and
+offer explain-ability."  Explainability comes from aggregating per-tree
+feature contributions (Palczewska et al. [57]) — see
+:meth:`RandomForestClassifier.feature_contributions`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, as_rng, check_Xy, check_matrix
+from .tree import DecisionTreeClassifier
+
+__all__ = ["RandomForestClassifier"]
+
+
+class RandomForestClassifier(Classifier):
+    """Bagged ensemble of CART trees with feature subsampling.
+
+    Parameters
+    ----------
+    n_estimators:
+        Number of trees.
+    max_depth, min_samples_split, min_samples_leaf:
+        Passed to each :class:`DecisionTreeClassifier`.
+    max_features:
+        Features considered per split (default ``"sqrt"``).
+    bootstrap:
+        Sample rows with replacement per tree (bagging).
+    rng:
+        Seed or Generator for reproducibility.
+    """
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: str | int | float | None = "sqrt",
+        bootstrap: bool = True,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self._rng = as_rng(rng)
+
+    def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n = len(encoded)
+        if sample_weight is None:
+            sample_weight = np.ones(n)
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape != encoded.shape:
+                raise ValueError("sample_weight length must match y")
+        self.n_features_ = X.shape[1]
+        self.trees_: list[DecisionTreeClassifier] = []
+        # Bootstrap probabilities follow the sample weights, so §8's
+        # up-weighting of previously mis-classified incidents also biases
+        # which rows each tree sees.
+        weight_sum = sample_weight.sum()
+        probabilities = (
+            sample_weight / weight_sum if weight_sum > 0 else None
+        )
+        for _ in range(self.n_estimators):
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_split=self.min_samples_split,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                rng=self._rng,
+            )
+            if self.bootstrap:
+                idx = self._rng.choice(n, size=n, replace=True, p=probabilities)
+                tree.fit(X[idx], encoded[idx])
+            else:
+                tree.fit(X, encoded, sample_weight=sample_weight)
+            self.trees_.append(tree)
+        importances = np.zeros(self.n_features_)
+        for tree in self.trees_:
+            # Trees trained on bootstrap samples may have seen only one
+            # class; their importances are all-zero and harmless.
+            importances += tree.feature_importances_
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        proba = np.zeros((X.shape[0], len(self.classes_)))
+        for tree in self.trees_:
+            tree_proba = tree.predict_proba(X)
+            # Map tree-local class indices back to forest classes: trees
+            # are fit on integer-encoded labels, so tree.classes_ holds
+            # forest class *indices*.
+            for local, forest_idx in enumerate(tree.classes_):
+                proba[:, int(forest_idx)] += tree_proba[:, local]
+        proba /= self.n_estimators
+        return proba
+
+    def feature_contributions(self, row) -> np.ndarray:
+        """Average per-feature contribution across trees for one sample.
+
+        Shape ``(n_features, n_classes)``; the contribution of feature
+        ``f`` toward class ``c`` is positive when tests on ``f`` pushed
+        the prediction toward ``c`` along the decision paths.
+        """
+        self._require_fitted()
+        row = np.asarray(row, dtype=float).ravel()
+        if row.shape[0] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {row.shape[0]}"
+            )
+        total = np.zeros((self.n_features_, len(self.classes_)))
+        for tree in self.trees_:
+            local = tree.decision_contributions(row)
+            for local_idx, forest_idx in enumerate(tree.classes_):
+                total[:, int(forest_idx)] += local[:, local_idx]
+        return total / self.n_estimators

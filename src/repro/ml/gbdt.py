@@ -1,0 +1,235 @@
+"""Gradient-boosted decision trees (binary classification).
+
+The paper's model study (Table 4) predates the now-standard gradient
+boosting machines; this module adds one as a modern comparison point
+for the Tab 4 bench and as a drop-in alternative supervised model for
+Scouts.  Implementation: regression trees fit to the logistic-loss
+gradient (Friedman's GBM with per-leaf Newton steps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .base import Classifier, as_rng, check_Xy, check_matrix
+
+__all__ = ["RegressionTree", "GradientBoostingClassifier"]
+
+
+@dataclass
+class _RegNode:
+    value: float
+    depth: int
+    feature: int | None = None
+    threshold: float | None = None
+    left: "_RegNode | None" = None
+    right: "_RegNode | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class RegressionTree:
+    """A CART regression tree (variance-reduction splits).
+
+    ``leaf_value_fn(targets, indices)`` customizes leaf outputs —
+    gradient boosting uses it for Newton steps; default is the mean.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        max_features: int | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = as_rng(rng)
+
+    def fit(self, X, y, leaf_value_fn=None) -> "RegressionTree":
+        X = check_matrix(X)
+        y = np.asarray(y, dtype=float)
+        if len(y) != len(X):
+            raise ValueError("X and y must align")
+        self.n_features_ = X.shape[1]
+        self._leaf_value_fn = leaf_value_fn or (
+            lambda targets, idx: float(targets.mean())
+        )
+        self.root_ = self._build(X, y, np.arange(len(y)), depth=0)
+        self._fitted = True
+        return self
+
+    def _candidate_features(self) -> np.ndarray:
+        if self.max_features is None or self.max_features >= self.n_features_:
+            return np.arange(self.n_features_)
+        return self._rng.choice(
+            self.n_features_, size=self.max_features, replace=False
+        )
+
+    def _build(self, X, y, indices, depth) -> _RegNode:
+        node = _RegNode(value=self._leaf_value_fn(y[indices], indices), depth=depth)
+        if depth >= self.max_depth or len(indices) < 2 * self.min_samples_leaf:
+            return node
+        best = self._best_split(X, y, indices)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = X[indices, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X, y, indices[mask], depth + 1)
+        node.right = self._build(X, y, indices[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X, y, indices):
+        targets = y[indices]
+        total_sum = targets.sum()
+        n = len(indices)
+        parent_score = total_sum * total_sum / n
+        best_gain, best = 1e-12, None
+        for feature in self._candidate_features():
+            values = X[indices, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            sorted_targets = targets[order]
+            prefix = np.cumsum(sorted_targets)
+            diffs = np.diff(sorted_values)
+            positions = np.flatnonzero(diffs > 0)
+            if positions.size == 0:
+                continue
+            positions = positions[
+                (positions + 1 >= self.min_samples_leaf)
+                & (n - positions - 1 >= self.min_samples_leaf)
+            ]
+            if positions.size == 0:
+                continue
+            left_n = positions + 1
+            left_sum = prefix[positions]
+            right_n = n - left_n
+            right_sum = total_sum - left_sum
+            gains = (
+                left_sum**2 / left_n + right_sum**2 / right_n - parent_score
+            )
+            local = int(np.argmax(gains))
+            if gains[local] > best_gain:
+                pos = positions[local]
+                best_gain = float(gains[local])
+                best = (
+                    int(feature),
+                    float(0.5 * (sorted_values[pos] + sorted_values[pos + 1])),
+                )
+        return best
+
+    def predict(self, X) -> np.ndarray:
+        X = check_matrix(X)
+        out = np.empty(len(X))
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class GradientBoostingClassifier(Classifier):
+    """Binary GBM with logistic loss and Newton leaf updates."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        learning_rate: float = 0.1,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        subsample: float = 1.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.subsample = subsample
+        self._rng = as_rng(rng)
+
+    def fit(self, X, y) -> "GradientBoostingClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        if len(self.classes_) > 2:
+            raise ValueError("GradientBoostingClassifier is binary-only")
+        target = encoded.astype(float)  # class index 1 is "positive"
+        n = len(target)
+        self.n_features_ = X.shape[1]
+        positive_rate = np.clip(target.mean(), 1e-6, 1.0 - 1e-6)
+        self.base_score_ = float(np.log(positive_rate / (1.0 - positive_rate)))
+        raw = np.full(n, self.base_score_)
+        self.trees_: list[RegressionTree] = []
+        for _ in range(self.n_estimators):
+            proba = 1.0 / (1.0 + np.exp(-raw))
+            residual = target - proba  # negative gradient of log-loss
+            hessian = proba * (1.0 - proba)
+            if self.subsample < 1.0:
+                sample = self._rng.random(n) < self.subsample
+                if not np.any(sample):
+                    sample[:] = True
+            else:
+                sample = np.ones(n, dtype=bool)
+
+            def newton_leaf(_, idx, residual=residual, hessian=hessian):
+                # idx indexes into the subsample slice's original rows.
+                num = residual[idx].sum()
+                den = hessian[idx].sum() + 1e-9
+                return float(num / den)
+
+            rows = np.flatnonzero(sample)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                rng=self._rng,
+            )
+            # Remap leaf index space onto the subsample.
+            tree.fit(
+                X[rows],
+                residual[rows],
+                leaf_value_fn=lambda _t, idx, rows=rows, residual=residual,
+                hessian=hessian: float(
+                    residual[rows[idx]].sum()
+                    / (hessian[rows[idx]].sum() + 1e-9)
+                ),
+            )
+            self.trees_.append(tree)
+            raw += self.learning_rate * tree.predict(X)
+        self._fitted = True
+        return self
+
+    def decision_function(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        raw = np.full(len(X), self.base_score_)
+        for tree in self.trees_:
+            raw += self.learning_rate * tree.predict(X)
+        return raw
+
+    def predict_proba(self, X) -> np.ndarray:
+        raw = self.decision_function(X)
+        positive = 1.0 / (1.0 + np.exp(-raw))
+        if len(self.classes_) == 1:
+            return np.ones((len(positive), 1))
+        return np.column_stack([1.0 - positive, positive])

@@ -1,0 +1,65 @@
+"""K-nearest-neighbors classifier (Table 4 comparison model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy, check_matrix
+
+__all__ = ["KNeighborsClassifier"]
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote over the ``k`` nearest training samples.
+
+    ``weights`` may be ``"uniform"`` or ``"distance"`` (inverse-distance
+    voting, with exact matches dominating).
+    """
+
+    def __init__(self, n_neighbors: int = 5, weights: str = "uniform") -> None:
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        if weights not in ("uniform", "distance"):
+            raise ValueError(f"unknown weights: {weights!r}")
+        self.n_neighbors = n_neighbors
+        self.weights = weights
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_Xy(X, y)
+        self._X = X
+        self._y = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        k = min(self.n_neighbors, len(self._X))
+        n_classes = len(self.classes_)
+        proba = np.zeros((X.shape[0], n_classes))
+        # Chunk queries so distance matrices stay modest in memory.
+        chunk = max(1, 2_000_000 // max(1, len(self._X)))
+        for start in range(0, X.shape[0], chunk):
+            block = X[start : start + chunk]
+            d2 = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self._X.T
+                + np.sum(self._X**2, axis=1)[None, :]
+            )
+            np.maximum(d2, 0.0, out=d2)
+            neighbor_idx = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i, neighbors in enumerate(neighbor_idx):
+                labels = self._y[neighbors]
+                if self.weights == "uniform":
+                    votes = np.bincount(labels, minlength=n_classes).astype(float)
+                else:
+                    dist = np.sqrt(d2[i, neighbors])
+                    w = 1.0 / np.maximum(dist, 1e-12)
+                    votes = np.bincount(labels, weights=w, minlength=n_classes)
+                proba[start + i] = votes / votes.sum()
+        return proba

@@ -1,0 +1,78 @@
+"""Multinomial logistic regression (softmax classifier).
+
+Used by the NLP baseline router to produce a full ranked list of teams
+with calibrated-ish probabilities, matching the production recommender's
+"ranked list along with categorical confidence scores" output (§7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy, check_matrix
+
+__all__ = ["LogisticRegression"]
+
+
+class LogisticRegression(Classifier):
+    """Softmax regression trained with full-batch gradient descent."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.5,
+        max_iter: int = 500,
+        l2: float = 1e-4,
+        tol: float = 1e-6,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.learning_rate = learning_rate
+        self.max_iter = max_iter
+        self.l2 = l2
+        self.tol = tol
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        k = len(self.classes_)
+        self.n_features_ = d
+        W = np.zeros((d, k))
+        b = np.zeros(k)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), encoded] = 1.0
+        previous_loss = np.inf
+        for _ in range(self.max_iter):
+            logits = X @ W + b
+            logits -= logits.max(axis=1, keepdims=True)
+            proba = np.exp(logits)
+            proba /= proba.sum(axis=1, keepdims=True)
+            loss = (
+                -np.sum(onehot * np.log(proba + 1e-12)) / n
+                + 0.5 * self.l2 * np.sum(W**2)
+            )
+            grad_logits = (proba - onehot) / n
+            grad_W = X.T @ grad_logits + self.l2 * W
+            grad_b = grad_logits.sum(axis=0)
+            W -= self.learning_rate * grad_W
+            b -= self.learning_rate * grad_b
+            if abs(previous_loss - loss) < self.tol:
+                break
+            previous_loss = loss
+        self.coef_ = W
+        self.intercept_ = b
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        logits = X @ self.coef_ + self.intercept_
+        logits -= logits.max(axis=1, keepdims=True)
+        proba = np.exp(logits)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

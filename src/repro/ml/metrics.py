@@ -1,0 +1,111 @@
+"""Classification metrics used throughout the paper's evaluation (§7).
+
+The paper reports precision, recall and F1-score for the positive
+("team is responsible") class, plus multi-class accuracy for the NLP
+baseline.  All functions accept arbitrary label types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "accuracy_score",
+    "confusion_matrix",
+    "BinaryReport",
+    "classification_report",
+]
+
+
+def _binary_counts(y_true, y_pred, positive) -> tuple[int, int, int, int]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    tn = int(np.sum((y_pred != positive) & (y_true != positive)))
+    return tp, fp, fn, tn
+
+
+def precision_score(y_true, y_pred, positive=1) -> float:
+    """Fraction of positive predictions that are correct.
+
+    A precision of 0.9 means: when the Scout says "PhyNet is
+    responsible", it is right 90% of the time.
+    """
+    tp, fp, _, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred, positive=1) -> float:
+    """Fraction of true positives the classifier finds."""
+    tp, _, fn, _ = _binary_counts(y_true, y_pred, positive)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def f1_score(y_true, y_pred, positive=1) -> float:
+    """Harmonic mean of precision and recall."""
+    p = precision_score(y_true, y_pred, positive)
+    r = recall_score(y_true, y_pred, positive)
+    return 2 * p * r / (p + r) if p + r else 0.0
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    """Fraction of exactly-correct predictions."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Confusion matrix ``C[i, j]``: true class ``i`` predicted as ``j``."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true.tolist(), y_pred.tolist()):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+@dataclass(frozen=True)
+class BinaryReport:
+    """Precision/recall/F1 summary for one positive class."""
+
+    precision: float
+    recall: float
+    f1: float
+    support: int
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} (n={self.support})"
+        )
+
+
+def classification_report(y_true, y_pred, positive=1) -> BinaryReport:
+    """Compute the paper's three accuracy metrics in one shot."""
+    y_true = np.asarray(y_true)
+    return BinaryReport(
+        precision=precision_score(y_true, y_pred, positive),
+        recall=recall_score(y_true, y_pred, positive),
+        f1=f1_score(y_true, y_pred, positive),
+        support=int(np.sum(y_true == positive)),
+    )

@@ -1,0 +1,139 @@
+"""A one-hidden-layer neural network (Table 4's "Neural Network (1 layer)").
+
+Plain numpy implementation: ReLU hidden layer, softmax output,
+cross-entropy loss, mini-batch Adam, early stopping on training loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, as_rng, check_Xy, check_matrix
+
+__all__ = ["MLPClassifier"]
+
+
+def _relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class MLPClassifier(Classifier):
+    """Single-hidden-layer perceptron trained with Adam."""
+
+    def __init__(
+        self,
+        hidden_size: int = 64,
+        learning_rate: float = 1e-3,
+        batch_size: int = 32,
+        max_epochs: int = 200,
+        l2: float = 1e-4,
+        tol: float = 1e-5,
+        patience: int = 10,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if hidden_size < 1:
+            raise ValueError("hidden_size must be >= 1")
+        self.hidden_size = hidden_size
+        self.learning_rate = learning_rate
+        self.batch_size = batch_size
+        self.max_epochs = max_epochs
+        self.l2 = l2
+        self.tol = tol
+        self.patience = patience
+        self._rng = as_rng(rng)
+
+    def fit(self, X, y) -> "MLPClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n, d = X.shape
+        k = len(self.classes_)
+        self.n_features_ = d
+        # Standardize inputs internally; store parameters for predict.
+        self._mu = X.mean(axis=0)
+        sigma = X.std(axis=0)
+        sigma[sigma == 0.0] = 1.0
+        self._sigma = sigma
+        Xs = (X - self._mu) / self._sigma
+
+        h = self.hidden_size
+        rng = self._rng
+        scale1 = np.sqrt(2.0 / d)
+        scale2 = np.sqrt(2.0 / h)
+        params = {
+            "W1": rng.normal(0.0, scale1, size=(d, h)),
+            "b1": np.zeros(h),
+            "W2": rng.normal(0.0, scale2, size=(h, k)),
+            "b2": np.zeros(k),
+        }
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), encoded] = 1.0
+
+        m = {key: np.zeros_like(val) for key, val in params.items()}
+        v = {key: np.zeros_like(val) for key, val in params.items()}
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        best_loss = np.inf
+        stale = 0
+
+        for _epoch in range(self.max_epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = Xs[idx], onehot[idx]
+                z1 = xb @ params["W1"] + params["b1"]
+                a1 = _relu(z1)
+                logits = a1 @ params["W2"] + params["b2"]
+                proba = _softmax(logits)
+                batch = len(idx)
+                loss = -np.sum(yb * np.log(proba + 1e-12)) / batch
+                epoch_loss += loss * batch
+
+                dlogits = (proba - yb) / batch
+                grads = {
+                    "W2": a1.T @ dlogits + self.l2 * params["W2"],
+                    "b2": dlogits.sum(axis=0),
+                }
+                da1 = dlogits @ params["W2"].T
+                dz1 = da1 * (z1 > 0)
+                grads["W1"] = xb.T @ dz1 + self.l2 * params["W1"]
+                grads["b1"] = dz1.sum(axis=0)
+
+                step += 1
+                for key in params:
+                    m[key] = beta1 * m[key] + (1 - beta1) * grads[key]
+                    v[key] = beta2 * v[key] + (1 - beta2) * grads[key] ** 2
+                    m_hat = m[key] / (1 - beta1**step)
+                    v_hat = v[key] / (1 - beta2**step)
+                    params[key] -= (
+                        self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                    )
+            epoch_loss /= n
+            if epoch_loss < best_loss - self.tol:
+                best_loss = epoch_loss
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+
+        self._params = params
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        Xs = (X - self._mu) / self._sigma
+        a1 = _relu(Xs @ self._params["W1"] + self._params["b1"])
+        return _softmax(a1 @ self._params["W2"] + self._params["b2"])

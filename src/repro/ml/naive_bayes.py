@@ -1,0 +1,90 @@
+"""Naive Bayes classifiers (Table 4 comparison; NLP-baseline option)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy, check_matrix
+
+__all__ = ["GaussianNB", "MultinomialNB"]
+
+
+class GaussianNB(Classifier):
+    """Gaussian naive Bayes with variance smoothing."""
+
+    def __init__(self, var_smoothing: float = 1e-9) -> None:
+        if var_smoothing <= 0:
+            raise ValueError("var_smoothing must be positive")
+        self.var_smoothing = var_smoothing
+
+    def fit(self, X, y) -> "GaussianNB":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n_classes = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        self.theta_ = np.zeros((n_classes, self.n_features_))
+        self.var_ = np.zeros((n_classes, self.n_features_))
+        self.class_prior_ = np.zeros(n_classes)
+        for c in range(n_classes):
+            rows = X[encoded == c]
+            self.theta_[c] = rows.mean(axis=0)
+            self.var_[c] = rows.var(axis=0)
+            self.class_prior_[c] = len(rows) / len(encoded)
+        self.var_ += self.var_smoothing * max(X.var(axis=0).max(), 1e-12)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        log_proba = np.zeros((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            log_like = -0.5 * np.sum(
+                np.log(2.0 * np.pi * self.var_[c])
+                + (X - self.theta_[c]) ** 2 / self.var_[c],
+                axis=1,
+            )
+            log_proba[:, c] = np.log(self.class_prior_[c]) + log_like
+        log_proba -= log_proba.max(axis=1, keepdims=True)
+        proba = np.exp(log_proba)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba
+
+
+class MultinomialNB(Classifier):
+    """Multinomial naive Bayes over count features (bag of words)."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ValueError("alpha (Laplace smoothing) must be positive")
+        self.alpha = alpha
+
+    def fit(self, X, y) -> "MultinomialNB":
+        X, y = check_Xy(X, y)
+        if np.any(X < 0):
+            raise ValueError("MultinomialNB requires non-negative features")
+        encoded = self._encode_labels(y)
+        n_classes = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        self.feature_log_prob_ = np.zeros((n_classes, self.n_features_))
+        self.class_log_prior_ = np.zeros(n_classes)
+        for c in range(n_classes):
+            rows = X[encoded == c]
+            counts = rows.sum(axis=0) + self.alpha
+            self.feature_log_prob_[c] = np.log(counts / counts.sum())
+            self.class_log_prior_[c] = np.log(len(rows) / len(encoded))
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        log_proba = X @ self.feature_log_prob_.T + self.class_log_prior_
+        log_proba -= log_proba.max(axis=1, keepdims=True)
+        proba = np.exp(log_proba)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

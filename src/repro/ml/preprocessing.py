@@ -1,0 +1,109 @@
+"""Feature preprocessing: scaling, imputation, normalization.
+
+The Scout framework normalizes time series before computing statistics
+(§5.2) and imputes missing features with training-set means when a
+monitoring system is itself unavailable at prediction time (§6).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+
+from .base import Estimator, check_matrix
+
+__all__ = ["StandardScaler", "MinMaxScaler", "MeanImputer", "normalize_series"]
+
+
+class StandardScaler(Estimator):
+    """Zero-mean, unit-variance scaling with constant-column protection."""
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_matrix(X)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        # Constant columns carry no information; dividing by 1 keeps them 0.
+        std[std == 0.0] = 1.0
+        self.scale_ = std
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"expected {self.mean_.shape[0]} features, got {X.shape[1]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MinMaxScaler(Estimator):
+    """Scale each feature into [0, 1] based on the training range."""
+
+    def fit(self, X) -> "MinMaxScaler":
+        X = check_matrix(X)
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        span[span == 0.0] = 1.0
+        self.span_ = span
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        return (X - self.min_) / self.span_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+class MeanImputer(Estimator):
+    """Replace NaNs with the per-feature training mean.
+
+    This mirrors Resource Central's behaviour in the deployed Scout:
+    "If any of the features are unavailable ... [it] uses the mean of
+    that feature in the training set for online predictions" (§6).
+    """
+
+    def fit(self, X) -> "MeanImputer":
+        X = check_matrix(X)
+        with np.errstate(invalid="ignore"), warnings.catch_warnings():
+            # All-NaN columns are legitimate (a monitoring system down
+            # for the whole training window); they impute to 0 below.
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            means = np.nanmean(X, axis=0)
+        # A feature that is NaN for every training row imputes to 0.
+        self.means_ = np.where(np.isnan(means), 0.0, means)
+        self._fitted = True
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X).copy()
+        nan_rows, nan_cols = np.where(np.isnan(X))
+        X[nan_rows, nan_cols] = self.means_[nan_cols]
+        return X
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def normalize_series(values: np.ndarray) -> np.ndarray:
+    """Normalize one time series to zero mean / unit variance.
+
+    Constant series (no variation in the look-back window) normalize to
+    all-zeros rather than dividing by zero.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return values
+    std = values.std()
+    if std == 0.0:
+        return np.zeros_like(values)
+    return (values - values.mean()) / std

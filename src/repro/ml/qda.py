@@ -1,0 +1,72 @@
+"""Quadratic discriminant analysis (Table 4 comparison model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Classifier, check_Xy, check_matrix
+
+__all__ = ["QuadraticDiscriminantAnalysis"]
+
+
+class QuadraticDiscriminantAnalysis(Classifier):
+    """Per-class Gaussian with full covariance, regularized for stability.
+
+    ``reg_param`` shrinks each class covariance toward a scaled identity,
+    which keeps the model usable on the Scout's high-dimensional,
+    sometimes-degenerate feature vectors.
+    """
+
+    def __init__(self, reg_param: float = 1e-3) -> None:
+        if not 0.0 <= reg_param <= 1.0:
+            raise ValueError("reg_param must be in [0, 1]")
+        self.reg_param = reg_param
+
+    def fit(self, X, y) -> "QuadraticDiscriminantAnalysis":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        n_classes = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        self.means_ = np.zeros((n_classes, self.n_features_))
+        self.priors_ = np.zeros(n_classes)
+        self._precisions: list[np.ndarray] = []
+        self._log_dets: list[float] = []
+        eye = np.eye(self.n_features_)
+        for c in range(n_classes):
+            rows = X[encoded == c]
+            self.means_[c] = rows.mean(axis=0)
+            self.priors_[c] = len(rows) / len(encoded)
+            cov = np.cov(rows, rowvar=False, bias=False)
+            cov = np.atleast_2d(cov)
+            scale = max(np.trace(cov) / self.n_features_, 1e-12)
+            cov = (1.0 - self.reg_param) * cov + self.reg_param * scale * eye
+            # Extra jitter guards against singular covariance when a class
+            # has fewer samples than features.
+            cov += 1e-9 * scale * eye
+            sign, log_det = np.linalg.slogdet(cov)
+            if sign <= 0:
+                cov += 1e-6 * scale * eye
+                sign, log_det = np.linalg.slogdet(cov)
+            self._precisions.append(np.linalg.inv(cov))
+            self._log_dets.append(float(log_det))
+        self._fitted = True
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        log_proba = np.zeros((X.shape[0], len(self.classes_)))
+        for c in range(len(self.classes_)):
+            centered = X - self.means_[c]
+            mahala = np.sum(centered @ self._precisions[c] * centered, axis=1)
+            log_proba[:, c] = (
+                np.log(self.priors_[c]) - 0.5 * (self._log_dets[c] + mahala)
+            )
+        log_proba -= log_proba.max(axis=1, keepdims=True)
+        proba = np.exp(log_proba)
+        proba /= proba.sum(axis=1, keepdims=True)
+        return proba

@@ -1,0 +1,133 @@
+"""Text vectorization for incident descriptions.
+
+Two consumers:
+
+* the **NLP baseline** (§7, Table 1) — a multi-class classifier over
+  TF-IDF features of the raw incident text, mirroring the provider's
+  production recommender [31];
+* the **model selector** (§5.3) — "we identify important words in the
+  incident and their frequency" [58] as meta-features.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+
+import numpy as np
+
+from .base import Estimator
+
+__all__ = ["tokenize", "CountVectorizer", "TfidfVectorizer", "important_words"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9][a-z0-9._\-]*")
+
+# Words so common in any incident that they carry no routing signal.
+_STOPWORDS = frozenset(
+    """a an and are as at be by for from has have in is it its of on or
+    that the this to was were will with we our not no""".split()
+)
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase, split into identifier-friendly tokens, drop stopwords.
+
+    Machine-generated component names like ``vm-3.c10.dc3`` survive as
+    single tokens, which matters for both consumers.
+    """
+    return [
+        token
+        for token in _TOKEN_RE.findall(text.lower())
+        if token not in _STOPWORDS
+    ]
+
+
+class CountVectorizer(Estimator):
+    """Bag-of-words counts over a fixed vocabulary learned in ``fit``."""
+
+    def __init__(self, max_features: int | None = None, min_df: int = 1) -> None:
+        if min_df < 1:
+            raise ValueError("min_df must be >= 1")
+        self.max_features = max_features
+        self.min_df = min_df
+
+    def fit(self, documents: list[str]) -> "CountVectorizer":
+        doc_freq: Counter[str] = Counter()
+        for doc in documents:
+            doc_freq.update(set(tokenize(doc)))
+        terms = [t for t, df in doc_freq.items() if df >= self.min_df]
+        # Deterministic order: by descending document frequency then name.
+        terms.sort(key=lambda t: (-doc_freq[t], t))
+        if self.max_features is not None:
+            terms = terms[: self.max_features]
+        self.vocabulary_ = {term: i for i, term in enumerate(terms)}
+        self.document_frequency_ = np.array(
+            [doc_freq[t] for t in terms], dtype=float
+        )
+        self._n_documents = len(documents)
+        self._fitted = True
+        return self
+
+    def transform(self, documents: list[str]) -> np.ndarray:
+        self._require_fitted()
+        X = np.zeros((len(documents), len(self.vocabulary_)))
+        for i, doc in enumerate(documents):
+            for token, count in Counter(tokenize(doc)).items():
+                j = self.vocabulary_.get(token)
+                if j is not None:
+                    X[i, j] = count
+        return X
+
+    def fit_transform(self, documents: list[str]) -> np.ndarray:
+        return self.fit(documents).transform(documents)
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF with smoothed IDF and L2 row normalization."""
+
+    def _idf(self) -> np.ndarray:
+        return np.log(
+            (1.0 + self._n_documents) / (1.0 + self.document_frequency_)
+        ) + 1.0
+
+    def transform(self, documents: list[str]) -> np.ndarray:
+        counts = super().transform(documents)
+        X = counts * self._idf()
+        norms = np.linalg.norm(X, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return X / norms
+
+
+def important_words(
+    documents: list[str],
+    labels,
+    top_k: int = 50,
+) -> list[str]:
+    """Pick the words most indicative of each label (meta-features, §5.3).
+
+    Scores each term by the absolute difference of its per-class document
+    frequencies — a lightweight stand-in for the per-class "important
+    words" mining of Potharaju & Jain [58].
+    """
+    labels = np.asarray(labels)
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(set(tokenize(doc)))
+        return [t for t, _ in counts.most_common(top_k)]
+    per_class: dict[object, Counter[str]] = {c: Counter() for c in classes}
+    totals = Counter(labels.tolist())
+    for doc, label in zip(documents, labels.tolist()):
+        per_class[label].update(set(tokenize(doc)))
+    vocabulary = set()
+    for counter in per_class.values():
+        vocabulary.update(counter)
+    scores = {}
+    for term in vocabulary:
+        freqs = [
+            per_class[c][term] / max(totals[c], 1) for c in classes
+        ]
+        scores[term] = max(freqs) - min(freqs)
+    ranked = sorted(scores, key=lambda t: (-scores[t], t))
+    return ranked[:top_k]

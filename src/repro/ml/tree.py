@@ -1,0 +1,277 @@
+"""CART decision-tree classifier with sample weights.
+
+This is the building block of the random forest (§5.2.1).  It records,
+for every node, the class distribution of the training samples that
+reached it — which is what the feature-contribution explanation method
+of Palczewska et al. [57] (used by the deployed PhyNet Scout) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .base import Classifier, as_rng, check_Xy, check_matrix
+
+__all__ = ["DecisionTreeClassifier", "TreeNode"]
+
+
+@dataclass
+class TreeNode:
+    """One node of a fitted decision tree.
+
+    ``distribution`` is the weighted class distribution (normalized to
+    sum to 1) of training samples that reached the node.
+    """
+
+    distribution: np.ndarray
+    n_samples: int
+    depth: int
+    feature: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = field(default=None, repr=False)
+    right: "TreeNode | None" = field(default=None, repr=False)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+def _gini(class_weights: np.ndarray) -> float:
+    """Gini impurity of a weighted class-count vector."""
+    total = class_weights.sum()
+    if total <= 0.0:
+        return 0.0
+    p = class_weights / total
+    return float(1.0 - np.dot(p, p))
+
+
+class DecisionTreeClassifier(Classifier):
+    """A CART classifier (gini criterion, binary numeric splits).
+
+    Parameters mirror sklearn: ``max_depth``, ``min_samples_split``,
+    ``min_samples_leaf`` and ``max_features`` (``"sqrt"``, an int, a
+    float fraction, or None for all features).  ``rng`` controls the
+    feature subsampling used inside random forests.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: str | int | float | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self._rng = as_rng(rng)
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X, y = check_Xy(X, y)
+        encoded = self._encode_labels(y)
+        if sample_weight is None:
+            sample_weight = np.ones(len(encoded))
+        else:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape != encoded.shape:
+                raise ValueError("sample_weight length must match y")
+            if np.any(sample_weight < 0):
+                raise ValueError("sample_weight must be non-negative")
+        self.n_features_ = X.shape[1]
+        self._n_classes = len(self.classes_)
+        self._feature_importance_acc = np.zeros(self.n_features_)
+        self.root_ = self._build(X, encoded, sample_weight, depth=0)
+        total = self._feature_importance_acc.sum()
+        self.feature_importances_ = (
+            self._feature_importance_acc / total
+            if total > 0
+            else np.zeros(self.n_features_)
+        )
+        self._fitted = True
+        return self
+
+    def _n_candidate_features(self) -> int:
+        m = self.max_features
+        if m is None:
+            return self.n_features_
+        if m == "sqrt":
+            return max(1, int(np.sqrt(self.n_features_)))
+        if m == "log2":
+            return max(1, int(np.log2(self.n_features_)))
+        if isinstance(m, float):
+            return max(1, int(m * self.n_features_))
+        if isinstance(m, int):
+            return max(1, min(m, self.n_features_))
+        raise ValueError(f"bad max_features: {m!r}")
+
+    def _class_weights(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        return np.bincount(y, weights=w, minlength=self._n_classes)
+
+    def _build(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> TreeNode:
+        counts = self._class_weights(y, w)
+        total = counts.sum()
+        distribution = counts / total if total > 0 else np.full(
+            self._n_classes, 1.0 / self._n_classes
+        )
+        node = TreeNode(distribution=distribution, n_samples=len(y), depth=depth)
+        if (
+            len(y) < self.min_samples_split
+            or (self.max_depth is not None and depth >= self.max_depth)
+            or np.count_nonzero(counts) <= 1
+        ):
+            return node
+
+        split = self._best_split(X, y, w, counts)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        node.feature = feature
+        node.threshold = threshold
+        self._feature_importance_acc[feature] += gain * total
+        mask = X[:, feature] <= threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        w: np.ndarray,
+        counts: np.ndarray,
+    ) -> tuple[int, float, float] | None:
+        """Find the (feature, threshold) pair with the best gini gain."""
+        parent_impurity = _gini(counts)
+        if parent_impurity == 0.0:
+            return None
+        n_candidates = self._n_candidate_features()
+        if n_candidates < self.n_features_:
+            features = self._rng.choice(
+                self.n_features_, size=n_candidates, replace=False
+            )
+        else:
+            features = np.arange(self.n_features_)
+
+        best: tuple[int, float, float] | None = None
+        best_score = 0.0
+        total_weight = w.sum()
+        onehot = np.zeros((len(y), self._n_classes))
+        onehot[np.arange(len(y)), y] = w
+        min_leaf = self.min_samples_leaf
+
+        for feature in features:
+            values = X[:, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            # Cumulative weighted class counts for the "left" side.
+            left_counts = np.cumsum(onehot[order], axis=0)
+            # Valid split positions: value changes and both leaves large
+            # enough (in sample count).
+            diffs = np.diff(sorted_values)
+            positions = np.flatnonzero(diffs > 0)
+            if positions.size == 0:
+                continue
+            positions = positions[
+                (positions + 1 >= min_leaf)
+                & (len(y) - positions - 1 >= min_leaf)
+            ]
+            if positions.size == 0:
+                continue
+            left = left_counts[positions]
+            right = counts - left
+            left_total = left.sum(axis=1)
+            right_total = right.sum(axis=1)
+            ok = (left_total > 0) & (right_total > 0)
+            if not np.any(ok):
+                continue
+            left_gini = 1.0 - np.sum(
+                (left[ok] / left_total[ok, None]) ** 2, axis=1
+            )
+            right_gini = 1.0 - np.sum(
+                (right[ok] / right_total[ok, None]) ** 2, axis=1
+            )
+            weighted = (
+                left_total[ok] * left_gini + right_total[ok] * right_gini
+            ) / total_weight
+            gains = parent_impurity - weighted
+            best_local = int(np.argmax(gains))
+            if gains[best_local] > best_score + 1e-12:
+                pos = positions[ok][best_local]
+                threshold = 0.5 * (sorted_values[pos] + sorted_values[pos + 1])
+                best_score = float(gains[best_local])
+                best = (int(feature), float(threshold), best_score)
+        return best
+
+    # -- prediction --------------------------------------------------------
+
+    def _leaf_path(self, row: np.ndarray) -> list[TreeNode]:
+        """Nodes visited from root to leaf for one sample."""
+        node = self.root_
+        path = [node]
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right
+            path.append(node)
+        return path
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_matrix(X)
+        if X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"expected {self.n_features_} features, got {X.shape[1]}"
+            )
+        return np.vstack([self._leaf_path(row)[-1].distribution for row in X])
+
+    def decision_contributions(self, row: np.ndarray) -> np.ndarray:
+        """Per-feature contributions for one sample (Palczewska et al.).
+
+        Returns an array of shape ``(n_features, n_classes)``: the sum of
+        class-probability deltas along the decision path, attributed to
+        the feature tested at each split.  The prediction decomposes as
+        ``root.distribution + contributions.sum(axis=0)``.
+        """
+        self._require_fitted()
+        row = np.asarray(row, dtype=float)
+        contributions = np.zeros((self.n_features_, self._n_classes))
+        path = self._leaf_path(row)
+        for parent, child in zip(path[:-1], path[1:]):
+            contributions[parent.feature] += (
+                child.distribution - parent.distribution
+            )
+        return contributions
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def depth_(self) -> int:
+        self._require_fitted()
+
+        def walk(node: TreeNode) -> int:
+            if node.is_leaf:
+                return node.depth
+            return max(walk(node.left), walk(node.right))
+
+        return walk(self.root_)
+
+    @property
+    def n_leaves_(self) -> int:
+        self._require_fitted()
+
+        def walk(node: TreeNode) -> int:
+            if node.is_leaf:
+                return 1
+            return walk(node.left) + walk(node.right)
+
+        return walk(self.root_)

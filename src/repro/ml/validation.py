@@ -1,0 +1,110 @@
+"""Dataset-splitting helpers reproducing the paper's evaluation protocol.
+
+§7 of the paper: "We randomly split the data into a training and a test
+set. To avoid class imbalance, we only use 35% of the non-PhyNet
+incidents in the training set (the rest are in the test set). We split
+and use half the PhyNet incidents for training."  Time-based splits are
+used for the retraining experiments (§7.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import as_rng
+
+__all__ = [
+    "train_test_split",
+    "imbalance_aware_split",
+    "time_based_windows",
+]
+
+
+def train_test_split(
+    n: int,
+    test_fraction: float = 0.5,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Random index split into (train_idx, test_idx)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = as_rng(rng)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    return np.sort(order[n_test:]), np.sort(order[:n_test])
+
+
+def imbalance_aware_split(
+    labels,
+    positive=1,
+    positive_train_fraction: float = 0.5,
+    negative_train_fraction: float = 0.35,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The paper's §7 split.
+
+    Half of the positive (PhyNet) incidents and 35% of the negative
+    incidents go to training; everything else goes to the test set.
+    Returns ``(train_idx, test_idx)`` as sorted index arrays.
+    """
+    labels = np.asarray(labels)
+    rng = as_rng(rng)
+    train_parts = []
+    test_parts = []
+    for value, fraction in (
+        (positive, positive_train_fraction),
+        (None, negative_train_fraction),
+    ):
+        if value is None:
+            idx = np.flatnonzero(labels != positive)
+        else:
+            idx = np.flatnonzero(labels == positive)
+        if idx.size == 0:
+            continue
+        order = rng.permutation(idx)
+        n_train = int(round(len(order) * fraction))
+        train_parts.append(order[:n_train])
+        test_parts.append(order[n_train:])
+    train_idx = np.sort(np.concatenate(train_parts)) if train_parts else np.array([], int)
+    test_idx = np.sort(np.concatenate(test_parts)) if test_parts else np.array([], int)
+    return train_idx, test_idx
+
+
+def time_based_windows(
+    timestamps,
+    retrain_interval: float,
+    history_window: float | None = None,
+    warmup: float | None = None,
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Rolling (train_idx, eval_idx) windows for retraining experiments.
+
+    The timeline is cut at multiples of ``retrain_interval`` after an
+    initial ``warmup`` period (defaults to one interval).  For each cut
+    point ``c``, the training set is every incident in
+    ``[c - history_window, c)`` (all history when ``history_window`` is
+    None — the "growing" variant of Figure 10a) and the evaluation set
+    is ``[c, c + retrain_interval)``.
+    """
+    timestamps = np.asarray(timestamps, dtype=float)
+    if timestamps.size == 0:
+        return []
+    if retrain_interval <= 0:
+        raise ValueError("retrain_interval must be positive")
+    start = timestamps.min()
+    end = timestamps.max()
+    if warmup is None:
+        warmup = retrain_interval
+    windows: list[tuple[np.ndarray, np.ndarray]] = []
+    cut = start + warmup
+    while cut <= end:
+        if history_window is None:
+            train_mask = timestamps < cut
+        else:
+            train_mask = (timestamps >= cut - history_window) & (timestamps < cut)
+        eval_mask = (timestamps >= cut) & (timestamps < cut + retrain_interval)
+        train_idx = np.flatnonzero(train_mask)
+        eval_idx = np.flatnonzero(eval_mask)
+        if train_idx.size and eval_idx.size:
+            windows.append((train_idx, eval_idx))
+        cut += retrain_interval
+    return windows

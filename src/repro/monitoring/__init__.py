@@ -1,0 +1,34 @@
+"""Monitoring substrate: Table 2 datasets, lazy signal store, effects."""
+
+from .base import (
+    BaselineSpec,
+    DataKind,
+    DatasetSchema,
+    EventSeries,
+    EventSpec,
+    FailureEffect,
+    TimeSeries,
+)
+from .datasets import PHYNET_DATASET_NAMES, phynet_datasets
+from .generators import normal_at, poisson_counts, series_seed, uniform_at
+from .store import MonitoringStore
+from .team_datasets import TEAM_DATASET_NAMES, team_datasets
+
+__all__ = [
+    "BaselineSpec",
+    "DataKind",
+    "DatasetSchema",
+    "EventSeries",
+    "EventSpec",
+    "FailureEffect",
+    "MonitoringStore",
+    "PHYNET_DATASET_NAMES",
+    "TimeSeries",
+    "normal_at",
+    "phynet_datasets",
+    "poisson_counts",
+    "series_seed",
+    "uniform_at",
+    "TEAM_DATASET_NAMES",
+    "team_datasets",
+]

@@ -1,0 +1,154 @@
+"""Monitoring data model.
+
+The Scout framework recognizes exactly two basic data types (§5.1):
+
+    "The data type can be one of TIME_SERIES or EVENT. Time-series
+    variables are anything measured at a regular interval ... Events
+    are data points that occur irregularly ... All monitoring data can
+    be transformed into one of these two basic types."
+
+A :class:`DatasetSchema` carries the metadata operators attach when
+registering monitoring data: its type, which component kinds it covers,
+and the optional *class tag* that marks datasets as combinable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..datacenter.components import ComponentKind
+
+__all__ = [
+    "DataKind",
+    "TimeSeries",
+    "EventSeries",
+    "BaselineSpec",
+    "EventSpec",
+    "DatasetSchema",
+    "FailureEffect",
+]
+
+
+class DataKind(str, enum.Enum):
+    """The two basic monitoring data types."""
+
+    TIME_SERIES = "TIME_SERIES"
+    EVENT = "EVENT"
+
+
+@dataclass(frozen=True)
+class TimeSeries:
+    """Regularly-sampled values for one (dataset, component) pair."""
+
+    timestamps: np.ndarray  # seconds, ascending
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.timestamps) != len(self.values):
+            raise ValueError("timestamps and values must be equal length")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class EventSeries:
+    """Irregular events for one (dataset, component) pair."""
+
+    timestamps: np.ndarray  # seconds, ascending
+    types: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.timestamps) != len(self.types):
+            raise ValueError("timestamps and types must be equal length")
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def count_by_type(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event_type in self.types:
+            counts[event_type] = counts.get(event_type, 0) + 1
+        return counts
+
+
+@dataclass(frozen=True)
+class BaselineSpec:
+    """Healthy-signal parameters for a TIME_SERIES dataset.
+
+    ``value(t) = mean + diurnal_amp * sin(2πt/day) + N(0, std)``,
+    clipped at ``floor`` when set (utilizations cannot go negative).
+    """
+
+    mean: float
+    std: float
+    diurnal_amp: float = 0.0
+    floor: float | None = None
+    interval: float = 300.0  # sampling period, seconds
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Healthy-noise parameters for an EVENT dataset.
+
+    ``rates`` maps event type → expected events per hour per component
+    under healthy operation (background noise the Scout must tolerate).
+    """
+
+    rates: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DatasetSchema:
+    """Registration metadata for one monitoring dataset (Table 2)."""
+
+    name: str
+    kind: DataKind
+    component_kinds: frozenset[ComponentKind]
+    description: str = ""
+    class_tag: str | None = None
+    baseline: BaselineSpec | None = None
+    events: EventSpec | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind is DataKind.TIME_SERIES and self.baseline is None:
+            raise ValueError(f"{self.name}: TIME_SERIES needs a baseline spec")
+        if self.kind is DataKind.EVENT and self.events is None:
+            raise ValueError(f"{self.name}: EVENT needs an event spec")
+
+    def covers(self, kind: ComponentKind) -> bool:
+        return kind in self.component_kinds
+
+
+@dataclass(frozen=True)
+class FailureEffect:
+    """A scenario-injected distortion of one (dataset, component) signal.
+
+    Time-series modes:
+      * ``"shift"``  — add ``magnitude`` over ``[start, end]`` (the
+        stationary-distribution change CPD+ looks for);
+      * ``"spike"``  — add an exponentially-decaying pulse from ``start``;
+      * ``"scale"``  — multiply by ``magnitude``.
+    Event mode:
+      * ``"burst"``  — extra ``event_type`` events at ``rate``/hour.
+    """
+
+    dataset: str
+    component: str
+    start: float
+    end: float
+    mode: str = "shift"
+    magnitude: float = 0.0
+    event_type: str | None = None
+    rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError("effect end must be >= start")
+        if self.mode not in ("shift", "spike", "scale", "burst"):
+            raise ValueError(f"unknown effect mode: {self.mode!r}")
+        if self.mode == "burst" and not self.event_type:
+            raise ValueError("burst effects need an event_type")

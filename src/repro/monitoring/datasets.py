@@ -1,0 +1,135 @@
+"""The twelve PhyNet monitoring datasets of Table 2.
+
+Each entry mirrors one row of the paper's Table 2 with plausible
+synthetic baselines.  The two packet-drop datasets share the
+``PACKET_DROPS`` class tag — the paper notes the PhyNet Scout has
+exactly two datasets with a class tag, enabling the framework to
+combine "related" data (§5.1).
+"""
+
+from __future__ import annotations
+
+from ..datacenter.components import ComponentKind
+from .base import BaselineSpec, DataKind, DatasetSchema, EventSpec
+
+__all__ = ["phynet_datasets", "PHYNET_DATASET_NAMES"]
+
+_SWITCH = frozenset({ComponentKind.SWITCH})
+_SERVER = frozenset({ComponentKind.SERVER})
+_SWITCH_AND_SERVER = frozenset({ComponentKind.SWITCH, ComponentKind.SERVER})
+
+
+def phynet_datasets() -> list[DatasetSchema]:
+    """Build the Table 2 dataset registry.
+
+    Note the deliberate omission of any VM-covering dataset: "PhyNet is
+    not responsible for monitoring the health of VMs (other teams are)
+    and so the PhyNet Scout does not have VM features" (§5.2).
+    """
+    return [
+        DatasetSchema(
+            name="ping_statistics",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SERVER,
+            description=(
+                "Pingmesh-style latency between pairs of servers (ms)"
+            ),
+            baseline=BaselineSpec(mean=0.5, std=0.05, diurnal_amp=0.05, floor=0.0),
+        ),
+        DatasetSchema(
+            name="link_drop_statistics",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH,
+            description="Diagnosed per-link packet-drop rate (fraction)",
+            class_tag="PACKET_DROPS",
+            baseline=BaselineSpec(mean=1e-5, std=5e-6, floor=0.0),
+        ),
+        DatasetSchema(
+            name="switch_drop_statistics",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH,
+            description="Diagnosed per-switch packet-drop rate (fraction)",
+            class_tag="PACKET_DROPS",
+            baseline=BaselineSpec(mean=1e-5, std=5e-6, floor=0.0),
+        ),
+        DatasetSchema(
+            name="canaries",
+            kind=DataKind.EVENT,
+            component_kinds=_SERVER,
+            description=(
+                "Reachability failures reported by per-rack canary VMs"
+            ),
+            events=EventSpec(rates={"canary_unreachable": 0.02}),
+        ),
+        DatasetSchema(
+            name="device_reboots",
+            kind=DataKind.EVENT,
+            component_kinds=_SWITCH_AND_SERVER,
+            description="Host and switch reboot records",
+            events=EventSpec(rates={"reboot": 0.005}),
+        ),
+        DatasetSchema(
+            name="link_loss_status",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH,
+            description="Counter-derived packet-loss rate on switch ports",
+            baseline=BaselineSpec(mean=2e-5, std=1e-5, floor=0.0),
+        ),
+        DatasetSchema(
+            name="fcs_corruption",
+            kind=DataKind.EVENT,
+            component_kinds=_SWITCH,
+            description=(
+                "Errors raised when link corruption (FCS) loss exceeds "
+                "the operator threshold"
+            ),
+            events=EventSpec(rates={"fcs_error": 0.01}),
+        ),
+        DatasetSchema(
+            name="snmp_syslogs",
+            kind=DataKind.EVENT,
+            component_kinds=_SWITCH,
+            description="SNMP traps and switch syslog messages",
+            events=EventSpec(
+                rates={
+                    "link_down": 0.05,
+                    "bgp_flap": 0.03,
+                    "parity_error": 0.01,
+                }
+            ),
+        ),
+        DatasetSchema(
+            name="pfc_counters",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH,
+            description="Priority-flow-control pause frames per interval",
+            baseline=BaselineSpec(mean=20.0, std=5.0, diurnal_amp=5.0, floor=0.0),
+        ),
+        DatasetSchema(
+            name="interface_counters",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH,
+            description="Packets dropped on switch interfaces per interval",
+            baseline=BaselineSpec(mean=10.0, std=3.0, diurnal_amp=2.0, floor=0.0),
+        ),
+        DatasetSchema(
+            name="temperature",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SWITCH_AND_SERVER,
+            description="Component (ASIC / server) temperature (°C)",
+            baseline=BaselineSpec(mean=55.0, std=1.5, diurnal_amp=2.0, floor=15.0),
+        ),
+        DatasetSchema(
+            name="cpu_usage",
+            kind=DataKind.TIME_SERIES,
+            # Switch control-plane CPU only: server CPU is the compute
+            # team's signal, and folding it in would make every
+            # host-level failure look like a PhyNet problem.
+            component_kinds=_SWITCH,
+            description="Network device CPU utilization (fraction)",
+            baseline=BaselineSpec(mean=0.35, std=0.05, diurnal_amp=0.1, floor=0.0),
+        ),
+    ]
+
+
+PHYNET_DATASET_NAMES = tuple(schema.name for schema in phynet_datasets())

@@ -1,0 +1,110 @@
+"""Deterministic random-access signal generation.
+
+Nine months of per-5-minute telemetry for every component × dataset pair
+would be enormous if materialized, so signals are *functions of time*:
+the value at sample index ``i`` of a series is derived from a
+SplitMix64-style hash of ``(series_seed, i)``.  Any window can be
+queried lazily, repeatedly, and out of order, and always yields the
+same data — which the Scout's look-back queries and the retraining
+experiments both rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import ndtri
+
+__all__ = [
+    "series_seed",
+    "uniform_at",
+    "normal_at",
+    "poisson_counts",
+]
+
+_MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized SplitMix64 finalizer — a high-quality 64-bit mixer.
+
+    Unsigned array arithmetic wraps silently in numpy, so no overflow
+    guards are needed (this runs in the store's per-query hot path).
+    """
+    x = x.astype(np.uint64)
+    z = (x + np.uint64(0x9E3779B97F4A7C15)) & _MASK
+    z = ((z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _MASK
+    z = ((z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _MASK
+    return z ^ (z >> np.uint64(31))
+
+
+_MASK_INT = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64_int(x: int) -> int:
+    """Scalar SplitMix64 finalizer on Python ints (hot path)."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK_INT
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK_INT
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK_INT
+    return x ^ (x >> 31)
+
+
+def series_seed(global_seed: int, dataset: str, component: str) -> int:
+    """A stable 64-bit seed for one (dataset, component) signal."""
+    # Python's hash() is salted per-process; use FNV-1a + SplitMix64.
+    acc = global_seed & _MASK_INT
+    for text in (dataset, component):
+        for byte in text.encode():
+            acc = ((acc * 1099511628211) & _MASK_INT) ^ byte
+        acc = _splitmix64_int(acc)
+    return acc
+
+
+def uniform_at(seed: int, indices: np.ndarray, stream: int = 0) -> np.ndarray:
+    """Uniform(0, 1) samples at arbitrary integer indices of a stream."""
+    indices = np.asarray(indices, dtype=np.uint64)
+    keys = (
+        np.uint64(seed)
+        ^ (indices * np.uint64(0x9E3779B97F4A7C15))
+        ^ np.uint64((seed * 0xD6E8FEB86659FD93 * (stream + 1)) & _MASK_INT)
+    ) & _MASK
+    bits = _splitmix64(keys)
+    # 53-bit mantissa → uniform in (0, 1), never exactly 0 or 1.
+    return (bits >> np.uint64(11)).astype(float) / 9007199254740992.0 + 5e-17
+
+
+def normal_at(seed: int, indices: np.ndarray, stream: int = 0) -> np.ndarray:
+    """Standard-normal samples at arbitrary indices (inverse CDF)."""
+    return ndtri(uniform_at(seed, indices, stream))
+
+
+def poisson_counts(
+    seed: int, indices: np.ndarray, lam: float, stream: int = 0
+) -> np.ndarray:
+    """Poisson(λ) counts at arbitrary bin indices via inverse transform.
+
+    Intended for the small per-bin rates of background event noise;
+    truncated at a count where the CDF is ≥ 1 - 1e-9 for the given λ.
+    """
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    if lam == 0.0:
+        return np.zeros(len(np.atleast_1d(indices)), dtype=int)
+    u = uniform_at(seed, indices, stream)
+    return np.searchsorted(_poisson_cdf(lam), u).astype(int)
+
+
+_POISSON_CDF_CACHE: dict[float, np.ndarray] = {}
+
+
+def _poisson_cdf(lam: float) -> np.ndarray:
+    """Poisson CDF out to the far tail, cached per rate."""
+    cdf = _POISSON_CDF_CACHE.get(lam)
+    if cdf is None:
+        max_k = max(10, int(lam + 10.0 * np.sqrt(lam) + 10))
+        pmf = np.empty(max_k + 1)
+        pmf[0] = np.exp(-lam)
+        for k in range(1, max_k + 1):
+            pmf[k] = pmf[k - 1] * lam / k
+        cdf = np.cumsum(pmf)
+        _POISSON_CDF_CACHE[lam] = cdf
+    return cdf

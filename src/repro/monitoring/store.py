@@ -1,0 +1,243 @@
+"""The monitoring store: lazy, deterministic, effect-aware queries.
+
+``MonitoringStore`` answers the only question the Scout framework asks
+of monitoring infrastructure: *give me this dataset for this component
+over the look-back window ``[t - T, t]``*.  Healthy baselines come from
+the hash-based generators; failure scenarios overlay
+:class:`FailureEffect` distortions.  Datasets can be deactivated to
+model deprecated monitoring systems (Figure 9) or a monitoring system
+that itself failed during the incident (§6).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..datacenter.components import Component
+from .base import (
+    DataKind,
+    DatasetSchema,
+    EventSeries,
+    FailureEffect,
+    TimeSeries,
+)
+from .generators import normal_at, poisson_counts, series_seed, uniform_at
+
+__all__ = ["MonitoringStore"]
+
+_DAY = 86400.0
+_HOUR = 3600.0
+# Event noise is binned at one-minute granularity.
+_EVENT_BIN = 60.0
+
+
+class MonitoringStore:
+    """Queryable monitoring plane for the synthetic cloud."""
+
+    def __init__(self, schemas: list[DatasetSchema], seed: int = 0) -> None:
+        names = [schema.name for schema in schemas]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate dataset names")
+        self._schemas = {schema.name: schema for schema in schemas}
+        self._seed = seed
+        self._inactive: set[str] = set()
+        # Effects indexed by (dataset, component), kept sorted by start.
+        self._effects: dict[tuple[str, str], list[FailureEffect]] = defaultdict(list)
+        self._seed_memo: dict[tuple[str, str], int] = {}
+
+    def _series_seed(self, dataset: str, component: str) -> int:
+        key = (dataset, component)
+        seed = self._seed_memo.get(key)
+        if seed is None:
+            seed = series_seed(self._seed, dataset, component)
+            self._seed_memo[key] = seed
+        return seed
+
+    # -- registry ----------------------------------------------------------
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return sorted(self._schemas)
+
+    @property
+    def active_dataset_names(self) -> list[str]:
+        return sorted(set(self._schemas) - self._inactive)
+
+    def schema(self, dataset: str) -> DatasetSchema:
+        try:
+            return self._schemas[dataset]
+        except KeyError:
+            raise KeyError(f"unknown dataset: {dataset!r}") from None
+
+    def deactivate(self, dataset: str) -> None:
+        """Model a deprecated/failed monitoring system (Fig 9, §6)."""
+        self.schema(dataset)
+        self._inactive.add(dataset)
+
+    def activate(self, dataset: str) -> None:
+        self.schema(dataset)
+        self._inactive.discard(dataset)
+
+    def is_active(self, dataset: str) -> bool:
+        return dataset not in self._inactive
+
+    def covers(self, dataset: str, component: Component) -> bool:
+        return self.schema(dataset).covers(component.kind)
+
+    # -- effects -----------------------------------------------------------
+
+    def inject(self, effect: FailureEffect) -> None:
+        """Register a scenario's distortion of one signal."""
+        schema = self.schema(effect.dataset)
+        if schema.kind is DataKind.TIME_SERIES and effect.mode == "burst":
+            raise ValueError(
+                f"{effect.dataset} is TIME_SERIES; burst effects apply to events"
+            )
+        if schema.kind is DataKind.EVENT and effect.mode != "burst":
+            raise ValueError(
+                f"{effect.dataset} is EVENT; only burst effects apply"
+            )
+        effects = self._effects[(effect.dataset, effect.component)]
+        effects.append(effect)
+        effects.sort(key=lambda e: e.start)
+
+    def clear_effects(self) -> None:
+        self._effects.clear()
+
+    def snapshot_effects(self) -> dict:
+        """Copy the current effect registry (pair with restore_effects)."""
+        return {key: list(value) for key, value in self._effects.items()}
+
+    def restore_effects(self, snapshot: dict) -> None:
+        """Restore a registry captured by :meth:`snapshot_effects`."""
+        self._effects = defaultdict(
+            list, {key: list(value) for key, value in snapshot.items()}
+        )
+
+    def effects_for(self, dataset: str, component: str) -> list[FailureEffect]:
+        return list(self._effects.get((dataset, component), []))
+
+    # -- queries -----------------------------------------------------------
+
+    def query_series(
+        self, dataset: str, component: Component, t0: float, t1: float
+    ) -> TimeSeries | None:
+        """The dataset's time series for ``component`` over ``[t0, t1]``.
+
+        Returns None when the dataset is inactive or does not cover the
+        component's kind — the caller decides whether that means
+        "impute" (§6) or "no features for this component type" (§5.2).
+        """
+        schema = self.schema(dataset)
+        if schema.kind is not DataKind.TIME_SERIES:
+            raise ValueError(f"{dataset} is not TIME_SERIES")
+        if not self.is_active(dataset) or not schema.covers(component.kind):
+            return None
+        if t1 < t0:
+            raise ValueError("query window end must be >= start")
+        spec = schema.baseline
+        # The monitoring plane starts at the simulation epoch: clamp
+        # windows that reach before t=0.
+        first = max(0, int(np.ceil(t0 / spec.interval)))
+        last = int(np.floor(t1 / spec.interval))
+        if last < first:
+            return TimeSeries(np.empty(0), np.empty(0))
+        indices = np.arange(first, last + 1, dtype=np.uint64)
+        timestamps = indices.astype(float) * spec.interval
+        seed = self._series_seed(dataset, component.name)
+        values = (
+            spec.mean
+            + spec.diurnal_amp * np.sin(2.0 * np.pi * timestamps / _DAY)
+            + spec.std * normal_at(seed, indices)
+        )
+        values = self._apply_series_effects(
+            dataset, component.name, timestamps, values
+        )
+        if spec.floor is not None:
+            np.maximum(values, spec.floor, out=values)
+        return TimeSeries(timestamps, values)
+
+    def _apply_series_effects(
+        self,
+        dataset: str,
+        component: str,
+        timestamps: np.ndarray,
+        values: np.ndarray,
+    ) -> np.ndarray:
+        effects = self._effects.get((dataset, component))
+        if not effects:
+            return values
+        values = values.copy()
+        for effect in effects:
+            mask = (timestamps >= effect.start) & (timestamps <= effect.end)
+            if not np.any(mask):
+                continue
+            if effect.mode == "shift":
+                values[mask] += effect.magnitude
+            elif effect.mode == "scale":
+                values[mask] *= effect.magnitude
+            elif effect.mode == "spike":
+                # Exponential decay with a 10-minute time constant.
+                dt = timestamps[mask] - effect.start
+                values[mask] += effect.magnitude * np.exp(-dt / 600.0)
+        return values
+
+    def query_events(
+        self, dataset: str, component: Component, t0: float, t1: float
+    ) -> EventSeries | None:
+        """The dataset's events for ``component`` over ``[t0, t1]``."""
+        schema = self.schema(dataset)
+        if schema.kind is not DataKind.EVENT:
+            raise ValueError(f"{dataset} is not EVENT")
+        if not self.is_active(dataset) or not schema.covers(component.kind):
+            return None
+        if t1 < t0:
+            raise ValueError("query window end must be >= start")
+        seed = self._series_seed(dataset, component.name)
+        first = max(0, int(np.ceil(t0 / _EVENT_BIN)))
+        last = int(np.floor(t1 / _EVENT_BIN))
+        times: list[float] = []
+        types: list[str] = []
+        if last >= first:
+            indices = np.arange(first, last + 1, dtype=np.uint64)
+            for stream, (event_type, hourly_rate) in enumerate(
+                sorted(schema.events.rates.items())
+            ):
+                lam = hourly_rate * _EVENT_BIN / _HOUR
+                counts = poisson_counts(seed, indices, lam, stream=stream + 1)
+                for idx, count in zip(indices[counts > 0], counts[counts > 0]):
+                    bin_start = float(idx) * _EVENT_BIN
+                    offsets = uniform_at(
+                        seed,
+                        np.arange(int(count), dtype=np.uint64) + idx,
+                        stream=1000 + stream,
+                    )
+                    for off in offsets:
+                        times.append(bin_start + float(off) * _EVENT_BIN)
+                        types.append(event_type)
+        # Burst effects add failure events deterministically.
+        for effect in self._effects.get((dataset, component.name), []):
+            lo = max(t0, effect.start)
+            hi = min(t1, effect.end)
+            if hi <= lo or effect.rate <= 0.0:
+                continue
+            n_events = max(1, int(round(effect.rate * (hi - lo) / _HOUR)))
+            event_times = np.linspace(lo, hi, n_events, endpoint=False)
+            times.extend(float(x) for x in event_times)
+            types.extend([effect.event_type] * n_events)
+        order = np.argsort(times, kind="stable")
+        times_arr = np.asarray(times, dtype=float)[order]
+        types_tuple = tuple(types[i] for i in order)
+        return EventSeries(times_arr, types_tuple)
+
+    # -- convenience -------------------------------------------------------
+
+    def datasets_covering(self, component: Component) -> list[DatasetSchema]:
+        """Active schemas that monitor this component's kind."""
+        return [
+            schema
+            for name, schema in sorted(self._schemas.items())
+            if name not in self._inactive and schema.covers(component.kind)
+        ]

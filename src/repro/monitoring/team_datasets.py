@@ -1,0 +1,63 @@
+"""Monitoring datasets owned by teams other than PhyNet.
+
+The paper's vision is a *collection* of Scouts (§4), each over its own
+team's monitoring data.  Table 2 only inventories PhyNet's twelve
+datasets; these are the synthetic equivalents for the other teams that
+build Scouts in this reproduction (Storage, SLB, DNS, Database), sized
+like their real-world counterparts (stamp diagnostics, VIP probes,
+resolver monitors, query telemetry).
+"""
+
+from __future__ import annotations
+
+from ..datacenter.components import ComponentKind
+from .base import BaselineSpec, DataKind, DatasetSchema, EventSpec
+
+__all__ = ["team_datasets", "TEAM_DATASET_NAMES"]
+
+_SERVER = frozenset({ComponentKind.SERVER})
+_CLUSTER = frozenset({ComponentKind.CLUSTER})
+
+
+def team_datasets() -> list[DatasetSchema]:
+    """Datasets for the non-PhyNet Scout-building teams."""
+    return [
+        DatasetSchema(
+            name="disk_io_errors",
+            kind=DataKind.EVENT,
+            component_kinds=_SERVER,
+            description="Disk IO error records collected by the storage team",
+            events=EventSpec(rates={"io_error": 0.02}),
+        ),
+        DatasetSchema(
+            name="storage_latency",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SERVER,
+            description="Storage stamp request latency per extent node (ms)",
+            baseline=BaselineSpec(mean=5.0, std=0.5, diurnal_amp=0.5, floor=0.0),
+        ),
+        DatasetSchema(
+            name="vip_probe_failures",
+            kind=DataKind.EVENT,
+            component_kinds=_CLUSTER,
+            description="SLB health-probe failures per VIP pool",
+            events=EventSpec(rates={"probe_failure": 0.05}),
+        ),
+        DatasetSchema(
+            name="dns_query_timeouts",
+            kind=DataKind.EVENT,
+            component_kinds=_CLUSTER,
+            description="Resolver query timeouts per zone",
+            events=EventSpec(rates={"query_timeout": 0.04}),
+        ),
+        DatasetSchema(
+            name="db_query_latency",
+            kind=DataKind.TIME_SERIES,
+            component_kinds=_SERVER,
+            description="Database query latency per replica (ms)",
+            baseline=BaselineSpec(mean=12.0, std=1.5, diurnal_amp=2.0, floor=0.0),
+        ),
+    ]
+
+
+TEAM_DATASET_NAMES = tuple(schema.name for schema in team_datasets())

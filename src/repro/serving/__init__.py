@@ -1,0 +1,5 @@
+"""Online serving substrate: the incident manager of §6."""
+
+from .manager import IncidentManager, ScoutServiceStats, ServingDecision
+
+__all__ = ["IncidentManager", "ScoutServiceStats", "ServingDecision"]

@@ -1,0 +1,201 @@
+"""The incident manager: the online serving side of §6.
+
+In production, "the online component provides a REST interface and is
+activated once an incident is created in the provider's incident
+management system: the incident manager makes calls to the online
+component, which runs the desired models and returns a prediction."
+Crucially, the deployed Scout ran in *suggestion mode*: "we do not take
+action based on the output of the Scout but rather observe what would
+have happened if it was used for routing decisions."
+
+:class:`IncidentManager` is that integration point for the synthetic
+cloud: Scouts register as gate-keepers, incoming incidents fan out to
+them, answers compose through a Scout Master, and every decision —
+acted on or merely suggested — lands in an auditable log.  A
+:class:`~repro.core.drift.DriftMonitor` per Scout watches accuracy as
+incidents resolve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..core.drift import DriftMonitor
+from ..core.scout import Scout, ScoutPrediction
+from ..incidents.incident import Incident
+from ..simulation.scout_master import ScoutAnswer, ScoutMaster
+from ..simulation.teams import TeamRegistry
+
+__all__ = ["ServingDecision", "ScoutServiceStats", "IncidentManager"]
+
+
+@dataclass(frozen=True)
+class ServingDecision:
+    """One logged routing decision."""
+
+    incident_id: int
+    suggested_team: str | None
+    answers: tuple[ScoutAnswer, ...]
+    predictions: tuple[ScoutPrediction, ...]
+    latency_seconds: float
+    acted: bool
+
+
+@dataclass
+class ScoutServiceStats:
+    """Per-Scout serving counters."""
+
+    team: str
+    calls: int = 0
+    said_yes: int = 0
+    said_no: int = 0
+    abstained: int = 0
+    total_latency: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.calls if self.calls else 0.0
+
+
+class IncidentManager:
+    """Registers Scouts and serves routing suggestions for incidents.
+
+    Parameters
+    ----------
+    registry:
+        The team universe (for the Scout Master's dependency logic).
+    suggestion_mode:
+        When True (the deployed default), decisions are logged but
+        ``acted`` is False — what-if analysis without routing risk.
+    confidence_floor:
+        Minimum confidence for a "yes" to count in composition.
+    """
+
+    def __init__(
+        self,
+        registry: TeamRegistry,
+        suggestion_mode: bool = True,
+        confidence_floor: float = 0.5,
+        clock=time.perf_counter,
+    ) -> None:
+        self.registry = registry
+        self.suggestion_mode = suggestion_mode
+        self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
+        self._scouts: dict[str, Scout] = {}
+        self._stats: dict[str, ScoutServiceStats] = {}
+        self._monitors: dict[str, DriftMonitor] = {}
+        self._log: list[ServingDecision] = []
+        self._clock = clock
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, scout: Scout) -> None:
+        """Register a team's Scout as its gate-keeper."""
+        if scout.team not in self.registry:
+            raise ValueError(f"unknown team: {scout.team!r}")
+        if scout.team in self._scouts:
+            raise ValueError(f"{scout.team} already has a registered Scout")
+        self._scouts[scout.team] = scout
+        self._stats[scout.team] = ScoutServiceStats(team=scout.team)
+        self._monitors[scout.team] = DriftMonitor()
+
+    def unregister(self, team: str) -> None:
+        self._scouts.pop(team, None)
+
+    @property
+    def registered_teams(self) -> list[str]:
+        return sorted(self._scouts)
+
+    # -- serving -----------------------------------------------------------------
+
+    def handle(self, incident: Incident) -> ServingDecision:
+        """Fan an incident out to every registered Scout and compose."""
+        started = self._clock()
+        answers: list[ScoutAnswer] = []
+        predictions: list[ScoutPrediction] = []
+        for team, scout in sorted(self._scouts.items()):
+            call_start = self._clock()
+            prediction = scout.predict(incident)
+            elapsed = self._clock() - call_start
+            stats = self._stats[team]
+            stats.calls += 1
+            stats.total_latency += elapsed
+            if prediction.responsible is None:
+                stats.abstained += 1
+            elif prediction.responsible:
+                stats.said_yes += 1
+            else:
+                stats.said_no += 1
+            predictions.append(prediction)
+            answers.append(
+                ScoutAnswer(team, prediction.responsible, prediction.confidence)
+            )
+        suggested = self._master.route(answers)
+        decision = ServingDecision(
+            incident_id=incident.incident_id,
+            suggested_team=suggested,
+            answers=tuple(answers),
+            predictions=tuple(predictions),
+            latency_seconds=self._clock() - started,
+            acted=not self.suggestion_mode and suggested is not None,
+        )
+        self._log.append(decision)
+        return decision
+
+    # -- feedback ------------------------------------------------------------------
+
+    def resolve(self, incident_id: int, responsible_team: str) -> None:
+        """Report an incident's resolution; feeds the drift monitors."""
+        decision = next(
+            (d for d in reversed(self._log) if d.incident_id == incident_id),
+            None,
+        )
+        if decision is None:
+            raise KeyError(f"no served decision for incident {incident_id}")
+        for answer in decision.answers:
+            truth = answer.team == responsible_team
+            if answer.responsible is None:
+                continue
+            self._monitors[answer.team].record(
+                correct=(answer.responsible == truth)
+            )
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def log(self) -> list[ServingDecision]:
+        return list(self._log)
+
+    def stats(self, team: str) -> ScoutServiceStats:
+        return self._stats[team]
+
+    def drift_monitor(self, team: str) -> DriftMonitor:
+        return self._monitors[team]
+
+    def whatif_accuracy(self, truth: dict[int, str]) -> dict[str, float]:
+        """What-if analysis over the decision log.
+
+        ``truth`` maps incident id → responsible team.  Returns the
+        fraction of logged decisions that suggested correctly, the
+        fraction that abstained, and the mis-suggestion rate.
+        """
+        suggested_right = suggested_wrong = abstained = 0
+        for decision in self._log:
+            responsible = truth.get(decision.incident_id)
+            if responsible is None:
+                continue
+            if decision.suggested_team is None:
+                abstained += 1
+            elif decision.suggested_team == responsible:
+                suggested_right += 1
+            else:
+                suggested_wrong += 1
+        total = suggested_right + suggested_wrong + abstained
+        if total == 0:
+            return {"correct": 0.0, "wrong": 0.0, "abstained": 0.0}
+        return {
+            "correct": suggested_right / total,
+            "wrong": suggested_wrong / total,
+            "abstained": abstained / total,
+        }

@@ -1,0 +1,40 @@
+"""Cloud-simulation substrate: teams, scenarios, workload, legacy routing."""
+
+from .legacy_router import RoutedOutcome, RoutingModel
+from .mle_master import MleScoutMaster, ScoutProfile, simulate_mle_gain
+from .nlp_baseline import NlpRouter, Recommendation
+from .scenarios import EffectTemplate, Scenario, ScenarioInstance, default_scenarios
+from .scout_master import (
+    AbstractScout,
+    ScoutAnswer,
+    ScoutMaster,
+    simulate_master_gain,
+)
+from .storage_scout import StorageRuleScout
+from .teams import Team, TeamRegistry, default_teams
+from .workload import CloudSimulation, SimulationConfig, storage_dataset
+
+__all__ = [
+    "AbstractScout",
+    "MleScoutMaster",
+    "ScoutProfile",
+    "simulate_mle_gain",
+    "CloudSimulation",
+    "EffectTemplate",
+    "NlpRouter",
+    "Recommendation",
+    "RoutedOutcome",
+    "RoutingModel",
+    "Scenario",
+    "ScenarioInstance",
+    "ScoutAnswer",
+    "ScoutMaster",
+    "SimulationConfig",
+    "StorageRuleScout",
+    "Team",
+    "TeamRegistry",
+    "default_scenarios",
+    "default_teams",
+    "simulate_master_gain",
+    "storage_dataset",
+]

@@ -1,0 +1,221 @@
+"""The legacy incident-routing process (the paper's baseline).
+
+"Operators use run-books, past-experience, and a natural language
+processing (NLP)-based recommendation system to route incidents" (§2).
+This module simulates that process as a stochastic hop chain calibrated
+to §3's measurements:
+
+* watchdog incidents start at the team whose monitor fired;
+* CRIs start at a support-team guess driven by the observed symptom;
+* wrong teams spend real time "proving their innocence" before the
+  incident moves on — mis-routed incidents end up roughly 10× slower
+  than directly-routed ones (Figure 2);
+* the next suspect is biased toward dependencies of the impacted
+  system, which is how PhyNet ends up a waypoint in ~35% of incidents
+  it sees (Figure 4);
+* the highest-severity incidents engage many teams at once ("all teams
+  are involved in resolving the highest severity incidents", §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..incidents.incident import IncidentSource, Severity
+from ..incidents.routing import RoutingHop, RoutingTrace
+from ..ml.base import as_rng
+from .scenarios import ScenarioInstance
+from .teams import CUSTOMER, PHYNET, TeamRegistry
+
+__all__ = ["RoutingModel", "RoutedOutcome"]
+
+
+@dataclass(frozen=True)
+class RoutedOutcome:
+    """How the legacy process created and routed one incident."""
+
+    source: IncidentSource
+    source_team: str
+    trace: RoutingTrace
+
+
+@dataclass
+class RoutingModel:
+    """Stochastic legacy-routing simulator.
+
+    Time units are hours.  ``resolve_hours`` is the median time the
+    responsible team needs once it has the incident; ``wrong_hop_factor``
+    scales the median time burned at each wrong team (queueing,
+    acknowledgment, proving innocence) relative to that.
+    """
+
+    registry: TeamRegistry
+    resolve_hours: float = 1.0
+    wrong_hop_factor: float = 6.0
+    sigma: float = 0.6
+    # Probability a watchdog's built-in rules route its incident to the
+    # detecting team itself (they usually do).
+    own_team_first: float = 0.95
+    # Per-hop probability the investigating team correctly identifies the
+    # responsible team as the next hop (grows as teams are eliminated).
+    base_find_prob: float = 0.4
+    max_wrong_hops: int = 6
+
+    def _lognormal(self, rng: np.random.Generator, median: float) -> float:
+        return float(median * np.exp(rng.normal(0.0, self.sigma)))
+
+    def _first_team(
+        self,
+        instance: ScenarioInstance,
+        source: IncidentSource,
+        source_team: str,
+        rng: np.random.Generator,
+    ) -> str:
+        if source is not IncidentSource.CUSTOMER:
+            if rng.random() < self.own_team_first:
+                return source_team
+            return self._suspect_for_symptom(instance, rng, exclude=())
+        # CRI: the 24x7 support team guesses from the symptom.
+        return self._suspect_for_symptom(instance, rng, exclude=())
+
+    def _suspect_for_symptom(
+        self,
+        instance: ScenarioInstance,
+        rng: np.random.Generator,
+        exclude: tuple[str, ...],
+    ) -> str:
+        symptom = instance.scenario.symptom
+        candidates = [
+            name
+            for name in self.registry.suspects_for_symptom(symptom)
+            if name != CUSTOMER and name not in exclude
+        ]
+        if not candidates:
+            candidates = [
+                name
+                for name in self.registry.internal_names
+                if name not in exclude
+            ]
+        # The true responsible team's watchdogs describe their own
+        # symptoms, so it is a more likely guess when it matches.
+        responsible = instance.scenario.responsible
+        weights = np.array(
+            [
+                3.0 if name == responsible
+                else 1.5 if name == PHYNET
+                else 1.0
+                for name in candidates
+            ]
+        )
+        weights /= weights.sum()
+        return candidates[int(rng.choice(len(candidates), p=weights))]
+
+    def _next_team(
+        self,
+        current: str,
+        instance: ScenarioInstance,
+        visited: list[str],
+        rng: np.random.Generator,
+    ) -> str:
+        responsible = instance.scenario.responsible
+        # Teams are eliminated as they prove innocence, so the chance the
+        # next hop is correct grows with each hand-off.
+        find_prob = min(
+            0.97, self.base_find_prob + 0.15 * max(0, len(visited) - 1)
+        )
+        if responsible == CUSTOMER:
+            # External causes keep the hunt going internally (§3.2:
+            # "when no teams are responsible, more teams get involved").
+            find_prob *= 0.5
+        if rng.random() < find_prob:
+            return responsible
+        # Wrong guess: dependencies of the current team are legitimate
+        # suspects — this is the paper's most common mis-route cause.
+        deps = [d for d in self.registry.dependencies(current) if d not in visited]
+        if deps and rng.random() < 0.8:
+            # PhyNet underpins nearly everything, making it the most
+            # common spurious waypoint.
+            weights = np.array([4.0 if d == PHYNET else 1.0 for d in deps])
+            weights /= weights.sum()
+            return deps[int(rng.choice(len(deps), p=weights))]
+        return self._suspect_for_symptom(instance, rng, exclude=tuple(visited))
+
+    def route(
+        self,
+        instance: ScenarioInstance,
+        incident_id: int,
+        rng: int | np.random.Generator | None = None,
+    ) -> RoutedOutcome:
+        """Simulate creation + legacy routing for one scenario instance."""
+        rng = as_rng(rng)
+        scenario = instance.scenario
+        responsible = scenario.responsible
+
+        # -- creation source ------------------------------------------------
+        if scenario.detected_by == "customer" or rng.random() < scenario.cri_prob:
+            source = IncidentSource.CUSTOMER
+            source_team = ""
+        else:
+            if scenario.detected_by == "responsible":
+                detector = responsible
+            elif rng.random() < 0.6:
+                detector = scenario.detected_by
+            else:
+                detector = responsible
+            if detector == CUSTOMER:
+                source = IncidentSource.CUSTOMER
+                source_team = ""
+            else:
+                source = (
+                    IncidentSource.OWN_MONITOR
+                    if detector == responsible
+                    else IncidentSource.OTHER_MONITOR
+                )
+                source_team = detector
+
+        # -- hop chain --------------------------------------------------------
+        hops: list[RoutingHop] = []
+        current = self._first_team(instance, source, source_team, rng)
+        visited = [current]
+        wrong_hops = 0
+        while current != responsible:
+            hops.append(
+                RoutingHop(
+                    current,
+                    self._lognormal(
+                        rng, self.resolve_hours * self.wrong_hop_factor
+                    ),
+                )
+            )
+            wrong_hops += 1
+            if wrong_hops >= self.max_wrong_hops:
+                current = responsible
+                break
+            current = self._next_team(current, instance, visited, rng)
+            if current not in visited:
+                visited.append(current)
+        # The responsible team's own (resolving) stint.
+        hops.append(RoutingHop(responsible, self._lognormal(rng, self.resolve_hours)))
+
+        # Highest-severity incidents pull in extra teams regardless of
+        # routing quality (§3.1) — modeled as parallel short stints.
+        if instance.severity is Severity.HIGH:
+            extras = [
+                name
+                for name in self.registry.internal_names
+                if name not in {hop.team for hop in hops}
+            ]
+            rng.shuffle(extras)
+            for name in extras[:4]:
+                hops.insert(
+                    len(hops) - 1,
+                    RoutingHop(name, self._lognormal(rng, 0.3 * self.resolve_hours)),
+                )
+
+        return RoutedOutcome(
+            source=source,
+            source_team=source_team,
+            trace=RoutingTrace(incident_id=incident_id, hops=hops),
+        )

@@ -1,0 +1,208 @@
+"""MLE-based Scout Master (Appendix C's "more sophisticated" variant).
+
+The strawman composition routes on raw yes/no answers.  Appendix C
+sketches the upgrade: "More sophisticated algorithms can predict the
+team 'most likely' to be responsible (the MLE estimate [54]) for an
+incident given the historic accuracy of each Scout and its output
+confidence score."
+
+For team *t* with per-Scout answers *aᵢ*, the posterior over "t is
+responsible" combines each Scout's answer with its historically
+measured true/false-positive rates, treating Scouts as conditionally
+independent:
+
+    L(t) = P(answers | t responsible) · P(t)
+         = Πᵢ P(aᵢ | responsible=𝟙[i = t]) · P(t)
+
+A Scout's answer likelihood interpolates between its historic hit rates
+using the reported confidence, so a low-confidence "yes" moves the
+posterior less than a high-confidence one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ml.base import as_rng
+from ..incidents.store import IncidentStore
+from .scout_master import AbstractScout, ScoutAnswer
+from .teams import TeamRegistry
+
+__all__ = ["ScoutProfile", "MleScoutMaster", "simulate_mle_gain"]
+
+
+@dataclass
+class ScoutProfile:
+    """Historic accuracy of one Scout, as the MLE master tracks it.
+
+    Laplace-smoothed counts of (answer, truth) outcomes.
+    """
+
+    team: str
+    tp: float = 1.0  # said yes, was responsible
+    fn: float = 1.0  # said no, was responsible
+    fp: float = 1.0  # said yes, was not responsible
+    tn: float = 1.0  # said no, was not responsible
+
+    @property
+    def true_positive_rate(self) -> float:
+        return self.tp / (self.tp + self.fn)
+
+    @property
+    def false_positive_rate(self) -> float:
+        return self.fp / (self.fp + self.tn)
+
+    def update(self, said_yes: bool, was_responsible: bool) -> None:
+        if was_responsible:
+            if said_yes:
+                self.tp += 1.0
+            else:
+                self.fn += 1.0
+        elif said_yes:
+            self.fp += 1.0
+        else:
+            self.tn += 1.0
+
+    def answer_likelihood(
+        self, answer: ScoutAnswer, team_responsible: bool
+    ) -> float:
+        """P(this answer | whether the Scout's team is responsible).
+
+        The reported confidence interpolates between the historic rate
+        and indifference (0.5): confidence 1 trusts the profile fully,
+        confidence 0.5 says the Scout itself is guessing.
+        """
+        rate = (
+            self.true_positive_rate
+            if team_responsible
+            else self.false_positive_rate
+        )
+        p_yes_historic = rate
+        weight = max(0.0, min(1.0, 2.0 * (answer.confidence - 0.5)))
+        p_yes = weight * p_yes_historic + (1.0 - weight) * 0.5
+        p_yes = min(max(p_yes, 1e-6), 1.0 - 1e-6)
+        return p_yes if answer.responsible else 1.0 - p_yes
+
+
+class MleScoutMaster:
+    """Maximum-likelihood composition of Scout answers.
+
+    Tracks each Scout's historic accuracy online (or accepts priors) and
+    routes to the argmax-posterior team when the posterior clears
+    ``decision_threshold``; otherwise falls back to legacy routing.
+    """
+
+    def __init__(
+        self,
+        registry: TeamRegistry,
+        priors: dict[str, float] | None = None,
+        decision_threshold: float = 0.3,
+    ) -> None:
+        self.registry = registry
+        self.decision_threshold = decision_threshold
+        self._profiles: dict[str, ScoutProfile] = {}
+        self._priors = dict(priors or {})
+
+    def profile(self, team: str) -> ScoutProfile:
+        if team not in self._profiles:
+            self._profiles[team] = ScoutProfile(team)
+        return self._profiles[team]
+
+    def _prior(self, team: str) -> float:
+        return self._priors.get(team, 1.0)
+
+    def posterior(self, answers: list[ScoutAnswer]) -> dict[str, float]:
+        """P(team responsible | answers) over the answering teams."""
+        teams = [answer.team for answer in answers]
+        scores = {}
+        for candidate in teams:
+            likelihood = self._prior(candidate)
+            for answer in answers:
+                likelihood *= self.profile(answer.team).answer_likelihood(
+                    answer, team_responsible=(answer.team == candidate)
+                )
+            scores[candidate] = likelihood
+        # "None of the above": every Scout answers about a non-
+        # responsible team.
+        none_likelihood = self._prior("__none__") if "__none__" in self._priors else 1.0
+        for answer in answers:
+            none_likelihood *= self.profile(answer.team).answer_likelihood(
+                answer, team_responsible=False
+            )
+        scores["__none__"] = none_likelihood
+        total = sum(scores.values())
+        if total <= 0:
+            return {team: 0.0 for team in scores}
+        return {team: score / total for team, score in scores.items()}
+
+    def route(self, answers: list[ScoutAnswer]) -> str | None:
+        """The MLE team, or None (fall back) when nothing is likely."""
+        if not answers:
+            return None
+        posterior = self.posterior(answers)
+        best_team = max(
+            (team for team in posterior if team != "__none__"),
+            key=lambda team: posterior[team],
+        )
+        if posterior[best_team] < self.decision_threshold:
+            return None
+        if posterior["__none__"] > posterior[best_team]:
+            return None
+        return best_team
+
+    def observe(self, answers: list[ScoutAnswer], responsible: str) -> None:
+        """Online profile update after the incident resolves."""
+        for answer in answers:
+            self.profile(answer.team).update(
+                said_yes=bool(answer.responsible),
+                was_responsible=(answer.team == responsible),
+            )
+
+
+def simulate_mle_gain(
+    incidents: IncidentStore,
+    scouts: list[AbstractScout],
+    registry: TeamRegistry,
+    rng: int | np.random.Generator | None = 0,
+    decision_threshold: float = 0.3,
+    master: MleScoutMaster | None = None,
+) -> np.ndarray:
+    """Replay routing traces through the MLE master (cf. Figure 16).
+
+    The master learns each Scout's accuracy online from resolved
+    incidents, so early decisions are cautious and later ones exploit
+    the measured profiles.  Pass a pre-warmed ``master`` to continue an
+    existing profile history (e.g. warm up on one period, evaluate on
+    the next).
+    """
+    rng = as_rng(rng)
+    if master is None:
+        master = MleScoutMaster(registry, decision_threshold=decision_threshold)
+    fractions = []
+    for incident in incidents:
+        trace = incidents.trace(incident.incident_id)
+        if trace is None or not trace.mis_routed:
+            continue
+        total = trace.total_time
+        if total <= 0:
+            continue
+        answers = [
+            scout.answer(incident.responsible_team, rng) for scout in scouts
+        ]
+        choice = master.route(answers)
+        if choice is None:
+            fractions.append(0.0)
+        elif choice == incident.responsible_team:
+            fractions.append(trace.time_before(choice) / total)
+        else:
+            wrong_times = [
+                hop.time_spent
+                for hop in trace.hops
+                if hop.team != trace.resolved_by
+            ]
+            penalty = float(np.mean(wrong_times)) if wrong_times else 0.0
+            fractions.append(-penalty / total)
+        master.observe(answers, incident.responsible_team)
+    return np.array(fractions)

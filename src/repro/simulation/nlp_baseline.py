@@ -1,0 +1,86 @@
+"""The provider's NLP-based recommendation system (§2, §7, Table 1).
+
+"A multi-class classifier that only takes the incident description as
+input ... The classifier produces a ranked list (along with categorical
+— high, medium, and low — confidence scores) as a recommendation to
+the operator."  It is precise but misses incidents whose text does not
+reflect component state — the weakness Scouts fix by reading monitoring
+data.
+
+Implementation: TF-IDF features over the incident text into a softmax
+(multinomial logistic regression) classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..incidents.incident import Incident
+from ..ml.linear import LogisticRegression
+from ..ml.text import TfidfVectorizer
+
+__all__ = ["Recommendation", "NlpRouter"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A ranked routing recommendation for one incident."""
+
+    ranked_teams: tuple[str, ...]
+    probabilities: tuple[float, ...]
+
+    @property
+    def top(self) -> str:
+        return self.ranked_teams[0]
+
+    @property
+    def confidence_label(self) -> str:
+        """The categorical confidence the production system exposes."""
+        top = self.probabilities[0]
+        if top >= 0.7:
+            return "high"
+        if top >= 0.4:
+            return "medium"
+        return "low"
+
+
+class NlpRouter:
+    """Text-only multi-class incident router."""
+
+    def __init__(
+        self, max_features: int = 400, min_df: int = 2
+    ) -> None:
+        self._vectorizer = TfidfVectorizer(max_features=max_features, min_df=min_df)
+        self._model = LogisticRegression(max_iter=400)
+        self._fitted = False
+
+    def fit(self, incidents) -> "NlpRouter":
+        """Train on incidents' text → recorded owning team."""
+        texts = [incident.text for incident in incidents]
+        labels = np.array([incident.recorded_team for incident in incidents])
+        if len(np.unique(labels)) < 2:
+            raise ValueError("need incidents from at least two teams")
+        X = self._vectorizer.fit_transform(texts)
+        self._model.fit(X, labels)
+        self._fitted = True
+        return self
+
+    def recommend(self, incident: Incident) -> Recommendation:
+        if not self._fitted:
+            raise RuntimeError("NlpRouter must be fitted first")
+        X = self._vectorizer.transform([incident.text])
+        proba = self._model.predict_proba(X)[0]
+        order = np.argsort(-proba)
+        return Recommendation(
+            ranked_teams=tuple(str(self._model.classes_[i]) for i in order),
+            probabilities=tuple(float(proba[i]) for i in order),
+        )
+
+    def predict_team(self, incident: Incident) -> str:
+        return self.recommend(incident).top
+
+    def predict_is_team(self, incident: Incident, team: str) -> bool:
+        """Binary view for Table 1's per-team comparison."""
+        return self.predict_team(incident) == team

@@ -1,0 +1,589 @@
+"""The failure-scenario library.
+
+Each :class:`Scenario` describes one root-cause class observed in §3's
+incident study: who is responsible, what symptom the watchdog or
+customer observes, which components are implicated, and how the failure
+distorts the monitoring plane.  Instantiating a scenario at a timestamp
+yields concrete :class:`~repro.monitoring.base.FailureEffect`s plus the
+component names the incident text will mention.
+
+The library deliberately includes the paper's hard cases:
+
+* scenarios with **no monitoring signature** (DHCP misconfiguration —
+  §7.2 "none of the monitoring data captures the incident's symptoms");
+* **transient** incidents whose signal is gone by the time the Scout
+  looks (§7.2 false negatives);
+* **ambiguous** signals (a Compute-owned host failure still shows up in
+  PhyNet's device-reboot dataset);
+* **cluster-only** incidents that can collide with concurrent PhyNet
+  problems (§7.2 false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.components import Component, ComponentKind
+from ..datacenter.topology import Topology
+from ..incidents.incident import Severity
+from ..ml.base import as_rng
+from ..monitoring.base import FailureEffect
+from . import teams as T
+
+__all__ = ["EffectTemplate", "Scenario", "ScenarioInstance", "default_scenarios"]
+
+_HOUR = 3600.0
+
+
+@dataclass(frozen=True)
+class EffectTemplate:
+    """A distortion recipe, resolved against concrete components.
+
+    ``target`` selects which components receive the effect:
+    ``primary`` (the failing device), ``rack_servers`` (servers under a
+    failing ToR), ``cluster_switches`` / ``cluster_servers`` (everything
+    of that kind in the affected cluster).
+    """
+
+    dataset: str
+    target: str
+    mode: str
+    magnitude: float = 0.0
+    event_type: str | None = None
+    rate: float = 0.0
+    lead: float = 0.5 * _HOUR     # effect starts this long before creation
+    lag: float = 1.0 * _HOUR      # ... and persists this long after
+
+    def __post_init__(self) -> None:
+        if self.target not in (
+            "primary",
+            "rack_servers",
+            "cluster_switches",
+            "cluster_servers",
+        ):
+            raise ValueError(f"unknown effect target: {self.target!r}")
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """A scenario bound to concrete components and a timestamp."""
+
+    scenario: "Scenario"
+    created_at: float
+    primary: tuple[Component, ...]
+    cluster: Component
+    mentioned: tuple[str, ...]
+    effects: tuple[FailureEffect, ...]
+    severity: Severity
+    transient: bool
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One root-cause class."""
+
+    name: str
+    responsible: str
+    symptom: str
+    weight: float
+    primary_kind: ComponentKind        # kind of the failing device
+    n_primary: int = 1
+    effects: tuple[EffectTemplate, ...] = ()
+    # What the incident text names: any of "primary", "affected_vms",
+    # "affected_servers", "cluster".
+    mentions: tuple[str, ...] = ("primary", "cluster")
+    # Probability the incident is a CRI (vs. watchdog-created).
+    cri_prob: float = 0.1
+    # Which team's watchdog usually fires (defaults to the symptom
+    # owner); "responsible" means the responsible team's own monitor.
+    detected_by: str = "responsible"
+    severity_probs: tuple[tuple[Severity, float], ...] = (
+        (Severity.LOW, 0.5),
+        (Severity.MEDIUM, 0.4),
+        (Severity.HIGH, 0.1),
+    )
+    transient_prob: float = 0.0
+    # Jitter applied to effect magnitudes/rates at instantiation.
+    magnitude_jitter: tuple[float, float] = (0.7, 1.4)
+    # The symptom another team's watchdog *observes* when it (not the
+    # responsible team) detects this failure — e.g. a ToR reboot
+    # surfaces as virtual-disk failures to the storage team's monitors
+    # (the paper's §7.5 case study).  Defaults to ``symptom``.
+    observed_symptom: str = ""
+    # Day (since the simulation epoch) this failure mode first exists.
+    # Non-zero models the paper's §7.3 episode: "in October-November a
+    # new type of incident kept recurring which the model initially
+    # consistently mis-classified" — the workload is non-stationary.
+    available_from_day: float = 0.0
+    # Diagnostic phrasing the responsible team's own watchdog includes
+    # in the incident text; other teams' watchdogs only describe the
+    # symptom they observed (§7: "the text of the incident often
+    # describes the symptoms observed but does not reflect the actual
+    # state of the network's components").
+    detail: str = ""
+
+    def _pick_primary(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        cluster: Component | None = None,
+    ) -> tuple[Component, ...]:
+        if cluster is not None and self.primary_kind is not ComponentKind.CLUSTER:
+            pool = topology.members(cluster.name, self.primary_kind)
+        else:
+            pool = topology.components(self.primary_kind)
+            if cluster is not None:
+                pool = [c for c in pool if c.name == cluster.name] or pool
+        if not pool:
+            pool = topology.components(self.primary_kind)
+        if not pool:
+            raise ValueError(f"topology has no {self.primary_kind} components")
+        count = min(self.n_primary, len(pool))
+        idx = rng.choice(len(pool), size=count, replace=False)
+        return tuple(pool[int(i)] for i in idx)
+
+    def _resolve_targets(
+        self, target: str, primary: tuple[Component, ...], topology: Topology
+    ) -> list[Component]:
+        cluster = _cluster_of(primary[0], topology)
+        if target == "primary":
+            return list(primary)
+        if target == "rack_servers":
+            servers: list[Component] = []
+            for device in primary:
+                if device.kind is ComponentKind.SWITCH:
+                    # Servers that depend on this ToR.
+                    for server in topology.members(
+                        cluster.name, ComponentKind.SERVER
+                    ):
+                        deps = topology.expand_dependencies(server.name)
+                        if device in deps:
+                            servers.append(server)
+                elif device.kind is ComponentKind.SERVER:
+                    servers.append(device)
+            return servers or list(primary)
+        if target == "cluster_switches":
+            return topology.members(cluster.name, ComponentKind.SWITCH)
+        if target == "cluster_servers":
+            return topology.members(cluster.name, ComponentKind.SERVER)
+        raise AssertionError(target)
+
+    def _mentioned_names(
+        self,
+        primary: tuple[Component, ...],
+        topology: Topology,
+        rng: np.random.Generator,
+    ) -> list[str]:
+        cluster = _cluster_of(primary[0], topology)
+        names: list[str] = []
+        for what in self.mentions:
+            if what == "primary":
+                names.extend(c.name for c in primary)
+            elif what == "cluster":
+                names.append(cluster.name)
+            elif what == "affected_servers":
+                servers = self._resolve_targets("rack_servers", primary, topology)
+                take = min(len(servers), 2)
+                names.extend(s.name for s in servers[:take])
+            elif what == "affected_vms":
+                servers = self._resolve_targets("rack_servers", primary, topology)
+                vms: list[Component] = []
+                for server in servers:
+                    vms.extend(topology.members(server.name, ComponentKind.VM))
+                if vms:
+                    take = min(len(vms), 2)
+                    idx = rng.choice(len(vms), size=take, replace=False)
+                    names.extend(vms[int(i)].name for i in idx)
+            else:
+                raise ValueError(f"unknown mention kind: {what!r}")
+        # Preserve order, drop duplicates.
+        seen: set[str] = set()
+        unique = []
+        for name in names:
+            if name not in seen:
+                seen.add(name)
+                unique.append(name)
+        return unique
+
+    def instantiate(
+        self,
+        topology: Topology,
+        created_at: float,
+        rng: int | np.random.Generator | None = None,
+        cluster: Component | None = None,
+    ) -> ScenarioInstance:
+        """Bind this scenario to concrete components at ``created_at``.
+
+        ``cluster`` pins the blast radius — used to create simultaneous
+        incidents with overlapping components (§7.2's false-positive
+        case).
+        """
+        rng = as_rng(rng)
+        primary = self._pick_primary(topology, rng, cluster=cluster)
+        cluster = _cluster_of(primary[0], topology)
+        transient = bool(rng.random() < self.transient_prob)
+        effects: list[FailureEffect] = []
+        if not transient:
+            lo, hi = self.magnitude_jitter
+            for template in self.effects:
+                jitter = float(rng.uniform(lo, hi))
+                for component in self._resolve_targets(
+                    template.target, primary, topology
+                ):
+                    effects.append(
+                        FailureEffect(
+                            dataset=template.dataset,
+                            component=component.name,
+                            start=created_at - template.lead,
+                            end=created_at + template.lag,
+                            mode=template.mode,
+                            magnitude=template.magnitude * jitter,
+                            event_type=template.event_type,
+                            rate=template.rate * jitter,
+                        )
+                    )
+        severities, probs = zip(*self.severity_probs)
+        severity = severities[
+            int(rng.choice(len(severities), p=np.array(probs) / sum(probs)))
+        ]
+        return ScenarioInstance(
+            scenario=self,
+            created_at=created_at,
+            primary=primary,
+            cluster=cluster,
+            mentioned=tuple(self._mentioned_names(primary, topology, rng)),
+            effects=tuple(effects),
+            severity=severity,
+            transient=transient,
+        )
+
+
+def _cluster_of(component: Component, topology: Topology) -> Component:
+    if component.kind is ComponentKind.CLUSTER:
+        return component
+    cluster = topology.container(component.name, ComponentKind.CLUSTER)
+    if cluster is None:
+        # DC-level devices (spines) report their DC as the blast radius.
+        dc = topology.container(component.name, ComponentKind.DC)
+        if dc is None:
+            raise ValueError(f"{component.name} has no cluster or DC")
+        clusters = topology.members(dc.name, ComponentKind.CLUSTER)
+        return clusters[0]
+    return cluster
+
+
+def default_scenarios() -> list[Scenario]:
+    """The scenario library used by every experiment."""
+    return [
+        # ---- PhyNet-caused ------------------------------------------------
+        Scenario(
+            name="tor_reboot",
+            responsible=T.PHYNET,
+            detail="Fabric diagnostics: ToR switch reload detected, interface flaps on rack uplinks.",
+            observed_symptom="storage_failure",
+            symptom="connectivity_loss",
+            weight=7.0,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate(
+                    "device_reboots", "primary", "burst",
+                    event_type="reboot", rate=4.0,
+                ),
+                EffectTemplate("ping_statistics", "rack_servers", "shift", 1.2),
+                EffectTemplate(
+                    "canaries", "rack_servers", "burst",
+                    event_type="canary_unreachable", rate=6.0,
+                ),
+                EffectTemplate("link_loss_status", "primary", "shift", 8e-4),
+            ),
+            mentions=("affected_vms", "affected_servers", "cluster"),
+            detected_by=T.STORAGE,
+            cri_prob=0.1,
+        ),
+        Scenario(
+            name="fcs_corruption",
+            responsible=T.PHYNET,
+            detail="NetBouncer reports FCS corruption above threshold on fabric link.",
+            symptom="throughput",
+            weight=4.0,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate(
+                    "fcs_corruption", "primary", "burst",
+                    event_type="fcs_error", rate=5.0,
+                ),
+                EffectTemplate("link_drop_statistics", "primary", "shift", 1e-3),
+                EffectTemplate("interface_counters", "primary", "shift", 120.0),
+            ),
+            mentions=("primary", "cluster"),
+            detected_by="responsible",
+        ),
+        Scenario(
+            name="switch_silent_drops",
+            responsible=T.PHYNET,
+            detail="Fabric diagnostics: silent packet drop anomaly isolated to a switch.",
+            observed_symptom="db_errors",
+            symptom="connectivity_loss",
+            weight=5.0,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate("switch_drop_statistics", "primary", "shift", 1.5e-3),
+                EffectTemplate("interface_counters", "primary", "shift", 150.0),
+                EffectTemplate("ping_statistics", "rack_servers", "shift", 0.8),
+            ),
+            mentions=("affected_servers", "cluster"),
+            detected_by=T.DATABASE,
+        ),
+        Scenario(
+            name="pfc_storm",
+            responsible=T.PHYNET,
+            detail="PFC pause storm suspected on RDMA-enabled fabric switches.",
+            symptom="throughput",
+            weight=3.0,
+            primary_kind=ComponentKind.SWITCH,
+            n_primary=2,
+            effects=(
+                EffectTemplate("pfc_counters", "primary", "shift", 400.0),
+                EffectTemplate("pfc_counters", "cluster_switches", "shift", 120.0),
+                EffectTemplate("ping_statistics", "cluster_servers", "shift", 0.5),
+            ),
+            mentions=("cluster",),
+            detected_by="responsible",
+        ),
+        Scenario(
+            name="switch_overheat",
+            responsible=T.PHYNET,
+            detail="Switch ASIC temperature exceeds thermal envelope, parity errors logged.",
+            symptom="hardware",
+            weight=2.0,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate("temperature", "primary", "shift", 25.0),
+                EffectTemplate(
+                    "snmp_syslogs", "primary", "burst",
+                    event_type="parity_error", rate=4.0,
+                ),
+            ),
+            mentions=("primary",),
+            detected_by="responsible",
+        ),
+        Scenario(
+            name="agg_congestion",
+            responsible=T.PHYNET,
+            detail="Aggregation layer congestion: interface queues saturated on agg switches.",
+            observed_symptom="latency",
+            symptom="latency",
+            weight=3.5,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate("ping_statistics", "cluster_servers", "shift", 0.9),
+                EffectTemplate("interface_counters", "primary", "shift", 90.0),
+                EffectTemplate("pfc_counters", "primary", "shift", 150.0),
+            ),
+            mentions=("cluster",),
+            detected_by=T.CACHE,
+            cri_prob=0.15,
+        ),
+        Scenario(
+            name="tor_dhcp_misconfig",
+            responsible=T.PHYNET,
+            detail="DHCP relay misconfiguration suspected on ToR configuration push.",
+            observed_symptom="vm_crash",
+            symptom="connectivity_loss",
+            weight=1.0,
+            primary_kind=ComponentKind.SWITCH,
+            # No monitoring dataset captures DHCP (§7.2): zero effects.
+            effects=(),
+            mentions=("primary", "affected_servers"),
+            detected_by=T.COMPUTE,
+        ),
+        Scenario(
+            name="transient_latency_spike",
+            responsible=T.PHYNET,
+            detail="Intra-DC latency spike auto-resolved, monitoring for recurrence.",
+            observed_symptom="latency",
+            symptom="latency",
+            weight=0.8,
+            primary_kind=ComponentKind.SWITCH,
+            effects=(
+                EffectTemplate("ping_statistics", "rack_servers", "shift", 1.0),
+            ),
+            mentions=("affected_servers", "cluster"),
+            detected_by=T.WAN,
+            transient_prob=0.7,
+        ),
+        # ---- not PhyNet ----------------------------------------------------
+        Scenario(
+            name="storage_stamp_failure",
+            responsible=T.STORAGE,
+            detail="Storage stamp diagnostics: disk IO error rate rising on extent nodes.",
+            symptom="storage_failure",
+            weight=11.0,
+            primary_kind=ComponentKind.SERVER,
+            n_primary=3,
+            effects=(
+                EffectTemplate(
+                    "disk_io_errors", "primary", "burst",
+                    event_type="io_error", rate=10.0,
+                ),
+                EffectTemplate("storage_latency", "primary", "shift", 6.0),
+            ),
+            mentions=("affected_vms", "cluster"),
+            detected_by="responsible",
+            cri_prob=0.2,
+        ),
+        Scenario(
+            name="slb_update_regression",
+            responsible=T.SLB,
+            detail="SLB rollout health: VIP probe failures after MUX update deployment.",
+            symptom="lb_failure",
+            weight=7.0,
+            primary_kind=ComponentKind.CLUSTER,
+            effects=(
+                EffectTemplate(
+                    "vip_probe_failures", "primary", "burst",
+                    event_type="probe_failure", rate=8.0,
+                ),
+            ),
+            mentions=("cluster",),
+            detected_by=T.SLB,
+            cri_prob=0.25,
+        ),
+        Scenario(
+            name="hostnet_vfp_bug",
+            responsible=T.HOSTNET,
+            detail="Host networking: virtual filtering platform agent fault on host partition.",
+            observed_symptom="vm_crash",
+            symptom="connectivity_loss",
+            weight=6.0,
+            primary_kind=ComponentKind.SERVER,
+            n_primary=2,
+            # Host-level fault: nothing in PhyNet's monitoring plane
+            # reflects it (the ambiguity lives in the text alone).
+            effects=(),
+            mentions=("affected_vms", "primary", "cluster"),
+            detected_by=T.COMPUTE,
+            cri_prob=0.2,
+        ),
+        Scenario(
+            name="dns_zone_outage",
+            responsible=T.DNS,
+            detail="Authoritative DNS zone transfer failed, SOA serial mismatch.",
+            symptom="dns_failure",
+            weight=4.0,
+            primary_kind=ComponentKind.CLUSTER,
+            effects=(
+                EffectTemplate(
+                    "dns_query_timeouts", "primary", "burst",
+                    event_type="query_timeout", rate=10.0,
+                ),
+            ),
+            mentions=("cluster",),
+            detected_by="responsible",
+            cri_prob=0.3,
+        ),
+        Scenario(
+            name="db_replica_overload",
+            responsible=T.DATABASE,
+            detail="Database telemetry: replica lag and query queue growth beyond limits.",
+            symptom="db_errors",
+            weight=6.0,
+            primary_kind=ComponentKind.SERVER,
+            n_primary=2,
+            effects=(
+                EffectTemplate("db_query_latency", "primary", "shift", 15.0),
+            ),
+            mentions=("primary", "cluster"),
+            detected_by="responsible",
+            cri_prob=0.15,
+        ),
+        Scenario(
+            name="compute_host_failure",
+            responsible=T.COMPUTE,
+            detail="Compute fabric controller: host agent heartbeat lost, node marked unhealthy.",
+            symptom="vm_crash",
+            weight=6.0,
+            primary_kind=ComponentKind.SERVER,
+            effects=(
+                # Ambiguous: PhyNet's device_reboots dataset records host
+                # reboots even when Compute owns the root cause.
+                EffectTemplate(
+                    "device_reboots", "primary", "burst",
+                    event_type="reboot", rate=1.2,
+                ),
+            ),
+            mentions=("affected_vms", "primary", "cluster"),
+            detected_by="responsible",
+        ),
+        Scenario(
+            name="customer_misconfig",
+            responsible=T.CUSTOMER,
+            symptom="connectivity_loss",
+            weight=5.0,
+            primary_kind=ComponentKind.VM,
+            n_primary=1,
+            effects=(),
+            mentions=("primary", "cluster"),
+            detected_by="customer",
+            cri_prob=1.0,
+        ),
+        Scenario(
+            name="auth_token_outage",
+            responsible=T.AUTH,
+            detail="Identity platform: token signing service errors, STS latency elevated.",
+            symptom="auth_failure",
+            weight=3.0,
+            primary_kind=ComponentKind.CLUSTER,
+            effects=(),
+            mentions=("cluster",),
+            detected_by="responsible",
+            cri_prob=0.3,
+        ),
+        # ---- emerging failure mode (appears on day 150) -------------------
+        # A firmware regression reboots whole racks of servers at once.
+        # PhyNet owns the fix (the NIC/agent firmware push went through
+        # their pipeline), but the signature — server reboots + canary
+        # failures with *healthy switches* — resembles the Compute
+        # team's host failures, so a model trained before day 150
+        # consistently mis-classifies it until retraining catches up.
+        Scenario(
+            name="firmware_reboot_storm",
+            responsible=T.PHYNET,
+            symptom="vm_crash",
+            observed_symptom="vm_crash",
+            detail=(
+                "Fleet firmware push correlated with synchronized host "
+                "reboots; NIC agent suspected."
+            ),
+            weight=5.0,
+            primary_kind=ComponentKind.SERVER,
+            n_primary=4,
+            effects=(
+                EffectTemplate(
+                    "device_reboots", "primary", "burst",
+                    event_type="reboot", rate=6.0,
+                ),
+                EffectTemplate(
+                    "canaries", "primary", "burst",
+                    event_type="canary_unreachable", rate=8.0,
+                ),
+            ),
+            mentions=("primary", "affected_vms", "cluster"),
+            detected_by=T.COMPUTE,
+            available_from_day=150.0,
+        ),
+        Scenario(
+            name="firewall_policy_push",
+            responsible=T.FIREWALL,
+            detail="Firewall policy deployment rejected flows after ruleset push.",
+            symptom="connectivity_loss",
+            weight=3.0,
+            primary_kind=ComponentKind.CLUSTER,
+            effects=(),
+            mentions=("cluster",),
+            detected_by=T.FIREWALL,
+            cri_prob=0.2,
+        ),
+    ]

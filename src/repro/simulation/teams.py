@@ -1,0 +1,140 @@
+"""The team universe of the synthetic cloud.
+
+Teams "broadly refer to both internal teams in the cloud and external
+organizations" (§2).  The dependency graph drives mis-routing: "the most
+common cause of mis-routing is when a team's component is one of the
+dependencies of the impacted system and thus a legitimate suspect, but
+not the cause" (§3.2).  Nearly every service depends on PhyNet, which is
+why PhyNet receives 1-in-10 mis-routed incidents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Team",
+    "TeamRegistry",
+    "default_teams",
+    "PHYNET",
+    "STORAGE",
+    "SLB",
+    "HOSTNET",
+    "DNS",
+    "DATABASE",
+    "COMPUTE",
+    "FIREWALL",
+    "WAN",
+    "CACHE",
+    "AUTH",
+    "CUSTOMER",
+]
+
+PHYNET = "PhyNet"
+STORAGE = "Storage"
+SLB = "SLB"
+HOSTNET = "HostNet"
+DNS = "DNS"
+DATABASE = "Database"
+COMPUTE = "Compute"
+FIREWALL = "Firewall"
+WAN = "WAN"
+CACHE = "Cache"
+AUTH = "Auth"
+# "Customer" models external causes (customer misconfiguration, on-prem
+# firewalls, ISP issues) — cases where no internal team is responsible.
+CUSTOMER = "Customer"
+
+
+@dataclass(frozen=True)
+class Team:
+    """One engineering team (or external organization)."""
+
+    name: str
+    depends_on: tuple[str, ...] = ()
+    internal: bool = True
+    # Symptom tags this team's watchdogs know how to observe; used by the
+    # legacy routing process to guess a first suspect for CRIs.
+    symptoms: tuple[str, ...] = ()
+
+
+@dataclass
+class TeamRegistry:
+    """Lookup plus dependency queries over the team universe."""
+
+    teams: dict[str, Team] = field(default_factory=dict)
+
+    def add(self, team: Team) -> None:
+        if team.name in self.teams:
+            raise ValueError(f"duplicate team: {team.name}")
+        for dep in team.depends_on:
+            if dep not in self.teams and dep != team.name:
+                # Allow forward references; validated in validate().
+                pass
+        self.teams[team.name] = team
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.teams
+
+    def __getitem__(self, name: str) -> Team:
+        return self.teams[name]
+
+    @property
+    def names(self) -> list[str]:
+        return sorted(self.teams)
+
+    @property
+    def internal_names(self) -> list[str]:
+        return sorted(name for name, team in self.teams.items() if team.internal)
+
+    def validate(self) -> None:
+        for team in self.teams.values():
+            for dep in team.depends_on:
+                if dep not in self.teams:
+                    raise ValueError(
+                        f"{team.name} depends on unknown team {dep!r}"
+                    )
+
+    def dependencies(self, name: str) -> list[str]:
+        return list(self.teams[name].depends_on)
+
+    def dependents(self, name: str) -> list[str]:
+        """Teams that depend on ``name`` — its likely blamers."""
+        return sorted(
+            team.name
+            for team in self.teams.values()
+            if name in team.depends_on
+        )
+
+    def suspects_for_symptom(self, symptom: str) -> list[str]:
+        """Teams whose purview plausibly covers a symptom tag."""
+        return sorted(
+            team.name
+            for team in self.teams.values()
+            if symptom in team.symptoms
+        )
+
+
+def default_teams() -> TeamRegistry:
+    """The 12-team universe used across the reproduction."""
+    registry = TeamRegistry()
+    registry.add(Team(PHYNET, symptoms=("connectivity_loss", "latency", "throughput", "hardware")))
+    registry.add(Team(STORAGE, depends_on=(PHYNET,), symptoms=("storage_failure", "vm_crash")))
+    registry.add(Team(SLB, depends_on=(PHYNET,), symptoms=("lb_failure", "connectivity_loss")))
+    registry.add(Team(HOSTNET, depends_on=(PHYNET, SLB), symptoms=("connectivity_loss", "vm_crash")))
+    registry.add(Team(DNS, depends_on=(PHYNET,), symptoms=("dns_failure",)))
+    registry.add(Team(DATABASE, depends_on=(STORAGE, PHYNET), symptoms=("db_errors", "latency")))
+    registry.add(Team(COMPUTE, depends_on=(PHYNET, STORAGE, HOSTNET), symptoms=("vm_crash", "hardware")))
+    registry.add(Team(FIREWALL, depends_on=(PHYNET,), symptoms=("connectivity_loss", "auth_failure")))
+    registry.add(Team(WAN, depends_on=(PHYNET,), symptoms=("connectivity_loss", "latency")))
+    registry.add(Team(CACHE, depends_on=(PHYNET, COMPUTE), symptoms=("latency",)))
+    registry.add(Team(AUTH, depends_on=(PHYNET, DATABASE), symptoms=("auth_failure",)))
+    registry.add(
+        Team(
+            CUSTOMER,
+            internal=False,
+            symptoms=("connectivity_loss", "auth_failure", "storage_failure"),
+        )
+    )
+    registry.validate()
+    return registry

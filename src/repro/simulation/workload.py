@@ -1,0 +1,223 @@
+"""The end-to-end cloud simulation.
+
+``CloudSimulation`` wires together the topology, the monitoring plane,
+the team universe, the failure-scenario library, the legacy routing
+process, and the incident text generator.  ``generate()`` produces the
+synthetic equivalent of the paper's nine-month Azure dataset: an
+:class:`~repro.incidents.store.IncidentStore` whose incidents have
+monitoring signatures injected into the simulation's
+:class:`~repro.monitoring.store.MonitoringStore`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datacenter.components import Component
+from ..datacenter.topology import Topology, TopologySpec, build_topology
+from ..incidents.incident import Incident, IncidentSource
+from ..incidents.routing import RoutingTrace
+from ..incidents.store import IncidentStore
+from ..incidents.text_gen import IncidentTextGenerator
+from ..ml.base import as_rng
+from ..monitoring.base import DatasetSchema
+from ..monitoring.datasets import phynet_datasets
+from ..monitoring.store import MonitoringStore
+from ..monitoring.team_datasets import team_datasets
+from .legacy_router import RoutingModel
+from .scenarios import Scenario, ScenarioInstance, default_scenarios
+from .teams import TeamRegistry, default_teams
+
+__all__ = ["CloudSimulation", "SimulationConfig", "storage_dataset"]
+
+_DAY = 86400.0
+
+
+def storage_dataset() -> DatasetSchema:
+    """The Storage team's IO-error dataset (Appendix B's rule Scout)."""
+    return next(
+        schema for schema in team_datasets() if schema.name == "disk_io_errors"
+    )
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Knobs for the synthetic nine-month dataset."""
+
+    seed: int = 0
+    duration_days: float = 270.0
+    # Probability an incident is a *second*, concurrent incident pinned
+    # to the previous incident's cluster (§7.2 false-positive case).
+    simultaneous_prob: float = 0.04
+    # Probability the recorded owner differs from the true resolver
+    # (§8: "Not all incidents have the right label").
+    label_noise: float = 0.0
+    # Probability a CRI omits component names from its text (§7.4).
+    cri_omit_components_prob: float = 0.35
+
+
+class CloudSimulation:
+    """A synthetic cloud that emits incidents with monitoring signatures."""
+
+    def __init__(
+        self,
+        config: SimulationConfig | None = None,
+        topology_spec: TopologySpec | None = None,
+        scenarios: list[Scenario] | None = None,
+        registry: TeamRegistry | None = None,
+        routing_model: RoutingModel | None = None,
+    ) -> None:
+        self.config = config or SimulationConfig()
+        self.topology: Topology = build_topology(topology_spec)
+        self.registry = registry or default_teams()
+        self.scenarios = scenarios or default_scenarios()
+        self.routing = routing_model or RoutingModel(self.registry)
+        self.store = MonitoringStore(
+            phynet_datasets() + team_datasets(), seed=self.config.seed
+        )
+        self._rng = as_rng(self.config.seed)
+        self._text = IncidentTextGenerator(rng=self._rng)
+        self._next_id = 0
+        self._validate_scenarios()
+
+    def _validate_scenarios(self) -> None:
+        if not self.scenarios:
+            raise ValueError("need at least one scenario")
+        dataset_names = set(self.store.dataset_names)
+        for scenario in self.scenarios:
+            if scenario.responsible not in self.registry:
+                raise ValueError(
+                    f"{scenario.name}: unknown team {scenario.responsible!r}"
+                )
+            for template in scenario.effects:
+                if template.dataset not in dataset_names:
+                    raise ValueError(
+                        f"{scenario.name}: unknown dataset {template.dataset!r}"
+                    )
+
+    # -- generation -------------------------------------------------------
+
+    def _pick_scenario(self, created_at: float = float("inf")) -> Scenario:
+        """Weighted scenario choice among those that exist at this time.
+
+        Emerging failure modes (non-zero ``available_from_day``) only
+        become eligible once the timeline reaches them.
+        """
+        day = created_at / _DAY
+        eligible = [s for s in self.scenarios if s.available_from_day <= day]
+        if not eligible:
+            eligible = list(self.scenarios)
+        weights = np.array([s.weight for s in eligible])
+        weights /= weights.sum()
+        return eligible[int(self._rng.choice(len(eligible), p=weights))]
+
+    def generate_incident(
+        self,
+        created_at: float,
+        scenario: Scenario | None = None,
+        cluster: Component | None = None,
+    ) -> tuple[Incident, ScenarioInstance, "RoutingTrace"]:
+        """Create one incident (and inject its monitoring effects)."""
+        scenario = scenario or self._pick_scenario(created_at)
+        instance = scenario.instantiate(
+            self.topology, created_at, rng=self._rng, cluster=cluster
+        )
+        for effect in instance.effects:
+            self.store.inject(effect)
+
+        incident_id = self._next_id
+        self._next_id += 1
+        outcome = self.routing.route(instance, incident_id, rng=self._rng)
+
+        omit = (
+            outcome.source is IncidentSource.CUSTOMER
+            and self._rng.random() < self.config.cri_omit_components_prob
+        )
+        monitor = (
+            f"{outcome.source_team}-watchdog" if outcome.source_team else None
+        )
+        # Another team's watchdog describes what *it* observed, not the
+        # root cause (§7.5's virtual-disk example: a ToR failure surfaces
+        # as storage errors to the storage team's monitors).
+        if (
+            outcome.source is IncidentSource.OTHER_MONITOR
+            and scenario.observed_symptom
+        ):
+            rendered_symptom = scenario.observed_symptom
+        else:
+            rendered_symptom = scenario.symptom
+        title, body = self._text.render(
+            symptom=rendered_symptom,
+            component_names=list(instance.mentioned),
+            from_monitor=monitor,
+            noise_sentences=int(self._rng.integers(1, 4)),
+            omit_components=omit,
+            # Only the responsible team's own watchdog knows the
+            # diagnostic detail; other detectors see just the symptom.
+            detail=scenario.detail
+            if outcome.source is IncidentSource.OWN_MONITOR
+            else None,
+        )
+
+        responsible = scenario.responsible
+        recorded = responsible
+        if self._rng.random() < self.config.label_noise:
+            wrong_pool = [
+                hop.team
+                for hop in outcome.trace.hops
+                if hop.team != responsible
+            ]
+            if wrong_pool:
+                recorded = wrong_pool[int(self._rng.integers(len(wrong_pool)))]
+
+        incident = Incident(
+            incident_id=incident_id,
+            created_at=created_at,
+            title=title,
+            body=body,
+            severity=instance.severity,
+            source=outcome.source,
+            source_team=outcome.source_team,
+            responsible_team=responsible,
+            recorded_team=recorded,
+            scenario=scenario.name,
+            annotations={
+                "cluster": instance.cluster.name,
+                "transient": str(instance.transient),
+                "omitted_components": str(omit),
+                # What the text *would* have named: the information the
+                # first investigating teams discover and append to a CRI
+                # (§7.4's n-team experiment re-reveals it).
+                "mentioned": ",".join(instance.mentioned),
+            },
+        )
+        return incident, instance, outcome.trace
+
+    def generate(self, n_incidents: int, start_day: float = 0.0) -> IncidentStore:
+        """Generate the full synthetic incident dataset."""
+        if n_incidents < 1:
+            raise ValueError("n_incidents must be >= 1")
+        times = np.sort(
+            self._rng.uniform(
+                start_day * _DAY,
+                (start_day + self.config.duration_days) * _DAY,
+                size=n_incidents,
+            )
+        )
+        incidents = IncidentStore()
+        previous_cluster: Component | None = None
+        for created_at in times:
+            cluster = None
+            if (
+                previous_cluster is not None
+                and self._rng.random() < self.config.simultaneous_prob
+            ):
+                cluster = previous_cluster
+            incident, instance, trace = self.generate_incident(
+                float(created_at), cluster=cluster
+            )
+            incidents.add(incident, trace)
+            previous_cluster = instance.cluster
+        return incidents

@@ -1,0 +1,81 @@
+"""Confidence-calibration analysis tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    accuracy_above_threshold,
+    expected_calibration_error,
+    reliability_curve,
+)
+
+
+def test_perfectly_calibrated_stream():
+    rng = np.random.default_rng(0)
+    confidences = rng.uniform(0.5, 1.0, size=5000)
+    correct = rng.random(5000) < confidences
+    ece = expected_calibration_error(confidences, correct, n_buckets=5)
+    assert ece < 0.03
+
+
+def test_overconfident_stream_has_high_ece():
+    confidences = np.full(1000, 0.95)
+    correct = np.zeros(1000, dtype=bool)
+    correct[:500] = True  # actual accuracy 0.5
+    assert expected_calibration_error(confidences, correct) > 0.4
+
+
+def test_reliability_buckets_cover_counts():
+    confidences = np.array([0.55, 0.65, 0.75, 0.85, 0.95])
+    correct = np.array([True, False, True, True, True])
+    buckets = reliability_curve(confidences, correct, n_buckets=5)
+    assert sum(b.count for b in buckets) == 5
+    for bucket in buckets:
+        assert bucket.lower <= bucket.mean_confidence <= bucket.upper + 1e-9
+
+
+def test_empty_buckets_skipped():
+    buckets = reliability_curve([0.99, 0.98], [True, True], n_buckets=5)
+    assert len(buckets) == 1
+    assert buckets[0].accuracy == 1.0
+
+
+def test_accuracy_above_threshold():
+    confidences = [0.6, 0.7, 0.9, 0.95]
+    correct = [False, False, True, True]
+    accuracy, kept = accuracy_above_threshold(confidences, correct, 0.8)
+    assert accuracy == 1.0
+    assert kept == 0.5
+
+
+def test_accuracy_above_threshold_nothing_kept():
+    accuracy, kept = accuracy_above_threshold([0.6], [True], 0.9)
+    assert (accuracy, kept) == (0.0, 0.0)
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        reliability_curve([0.5], [True, False])
+    with pytest.raises(ValueError):
+        reliability_curve([1.5], [True])
+    with pytest.raises(ValueError):
+        reliability_curve([0.5], [True], n_buckets=0)
+
+
+def test_scout_confidence_is_informative(framework, scout, split):
+    """The §8 fine print should hold: verdicts at or above confidence
+    0.8 are more accurate than verdicts below it."""
+    _, test = split
+    confidences, correct = [], []
+    for example, prediction in zip(test, framework.predictions(scout, test)):
+        if prediction.responsible is None:
+            continue
+        confidences.append(prediction.confidence)
+        correct.append(int(prediction.responsible) == example.label)
+    confidences = np.array(confidences)
+    correct = np.array(correct)
+    high, _ = accuracy_above_threshold(confidences, correct, 0.8)
+    low_mask = confidences < 0.8
+    if low_mask.sum() >= 5:
+        assert high >= correct[low_mask].mean() - 0.02
+    assert high > 0.8

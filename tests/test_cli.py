@@ -1,0 +1,64 @@
+"""CLI tests (drive main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.incidents import IncidentStore
+
+
+@pytest.fixture(scope="module")
+def small_args():
+    return ["--seed", "3", "--days", "45", "--incidents", "120"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_writes_json(tmp_path, small_args, capsys):
+    out = tmp_path / "incidents.json"
+    assert main(["simulate", *small_args, "--out", str(out)]) == 0
+    store = IncidentStore.from_json(out.read_text())
+    assert len(store) == 120
+    assert "mis-routed" in capsys.readouterr().out
+
+
+def test_train_evaluate_route_roundtrip(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    assert main(["train", *small_args, "--trees", "25", "--out", str(model)]) == 0
+    assert model.exists()
+    capsys.readouterr()
+
+    assert main(["evaluate", *small_args, "--model", str(model)]) == 0
+    out = capsys.readouterr().out
+    assert "precision=" in out
+
+    assert main([
+        "route", "--seed", "3", "--days", "45", "--model", str(model),
+        "--text", "Probes show packet loss reaching sw-tor0.c1.dc0 in c1.dc0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "PhyNet Scout" in out
+
+
+def test_train_other_team(tmp_path, small_args, capsys):
+    model = tmp_path / "storage.scout"
+    code = main([
+        "train", *small_args, "--team", "Storage", "--trees", "20",
+        "--out", str(model),
+    ])
+    assert code == 0
+    assert "Storage Scout" in capsys.readouterr().out
+
+
+def test_route_without_components_falls_back(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    main(["train", *small_args, "--trees", "20", "--out", str(model)])
+    capsys.readouterr()
+    main([
+        "route", "--seed", "3", "--days", "45", "--model", str(model),
+        "--text", "everything is slow, please help",
+    ])
+    out = capsys.readouterr().out
+    assert "falling back" in out

@@ -1,0 +1,191 @@
+"""Configuration DSL tests: spec objects and parser."""
+
+import pytest
+
+from repro.config import (
+    ConfigSyntaxError,
+    ExcludeRule,
+    MonitoringRef,
+    PHYNET_CONFIG_TEXT,
+    ScoutConfig,
+    parse_config,
+    phynet_config,
+)
+from repro.datacenter import Component, ComponentKind
+from repro.monitoring import DataKind
+
+
+class TestSpec:
+    def test_monitoring_ref_validation(self):
+        with pytest.raises(ValueError):
+            MonitoringRef(name="", locator="x", data_type=DataKind.EVENT)
+
+    def test_exclude_rule_title(self):
+        rule = ExcludeRule("TITLE", "decommission")
+        assert rule.matches("decommission sw-1", "", [])
+        assert not rule.matches("other", "decommission", [])
+
+    def test_exclude_rule_body(self):
+        rule = ExcludeRule("BODY", "ignore-me")
+        assert rule.matches("", "please ignore-me thanks", [])
+
+    def test_exclude_rule_component(self):
+        rule = ExcludeRule("switch", r"sw-tor9.*")
+        hit = Component(ComponentKind.SWITCH, "sw-tor9.c1.dc0")
+        miss = Component(ComponentKind.SWITCH, "sw-tor1.c1.dc0")
+        assert rule.matches("", "", [hit])
+        assert not rule.matches("", "", [miss])
+
+    def test_exclude_rule_kind_scoped(self):
+        rule = ExcludeRule("switch", r".*")
+        server = Component(ComponentKind.SERVER, "srv-1.c1.dc0")
+        assert not rule.matches("", "", [server])
+
+    def test_exclude_bad_field(self):
+        with pytest.raises(ValueError):
+            ExcludeRule("flavor", ".*")
+
+    def test_exclude_bad_regex(self):
+        with pytest.raises(Exception):
+            ExcludeRule("TITLE", "([")
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ScoutConfig(team="", component_patterns={ComponentKind.VM: "x"}, monitoring=[])
+        with pytest.raises(ValueError):
+            ScoutConfig(team="T", component_patterns={}, monitoring=[])
+        with pytest.raises(ValueError):
+            ScoutConfig(
+                team="T",
+                component_patterns={ComponentKind.VM: "x"},
+                monitoring=[],
+                lookback=-1.0,
+            )
+
+    def test_duplicate_monitoring_names_rejected(self):
+        ref = MonitoringRef(name="a", locator="x", data_type=DataKind.EVENT)
+        with pytest.raises(ValueError):
+            ScoutConfig(
+                team="T",
+                component_patterns={ComponentKind.VM: "x"},
+                monitoring=[ref, ref],
+            )
+
+
+class TestParser:
+    def test_minimal(self):
+        cfg = parse_config('let VM = "vm-\\d+";', team="T")
+        assert cfg.team == "T"
+        assert ComponentKind.VM in cfg.component_patterns
+
+    def test_team_statement_wins(self):
+        cfg = parse_config('TEAM Storage;\nlet VM = "x";', team="Other")
+        assert cfg.team == "Storage"
+
+    def test_no_team_raises(self):
+        with pytest.raises(ConfigSyntaxError, match="team"):
+            parse_config('let VM = "x";')
+
+    def test_monitoring_statement(self):
+        cfg = parse_config(
+            'let switch = "sw";\n'
+            'MONITORING m1 = CREATE_MONITORING("cpu", {switch=all}, TIME_SERIES, UTIL);',
+            team="T",
+        )
+        ref = cfg.monitoring[0]
+        assert ref.name == "m1"
+        assert ref.locator == "cpu"
+        assert ref.data_type is DataKind.TIME_SERIES
+        assert ref.class_tag == "UTIL"
+        assert ref.tags == {"switch": "all"}
+
+    def test_monitoring_without_tags_or_class(self):
+        cfg = parse_config(
+            'let VM = "x"; MONITORING m = CREATE_MONITORING("d", EVENT);', team="T"
+        )
+        assert cfg.monitoring[0].class_tag is None
+        assert cfg.monitoring[0].tags == {}
+
+    def test_exclude_statement(self):
+        cfg = parse_config(
+            'let VM = "x"; EXCLUDE TITLE = "decomm";', team="T"
+        )
+        assert cfg.excludes[0].field == "TITLE"
+
+    def test_set_statement(self):
+        cfg = parse_config('let VM = "x"; SET lookback = 3600;', team="T")
+        assert cfg.lookback == 3600.0
+
+    def test_unknown_option_raises(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown option"):
+            parse_config('let VM = "x"; SET bogus = 1;', team="T")
+
+    def test_comments_stripped(self):
+        cfg = parse_config('# hello\nlet VM = "x"; # trailing\n', team="T")
+        assert cfg.component_patterns[ComponentKind.VM] == "x"
+
+    def test_hash_inside_string_kept(self):
+        cfg = parse_config('let VM = "x#y";', team="T")
+        assert cfg.component_patterns[ComponentKind.VM] == "x#y"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ConfigSyntaxError, match="missing ';'"):
+            parse_config('let VM = "x"', team="T")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ConfigSyntaxError, match="unrecognized"):
+            parse_config("FROBNICATE everything;", team="T")
+
+    def test_duplicate_let(self):
+        with pytest.raises(ConfigSyntaxError, match="duplicate"):
+            parse_config('let VM = "x"; let vm = "y";', team="T")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown component kind"):
+            parse_config('let router = "x";', team="T")
+
+    def test_escaped_quote_in_regex(self):
+        cfg = parse_config('let VM = "a\\"b";', team="T")
+        assert cfg.component_patterns[ComponentKind.VM] == 'a"b'
+
+    def test_bad_tag_syntax(self):
+        with pytest.raises(ConfigSyntaxError, match="bad tag"):
+            parse_config(
+                'let VM = "x"; MONITORING m = CREATE_MONITORING("d", {oops}, EVENT);',
+                team="T",
+            )
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_config('let VM = "x";\nFROBNICATE;', team="T")
+        except ConfigSyntaxError as exc:
+            assert exc.line == 2
+        else:
+            pytest.fail("expected ConfigSyntaxError")
+
+
+class TestPhyNetConfig:
+    def test_parses(self):
+        cfg = phynet_config()
+        assert cfg.team == "PhyNet"
+        assert len(cfg.monitoring) == 12
+        assert cfg.lookback == 7200.0
+
+    def test_five_component_kinds(self):
+        cfg = phynet_config()
+        assert len(cfg.kinds) == 5
+
+    def test_packet_drops_class_group(self):
+        cfg = phynet_config()
+        group = cfg.refs_with_class("PACKET_DROPS")
+        assert {r.locator for r in group} == {
+            "link_drop_statistics",
+            "switch_drop_statistics",
+        }
+
+    def test_text_roundtrips(self):
+        # The canonical config text parses to the same structure twice.
+        a = parse_config(PHYNET_CONFIG_TEXT)
+        b = phynet_config()
+        assert a.component_patterns == b.component_patterns
+        assert [r.locator for r in a.monitoring] == [r.locator for r in b.monitoring]

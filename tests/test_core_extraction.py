@@ -1,0 +1,64 @@
+"""Component-extraction tests (§5.1 pipeline stage)."""
+
+import pytest
+
+from repro.core import ComponentExtractor
+from repro.datacenter import ComponentKind
+
+
+@pytest.fixture(scope="module")
+def extractor(sim, framework):
+    return ComponentExtractor(framework.config, sim.topology)
+
+
+def test_extracts_mentioned_vm(sim, extractor):
+    vm = sim.topology.components(ComponentKind.VM)[0]
+    result = extractor.extract(f"VM {vm.name} is unreachable")
+    assert any(c.name == vm.name for c in result.mentioned)
+
+
+def test_dependency_expansion_adds_server_and_switch(sim, extractor):
+    vm = sim.topology.components(ComponentKind.VM)[0]
+    result = extractor.extract(f"VM {vm.name} is unreachable")
+    kinds = {c.kind for c in result.dependencies}
+    assert ComponentKind.SERVER in kinds
+    assert ComponentKind.SWITCH in kinds
+    assert ComponentKind.CLUSTER in kinds
+
+
+def test_nonexistent_names_ignored(extractor):
+    result = extractor.extract("VM vm-99999.c99.dc9 is acting up")
+    assert result.is_empty
+
+
+def test_empty_text(extractor):
+    assert extractor.extract("everything is broken").is_empty
+
+
+def test_no_duplicates(sim, extractor):
+    vm = sim.topology.components(ComponentKind.VM)[0]
+    result = extractor.extract(f"{vm.name} and again {vm.name}")
+    names = [c.name for c in result.all]
+    assert len(names) == len(set(names))
+
+
+def test_of_kind_filters(sim, extractor):
+    cluster = sim.topology.components(ComponentKind.CLUSTER)[0]
+    result = extractor.extract(f"problem in cluster {cluster.name}")
+    assert [c.name for c in result.of_kind(ComponentKind.CLUSTER)] == [cluster.name]
+    assert result.of_kind(ComponentKind.VM) == []
+
+
+def test_cluster_mention_does_not_fire_on_vm_suffix(sim, extractor):
+    vm = sim.topology.components(ComponentKind.VM)[0]
+    result = extractor.extract(f"issue on {vm.name} only")
+    mentioned_clusters = [
+        c for c in result.mentioned if c.kind is ComponentKind.CLUSTER
+    ]
+    assert mentioned_clusters == []  # cluster arrives via dependencies
+
+
+def test_len_counts_all(sim, extractor):
+    vm = sim.topology.components(ComponentKind.VM)[0]
+    result = extractor.extract(f"VM {vm.name}")
+    assert len(result) == len(result.all)

@@ -1,0 +1,161 @@
+"""Feature-construction tests (§5.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComponentExtractor, FeatureBuilder, STAT_NAMES
+from repro.datacenter import ComponentKind
+from repro.monitoring import FailureEffect
+
+_T = 86400.0 * 320  # beyond the workload horizon: guaranteed-healthy signals
+
+
+@pytest.fixture()
+def builder(sim, framework):
+    b = FeatureBuilder(framework.config, sim.topology, sim.store)
+    b.clear_cache()
+    return b
+
+
+@pytest.fixture(scope="module")
+def extractor(sim, framework):
+    return ComponentExtractor(framework.config, sim.topology)
+
+
+class TestSchema:
+    def test_eleven_stats(self):
+        assert len(STAT_NAMES) == 11
+
+    def test_fixed_length(self, builder):
+        assert len(builder.schema) == len(builder.schema.names)
+
+    def test_no_vm_monitoring_features(self, builder):
+        # PhyNet has no VM-covering dataset: only the count feature.
+        vm_features = [n for n in builder.schema.names if n.startswith("vm.")]
+        assert vm_features == []
+        assert "n_vm" in builder.schema.names
+
+    def test_class_tag_merges_drop_datasets(self, builder):
+        merged = [n for n in builder.schema.names if "PACKET_DROPS" in n]
+        assert len(merged) > 0
+        # The merged group replaces its member datasets.
+        assert not any("link_drop_statistics" in n for n in builder.schema.names)
+
+    def test_count_features_for_all_kinds(self, builder):
+        for kind in ("vm", "server", "switch", "cluster", "dc"):
+            assert f"n_{kind}" in builder.schema.names
+
+    def test_event_features_per_type(self, builder):
+        syslog_features = [
+            n for n in builder.schema.names if "snmp_syslogs" in n
+        ]
+        # 3 event types × switch/cluster/dc component kinds.
+        assert len(syslog_features) == 9
+
+
+class TestVector:
+    def test_length_matches_schema(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"problem on {switch.name}")
+        vector = builder.features(extracted, _T)
+        assert vector.shape == (len(builder.schema),)
+
+    def test_absent_kind_features_zero(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"problem on {switch.name}")
+        vector = builder.features(extracted, _T)
+        # No server was extracted or implied: server stats are zero.
+        server_idx = [
+            i for i, n in enumerate(builder.schema.names)
+            if n.startswith("server.")
+        ]
+        assert np.allclose(vector[server_idx], 0.0)
+
+    def test_count_features(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"problem on {switch.name}")
+        vector = builder.features(extracted, _T)
+        assert vector[builder.schema.index_of("n_switch")] >= 1.0
+        assert vector[builder.schema.index_of("n_vm")] == 0.0
+
+    def test_healthy_signal_near_zero_stats(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"check {switch.name}")
+        vector = builder.features(extracted, _T)
+        mean_idx = builder.schema.index_of("switch.temperature.mean")
+        assert abs(vector[mean_idx]) < 1.5  # z-scored healthy data
+
+    def test_shift_effect_moves_percentiles(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[1]
+        extracted = extractor.extract(f"check {switch.name}")
+        baseline = builder.features(extracted, _T).copy()
+        snapshot = sim.store.snapshot_effects()
+        sim.store.inject(
+            FailureEffect(
+                "temperature", switch.name, _T - 1800.0, _T, "shift", 25.0
+            )
+        )
+        builder.clear_cache()
+        shifted = builder.features(extracted, _T)
+        sim.store.restore_effects(snapshot)
+        p99 = builder.schema.index_of("switch.temperature.p99")
+        assert shifted[p99] > baseline[p99] + 3.0
+
+    def test_deactivated_dataset_yields_nan(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"check {switch.name}")
+        sim.store.deactivate("temperature")
+        try:
+            builder.clear_cache()
+            vector = builder.features(extracted, _T)
+            idx = builder.schema.index_of("switch.temperature.mean")
+            assert np.isnan(vector[idx])
+        finally:
+            sim.store.activate("temperature")
+
+    def test_event_count_feature(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[2]
+        snapshot = sim.store.snapshot_effects()
+        sim.store.inject(
+            FailureEffect(
+                "device_reboots", switch.name, _T - 3600.0, _T,
+                mode="burst", event_type="reboot", rate=6.0,
+            )
+        )
+        extracted = extractor.extract(f"check {switch.name}")
+        builder.clear_cache()
+        vector = builder.features(extracted, _T)
+        sim.store.restore_effects(snapshot)
+        idx = builder.schema.index_of("switch.device_reboots.reboot")
+        assert vector[idx] >= 5.0
+
+    def test_cluster_features_pool_members(self, sim, builder, extractor):
+        cluster = sim.topology.components(ComponentKind.CLUSTER)[0]
+        extracted = extractor.extract(f"issues in cluster {cluster.name}")
+        vector = builder.features(extracted, _T)
+        idx = builder.schema.index_of("cluster.ping_statistics.mean")
+        assert np.isfinite(vector[idx])
+
+    def test_deterministic(self, sim, builder, extractor):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"check {switch.name}")
+        a = builder.features(extracted, _T)
+        builder.clear_cache()
+        b = builder.features(extracted, _T)
+        assert np.array_equal(a, b)
+
+
+class TestMemo:
+    def test_cache_hit_returns_same_object(self, sim, builder):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        a = builder.series("cpu_usage", switch, _T - 3600, _T)
+        b = builder.series("cpu_usage", switch, _T - 3600, _T)
+        assert a is b
+
+    def test_clear_cache_resets(self, sim, builder):
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        a = builder.series("cpu_usage", switch, _T - 3600, _T)
+        builder.clear_cache()
+        b = builder.series("cpu_usage", switch, _T - 3600, _T)
+        assert a is not b
+        assert np.array_equal(a.values, b.values)

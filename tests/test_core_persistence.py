@@ -1,0 +1,68 @@
+"""Scout persistence tests (§6 offline→online model hop)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Route, load_scout, save_scout
+from repro.core.persistence import FORMAT_VERSION
+
+
+def test_roundtrip_predictions_identical(scout, sim, split, tmp_path):
+    path = tmp_path / "phynet.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    _, test = split
+    for example in test.examples[:15]:
+        original = scout.predict_example(example)
+        restored = clone.predict_example(example)
+        assert original.responsible == restored.responsible
+        assert original.route == restored.route
+        assert abs(original.confidence - restored.confidence) < 1e-12
+
+
+def test_roundtrip_preserves_team_and_config(scout, sim, tmp_path):
+    path = tmp_path / "phynet.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    assert clone.team == scout.team
+    assert clone.config.lookback == scout.config.lookback
+    assert list(clone.builder.schema.names) == list(scout.builder.schema.names)
+
+
+def test_live_predict_works_after_load(scout, sim, incidents, tmp_path):
+    path = tmp_path / "phynet.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    prediction = clone.predict(incidents[0])
+    assert prediction.route in list(Route)
+
+
+def test_rejects_non_scout_file(sim, tmp_path):
+    path = tmp_path / "junk.bin"
+    path.write_bytes(b"not a scout at all")
+    with pytest.raises(ValueError, match="not a Scout bundle"):
+        load_scout(path, sim.topology, sim.store)
+
+
+def test_rejects_wrong_format_version(scout, sim, tmp_path, monkeypatch):
+    import repro.core.persistence as persistence
+    path = tmp_path / "phynet.scout"
+    monkeypatch.setattr(persistence, "FORMAT_VERSION", FORMAT_VERSION + 1)
+    save_scout(scout, path)
+    monkeypatch.setattr(persistence, "FORMAT_VERSION", FORMAT_VERSION)
+    with pytest.raises(ValueError, match="format version"):
+        load_scout(path, sim.topology, sim.store)
+
+
+def test_cpd_cluster_model_survives(scout, sim, tmp_path):
+    path = tmp_path / "phynet.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    assert clone.cpd.has_cluster_model == scout.cpd.has_cluster_model
+    if scout.cpd.has_cluster_model:
+        n = len(scout.cpd.signal_names())
+        row = np.zeros((1, n))
+        assert np.allclose(
+            clone.cpd._cluster_rf.predict_proba(row),
+            scout.cpd._cluster_rf.predict_proba(row),
+        )

@@ -1,0 +1,174 @@
+"""Scout + framework end-to-end tests (uses the session-scoped fixtures)."""
+
+import numpy as np
+import pytest
+
+from repro.core import Route, ScoutFramework, TrainingOptions
+from repro.simulation.teams import PHYNET
+
+
+class TestDataset:
+    def test_every_incident_represented(self, dataset, incidents):
+        assert len(dataset) == len(incidents)
+
+    def test_usable_subset(self, dataset):
+        usable = dataset.usable()
+        assert 0 < len(usable) <= len(dataset)
+        assert all(ex.static_route is None for ex in usable)
+
+    def test_matrix_shapes(self, dataset):
+        usable = dataset.usable()
+        assert usable.X.shape == (len(usable), len(dataset.feature_names))
+        assert usable.signals_matrix.shape == (
+            len(usable),
+            len(dataset.signal_names),
+        )
+        assert usable.y.shape == (len(usable),)
+
+    def test_labels_match_incidents(self, dataset):
+        for ex in dataset:
+            assert ex.label == ex.incident.label(PHYNET)
+
+    def test_split_by_ids(self, dataset):
+        ids = {ex.incident.incident_id for ex in dataset[:10:2] if True}
+        ids = {dataset[i].incident.incident_id for i in range(5)}
+        inside, outside = dataset.split_by_ids(ids)
+        assert len(inside) == 5
+        assert len(inside) + len(outside) == len(dataset)
+
+    def test_locator_columns_found(self, dataset):
+        cols = dataset.feature_columns_for_locator("temperature")
+        assert cols
+        assert all("temperature" in dataset.feature_names[c] for c in cols)
+
+    def test_class_tag_columns_via_mapping(self, dataset):
+        # Merged PACKET_DROPS columns are only removable when both
+        # member locators go.
+        removed_one = dataset.with_locators_removed(
+            ["link_drop_statistics"],
+            class_tags={"PACKET_DROPS": ["link_drop_statistics", "switch_drop_statistics"]},
+        )
+        removed_both = dataset.with_locators_removed(
+            ["link_drop_statistics", "switch_drop_statistics"],
+            class_tags={"PACKET_DROPS": ["link_drop_statistics", "switch_drop_statistics"]},
+        )
+        drop_cols = [
+            i for i, n in enumerate(dataset.feature_names) if "PACKET_DROPS" in n
+        ]
+        one = removed_one.usable().X[:, drop_cols]
+        both = removed_both.usable().X[:, drop_cols]
+        assert np.allclose(both, 0.0)
+        assert not np.allclose(one, both) or np.allclose(one, 0.0)
+
+    def test_with_locators_removed_zeroes_columns(self, dataset):
+        removed = dataset.with_locators_removed(["temperature"])
+        cols = dataset.feature_columns_for_locator("temperature")
+        assert np.allclose(removed.usable().X[:, cols], 0.0)
+        # Original untouched.
+        assert not np.allclose(dataset.usable().X[:, cols], 0.0)
+
+
+class TestTraining:
+    def test_scout_accuracy_reasonable(self, framework, scout, split):
+        _, test = split
+        report = framework.evaluate(scout, test)
+        assert report.f1 > 0.75
+        assert report.precision > 0.75
+
+    def test_no_usable_data_raises(self, framework, dataset):
+        empty = dataset.subset([])
+        with pytest.raises(ValueError):
+            framework.train(empty)
+
+    def test_retrain_returns_new_scout(self, framework, scout, split):
+        train, _ = split
+        fresh = framework.retrain(scout, train)
+        assert fresh is not scout
+
+    def test_age_half_life_weights(self, framework, split):
+        train, _ = split
+        weights = ScoutFramework(
+            framework.config,
+            framework.topology,
+            framework.store,
+            TrainingOptions(age_half_life_days=30.0),
+        )._sample_weights(train, None)
+        assert weights.min() < weights.max() <= 1.0
+
+    def test_mistake_boost_weights(self, framework, split):
+        train, _ = split
+        hard = np.zeros(len(train), dtype=int)
+        hard[0] = 1
+        weights = framework._sample_weights(train, hard)
+        assert weights[0] == pytest.approx(2.0)
+
+
+class TestPrediction:
+    def test_predict_example_matches_labels_mostly(self, framework, scout, split):
+        _, test = split
+        predictions = framework.predictions(scout, test)
+        agree = sum(
+            int(p.responsible) == ex.label
+            for ex, p in zip(test, predictions)
+            if p.responsible is not None
+        )
+        decided = sum(1 for p in predictions if p.responsible is not None)
+        assert agree / decided > 0.8
+
+    def test_live_predict_agrees_with_cached(self, scout, split):
+        _, test = split
+        for example in test.examples[:8]:
+            live = scout.predict(example.incident)
+            cached = scout.predict_example(example)
+            assert live.route == cached.route
+            if live.route is Route.SUPERVISED:
+                assert live.responsible == cached.responsible
+
+    def test_prediction_confidence_range(self, framework, scout, split):
+        _, test = split
+        for p in framework.predictions(scout, test):
+            assert 0.0 <= p.confidence <= 1.0
+
+    def test_report_text(self, scout, split):
+        _, test = split
+        prediction = scout.predict_example(test[0])
+        text = prediction.report(scout.team)
+        assert "PhyNet Scout" in text
+        assert "confidence" in text.lower()
+
+    def test_positive_prediction_has_attributions(self, framework, scout, split):
+        _, test = split
+        predictions = framework.predictions(scout, test)
+        positives = [
+            p for p in predictions
+            if p.responsible is True and p.route is Route.SUPERVISED
+        ]
+        assert positives
+        with_explanations = [p for p in positives if p.explanation.attributions]
+        assert len(with_explanations) > len(positives) * 0.5
+
+    def test_fallback_abstains(self, framework, scout, dataset):
+        fallbacks = [
+            ex for ex in dataset if ex.static_route is Route.FALLBACK
+        ]
+        if not fallbacks:
+            pytest.skip("no fallback incidents in this sample")
+        prediction = scout.predict_example(fallbacks[0])
+        assert prediction.responsible is None
+
+
+class TestEvaluationReport:
+    def test_route_counts_sum(self, framework, scout, split):
+        _, test = split
+        report = framework.evaluate(scout, test)
+        assert (
+            report.n_supervised
+            + report.n_unsupervised
+            + report.n_fallback
+            + report.n_excluded
+            == report.n_total
+        )
+
+    def test_str_contains_metrics(self, framework, scout, split):
+        _, test = split
+        assert "precision=" in str(framework.evaluate(scout, test))

@@ -1,0 +1,104 @@
+"""Model-selector tests (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ComponentExtractor, MetaFeaturizer, ModelSelector, Route
+from repro.datacenter import ComponentKind
+
+
+@pytest.fixture(scope="module")
+def extractor(sim, framework):
+    return ComponentExtractor(framework.config, sim.topology)
+
+
+def fitted_selector(config, decider="rf"):
+    texts = (
+        ["switch latency drop packet"] * 20
+        + ["disk mount failure storage"] * 20
+        + ["bizarre quantum flux anomaly"] * 4
+    )
+    team_labels = [1] * 20 + [0] * 24
+    hard = [0] * 40 + [1] * 4
+    return ModelSelector(config, decider=decider, rng=0).fit(
+        texts, np.array(team_labels), np.array(hard)
+    )
+
+
+class TestMetaFeaturizer:
+    def test_counts_important_words(self):
+        feat = MetaFeaturizer(top_k=10).fit(
+            ["switch down", "disk bad"], [1, 0]
+        )
+        X = feat.transform(["switch switch"])
+        assert X.shape == (1, len(feat.vocabulary) + 1)
+        assert X[0, feat.vocabulary.index("switch")] == 2
+
+    def test_last_column_is_token_count(self):
+        feat = MetaFeaturizer(top_k=5).fit(["a b switch"], [1])
+        X = feat.transform(["one two three four"])
+        assert X[0, -1] == 4
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            MetaFeaturizer().transform(["x"])
+
+    def test_top_k_validation(self):
+        with pytest.raises(ValueError):
+            MetaFeaturizer(top_k=0)
+
+
+class TestSelectorDecisions:
+    def test_excluded_route(self, framework, extractor):
+        selector = ModelSelector(framework.config)
+        extracted = extractor.extract("whatever")
+        decision = selector.decide("decommission old gear", "body", extracted)
+        assert decision.route is Route.EXCLUDED
+
+    def test_fallback_when_no_components(self, framework, extractor):
+        selector = ModelSelector(framework.config)
+        extracted = extractor.extract("nothing specific here")
+        decision = selector.decide("vague title", "vague body", extracted)
+        assert decision.route is Route.FALLBACK
+
+    def test_supervised_for_known_patterns(self, sim, framework, extractor):
+        selector = fitted_selector(framework.config)
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"latency on {switch.name}")
+        decision = selector.decide(
+            "switch latency drop packet", "switch latency drop packet", extracted
+        )
+        assert decision.route is Route.SUPERVISED
+        assert decision.novelty <= 0.5
+
+    def test_unfitted_selector_defaults_to_supervised(self, sim, framework, extractor):
+        selector = ModelSelector(framework.config)
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        extracted = extractor.extract(f"latency on {switch.name}")
+        decision = selector.decide("t", "b", extracted)
+        assert decision.route is Route.SUPERVISED
+
+    def test_bad_decider_name(self, framework):
+        with pytest.raises(ValueError):
+            ModelSelector(framework.config, decider="xgboost")
+
+
+class TestDeciders:
+    @pytest.mark.parametrize(
+        "decider", ["rf", "adaboost", "ocsvm_aggressive", "ocsvm_conservative"]
+    )
+    def test_all_deciders_fit_and_score(self, framework, decider):
+        selector = fitted_selector(framework.config, decider=decider)
+        assert selector.is_fitted
+        novelty = selector.novelty("switch latency drop packet")
+        assert 0.0 <= novelty <= 1.0
+
+    def test_rf_decider_flags_novel_text(self, framework):
+        selector = fitted_selector(framework.config)
+        familiar = selector.novelty("switch latency drop packet")
+        novel = selector.novelty("bizarre quantum flux anomaly")
+        assert novel >= familiar
+
+    def test_ocsvm_binary_novelty(self, framework):
+        selector = fitted_selector(framework.config, decider="ocsvm_aggressive")
+        assert selector.novelty("switch latency drop packet") in (0.0, 1.0)

@@ -1,0 +1,124 @@
+"""Label de-noising and concept-drift monitoring tests (§8 extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DriftMonitor, LabelDenoiser, PageHinkleyDetector
+from repro.core.drift import DriftAlarm
+
+
+def _noisy_dataset(n=300, noise=0.1, seed=0):
+    """Separable features with team-revealing texts and noisy labels."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 6))
+    truth = (X[:, 0] + X[:, 1] > 0).astype(int)
+    texts = [
+        "switch latency drop fabric" if label else "disk mount stamp failure"
+        for label in truth
+    ]
+    y = truth.copy()
+    flip = rng.random(n) < noise
+    y[flip] = 1 - y[flip]
+    return X, y, texts, truth, flip
+
+
+class TestLabelDenoiser:
+    def test_recovers_flipped_labels(self):
+        X, y, texts, truth, flip = _noisy_dataset(noise=0.12)
+        report = LabelDenoiser(rng=1).denoise(X, y, texts)
+        before = (y != truth).mean()
+        after = (report.clean_labels != truth).mean()
+        assert after < before
+        assert report.n_flipped > 0
+
+    def test_conservative_on_clean_labels(self):
+        X, y, texts, truth, _ = _noisy_dataset(noise=0.0)
+        report = LabelDenoiser(rng=1).denoise(X, y, texts)
+        wrongly_flipped = (report.clean_labels != truth).sum()
+        assert wrongly_flipped <= len(y) * 0.03
+
+    def test_flipped_indices_match_labels(self):
+        X, y, texts, _, _ = _noisy_dataset(noise=0.15, seed=3)
+        report = LabelDenoiser(rng=2).denoise(X, y, texts)
+        for idx in report.flipped_indices:
+            assert report.clean_labels[idx] != y[idx]
+        untouched = np.setdiff1d(np.arange(len(y)), report.flipped_indices)
+        assert np.array_equal(report.clean_labels[untouched], y[untouched])
+
+    def test_text_veto_blocks_feature_only_flips(self):
+        # Texts carry NO label signal: the text cross-check should veto
+        # almost every suspicious flip.
+        X, y, _, truth, _ = _noisy_dataset(noise=0.15, seed=4)
+        neutral_texts = ["incident report pending details"] * len(y)
+        report = LabelDenoiser(rng=0).denoise(X, y, neutral_texts)
+        assert report.n_flipped <= report.n_suspicious
+        assert report.n_flipped < len(y) * 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LabelDenoiser(n_folds=1)
+        with pytest.raises(ValueError):
+            LabelDenoiser(feature_confidence=0.3)
+        with pytest.raises(ValueError):
+            LabelDenoiser().denoise(np.zeros((3, 2)), [0, 1], ["a", "b"])
+
+
+class TestPageHinkley:
+    def test_no_alarm_on_stationary_stream(self):
+        rng = np.random.default_rng(0)
+        detector = PageHinkleyDetector(delta=0.05, threshold=5.0)
+        alarms = sum(
+            detector.update(float(rng.random() < 0.05)) for _ in range(500)
+        )
+        assert alarms == 0
+
+    def test_alarm_on_error_burst(self):
+        detector = PageHinkleyDetector(delta=0.05, threshold=3.0)
+        for _ in range(200):
+            assert not detector.update(0.0)
+        fired = False
+        for _ in range(50):
+            if detector.update(1.0):
+                fired = True
+                break
+        assert fired
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            PageHinkleyDetector(threshold=0.0)
+
+
+class TestDriftMonitor:
+    def test_rolling_accuracy(self):
+        monitor = DriftMonitor(window=10)
+        for _ in range(8):
+            monitor.record(correct=True)
+        for _ in range(2):
+            monitor.record(correct=False)
+        assert monitor.rolling_accuracy == pytest.approx(0.8)
+
+    def test_alarm_on_accuracy_collapse(self):
+        monitor = DriftMonitor(window=50)
+        for _ in range(300):
+            monitor.record(correct=True)
+        alarm = None
+        for _ in range(60):
+            alarm = monitor.record(correct=False) or alarm
+        assert isinstance(alarm, DriftAlarm)
+        assert monitor.alarms
+
+    def test_detector_resets_after_alarm(self):
+        monitor = DriftMonitor(window=20)
+        for _ in range(100):
+            monitor.record(correct=True)
+        for _ in range(60):
+            monitor.record(correct=False)
+        n_alarms = len(monitor.alarms)
+        monitor.notify_retrained()
+        for _ in range(100):
+            monitor.record(correct=True)
+        assert len(monitor.alarms) == n_alarms
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            DriftMonitor(window=0)

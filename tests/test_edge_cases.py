@@ -1,0 +1,110 @@
+"""Edge-case coverage across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.config import ConfigSyntaxError, parse_config
+from repro.core import FeatureBuilder, Route
+from repro.datacenter import ComponentKind
+from repro.simulation import CloudSimulation, SimulationConfig
+
+
+class TestWorkloadDeterminism:
+    def test_same_seed_same_incidents(self):
+        a = CloudSimulation(SimulationConfig(seed=33, duration_days=30.0)).generate(60)
+        b = CloudSimulation(SimulationConfig(seed=33, duration_days=30.0)).generate(60)
+        for x, y in zip(a, b):
+            assert x.title == y.title
+            assert x.responsible_team == y.responsible_team
+            assert x.created_at == y.created_at
+
+    def test_same_seed_same_monitoring_effects(self):
+        sim_a = CloudSimulation(SimulationConfig(seed=33, duration_days=30.0))
+        sim_a.generate(60)
+        sim_b = CloudSimulation(SimulationConfig(seed=33, duration_days=30.0))
+        sim_b.generate(60)
+        assert sorted(sim_a.store._effects) == sorted(sim_b.store._effects)
+
+    def test_different_seed_differs(self):
+        a = CloudSimulation(SimulationConfig(seed=1, duration_days=30.0)).generate(40)
+        b = CloudSimulation(SimulationConfig(seed=2, duration_days=30.0)).generate(40)
+        assert any(x.title != y.title for x, y in zip(a, b))
+
+
+class TestFeatureSchemaEdges:
+    def test_index_of_unknown_raises(self, framework):
+        with pytest.raises(ValueError):
+            framework.builder.schema.index_of("nonexistent.feature")
+
+    def test_schema_order_is_stable(self, sim, framework):
+        rebuilt = FeatureBuilder(framework.config, sim.topology, sim.store)
+        assert rebuilt.schema.names == framework.builder.schema.names
+
+
+class TestRouteEnum:
+    def test_values(self):
+        assert Route.SUPERVISED.value == "rf"
+        assert Route.UNSUPERVISED.value == "cpd+"
+        assert Route.FALLBACK.value == "fallback"
+        assert Route.EXCLUDED.value == "excluded"
+
+
+class TestConfigEdges:
+    def test_multiline_monitoring_statement(self):
+        config = parse_config(
+            'let VM = "x";\n'
+            "MONITORING m = CREATE_MONITORING(\n"
+            '    "dataset",\n'
+            "    {server=all},\n"
+            "    EVENT\n"
+            ");",
+            team="T",
+        )
+        assert config.monitoring[0].locator == "dataset"
+
+    def test_semicolon_inside_regex_string(self):
+        config = parse_config('let VM = "a;b";', team="T")
+        assert config.component_patterns[ComponentKind.VM] == "a;b"
+
+    def test_empty_text_needs_let(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("TEAM X;")
+
+    def test_whitespace_only(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("   \n\t  ", team="T")
+
+
+class TestSimultaneousIncidents:
+    def test_forced_collisions_share_cluster(self):
+        sim = CloudSimulation(
+            SimulationConfig(seed=3, duration_days=30.0, simultaneous_prob=1.0)
+        )
+        incidents = sim.generate(30)
+        clusters = [i.annotations["cluster"] for i in incidents]
+        # With probability 1, every incident after the first reuses the
+        # previous cluster.
+        assert all(a == b for a, b in zip(clusters[1:], clusters[:-1]))
+
+    def test_disabled_collisions_vary(self):
+        sim = CloudSimulation(
+            SimulationConfig(seed=3, duration_days=30.0, simultaneous_prob=0.0)
+        )
+        incidents = sim.generate(30)
+        clusters = {i.annotations["cluster"] for i in incidents}
+        assert len(clusters) > 3
+
+
+class TestAnnotations:
+    def test_mentioned_annotation_round_trips(self, incidents):
+        for incident in list(incidents)[:20]:
+            mentioned = incident.annotations["mentioned"]
+            assert isinstance(mentioned, str)
+            if mentioned and incident.annotations["omitted_components"] == "False":
+                # The text shows up to four (shuffled) of the mentioned
+                # components; at least one must appear.
+                names = mentioned.split(",")
+                assert any(name in incident.text for name in names)
+
+    def test_transient_annotation_is_boolean_string(self, incidents):
+        assert {i.annotations["transient"] for i in incidents} <= {"True", "False"}

@@ -1,0 +1,72 @@
+"""Non-stationary workload tests: emerging failure modes (§7.3's story)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    CloudSimulation,
+    SimulationConfig,
+    default_scenarios,
+)
+
+_DAY = 86400.0
+
+
+@pytest.fixture(scope="module")
+def long_sim_incidents():
+    sim = CloudSimulation(SimulationConfig(seed=41, duration_days=270.0))
+    return sim.generate(800)
+
+
+def test_library_contains_emerging_scenario():
+    emerging = [
+        s for s in default_scenarios() if s.available_from_day > 0.0
+    ]
+    assert emerging
+    assert any(s.name == "firmware_reboot_storm" for s in emerging)
+
+
+def test_emerging_scenario_absent_before_start(long_sim_incidents):
+    start = next(
+        s.available_from_day
+        for s in default_scenarios()
+        if s.name == "firmware_reboot_storm"
+    )
+    early = [
+        i for i in long_sim_incidents
+        if i.scenario == "firmware_reboot_storm"
+        and i.created_at < start * _DAY
+    ]
+    assert early == []
+
+
+def test_emerging_scenario_present_after_start(long_sim_incidents):
+    late = [
+        i for i in long_sim_incidents
+        if i.scenario == "firmware_reboot_storm"
+    ]
+    assert len(late) > 5
+
+
+def test_short_horizons_never_see_it():
+    sim = CloudSimulation(SimulationConfig(seed=4, duration_days=100.0))
+    incidents = sim.generate(300)
+    assert all(i.scenario != "firmware_reboot_storm" for i in incidents)
+
+
+def test_emerging_incidents_have_phynet_label(long_sim_incidents):
+    storms = [
+        i for i in long_sim_incidents if i.scenario == "firmware_reboot_storm"
+    ]
+    assert storms
+    assert all(i.responsible_team == "PhyNet" for i in storms)
+
+
+def test_emerging_signature_is_server_side(long_sim_incidents):
+    """The new mode's monitoring signature lives on servers (its
+    confusability with Compute host failures is the §7.3 point)."""
+    scenario = next(
+        s for s in default_scenarios() if s.name == "firmware_reboot_storm"
+    )
+    datasets = {template.dataset for template in scenario.effects}
+    assert datasets == {"device_reboots", "canaries"}

@@ -1,0 +1,226 @@
+"""Explanation rendering and analysis-metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cdf_points,
+    class_distance_profiles,
+    evaluate_gain_overhead,
+    overhead_in_distribution,
+    pairwise_distances,
+    per_day_fractions,
+    percentile_row,
+    render_cdf,
+    render_series,
+    render_table,
+)
+from repro.core import Route, ScoutPrediction
+from repro.core.explain import Explanation, FeatureAttribution, render_report
+from repro.incidents import (
+    Incident,
+    IncidentSource,
+    IncidentStore,
+    RoutingHop,
+    RoutingTrace,
+    Severity,
+)
+from repro.simulation.teams import PHYNET
+
+
+class TestRenderReport:
+    def test_positive_verdict(self):
+        explanation = Explanation(
+            components=["sw-tor1.c1.dc0"],
+            datasets=["ping_statistics"],
+            attributions=[FeatureAttribution("switch.temperature.p99", 4.2, 0.3)],
+        )
+        text = render_report("PhyNet", True, 0.92, explanation)
+        assert "IS a PhyNet incident" in text
+        assert "sw-tor1.c1.dc0" in text
+        assert "switch.temperature.p99" in text
+        assert "0.92" in text
+
+    def test_negative_verdict(self):
+        text = render_report("PhyNet", False, 0.8, Explanation())
+        assert "NOT a PhyNet incident" in text
+
+    def test_abstention(self):
+        text = render_report("PhyNet", None, 0.0, Explanation())
+        assert "falling back" in text
+
+    def test_fine_print_always_present(self):
+        text = render_report("PhyNet", True, 0.99, Explanation())
+        assert "transient" in text  # §8's known-false-negative caveat
+
+
+class TestExplainForest:
+    def test_contributions_ranked(self, scout, split):
+        _, test = split
+        positives = [
+            ex for ex in test
+            if ex.label == 1 and ex.static_route is None
+        ]
+        from repro.core.explain import explain_forest
+        row = scout.imputer.transform(positives[0].features.reshape(1, -1))[0]
+        attributions = explain_forest(
+            scout.forest, scout.builder.schema, row, predicted_class=1
+        )
+        contribs = [a.contribution for a in attributions]
+        assert contribs == sorted(contribs, reverse=True)
+        assert all(c > 0 for c in contribs)
+
+    def test_count_features_can_be_hidden(self, scout, split):
+        _, test = split
+        from repro.core.explain import explain_forest
+        ex = test[0]
+        row = scout.imputer.transform(ex.features.reshape(1, -1))[0]
+        attributions = explain_forest(
+            scout.forest, scout.builder.schema, row,
+            predicted_class=1, include_count_features=False,
+        )
+        assert all(not a.feature.startswith("n_") for a in attributions)
+
+
+def _store_with_traces():
+    incidents, traces = [], []
+    # 0: PhyNet incident mis-routed through Storage first.
+    incidents.append(Incident(0, 0.0, "t", "b", Severity.LOW,
+                              IncidentSource.OTHER_MONITOR, "Storage", PHYNET))
+    traces.append(RoutingTrace(0, [RoutingHop("Storage", 3.0), RoutingHop(PHYNET, 1.0)]))
+    # 1: Storage incident mis-routed through PhyNet.
+    incidents.append(Incident(1, 1.0, "t", "b", Severity.LOW,
+                              IncidentSource.OTHER_MONITOR, "SLB", "Storage"))
+    traces.append(RoutingTrace(1, [RoutingHop(PHYNET, 2.0), RoutingHop("Storage", 2.0)]))
+    # 2: correctly-routed PhyNet incident.
+    incidents.append(Incident(2, 2.0, "t", "b", Severity.LOW,
+                              IncidentSource.OWN_MONITOR, PHYNET, PHYNET))
+    traces.append(RoutingTrace(2, [RoutingHop(PHYNET, 1.0)]))
+    # 3: non-PhyNet incident that never touches PhyNet.
+    incidents.append(Incident(3, 3.0, "t", "b", Severity.LOW,
+                              IncidentSource.OWN_MONITOR, "DNS", "DNS"))
+    traces.append(RoutingTrace(3, [RoutingHop("SLB", 1.0), RoutingHop("DNS", 1.0)]))
+    return IncidentStore(incidents, traces)
+
+
+def _prediction(incident_id, responsible):
+    return ScoutPrediction(incident_id, responsible, 0.9, Route.SUPERVISED)
+
+
+class TestGainOverhead:
+    def test_overhead_in_distribution(self):
+        store = _store_with_traces()
+        pool = overhead_in_distribution(store, PHYNET)
+        # Only incident 1 had PhyNet as a wrongful waypoint: 2h of 4h.
+        assert pool.tolist() == [0.5]
+
+    def test_perfect_scout_matches_best_possible(self):
+        store = _store_with_traces()
+        predictions = {
+            0: _prediction(0, True),
+            1: _prediction(1, False),
+            2: _prediction(2, True),
+            3: _prediction(3, False),
+        }
+        result = evaluate_gain_overhead(store, predictions, PHYNET, rng=0)
+        assert result.gain_in == result.best_gain_in == [0.75]
+        # Incident 1 passes through PhyNet (gain 0.5); incident 3 is
+        # mis-routed but never touches PhyNet (gain 0 — the paper notes
+        # most non-PhyNet incidents "do not go through PhyNet at all").
+        assert result.gain_out == result.best_gain_out == [0.5, 0.0]
+        assert result.overhead_in == []
+        assert result.error_out == 0.0
+
+    def test_false_negative_loses_gain_and_counts_error_out(self):
+        store = _store_with_traces()
+        predictions = {0: _prediction(0, False)}
+        result = evaluate_gain_overhead(store, predictions, PHYNET, rng=0)
+        assert result.gain_in == [0.0]
+        assert result.error_out > 0.0
+
+    def test_false_positive_adds_overhead(self):
+        store = _store_with_traces()
+        predictions = {3: _prediction(3, True)}
+        result = evaluate_gain_overhead(store, predictions, PHYNET, rng=0)
+        assert len(result.overhead_in) == 1
+        assert result.overhead_in[0] == 0.5  # sampled from the pool
+
+    def test_abstention_is_neutral(self):
+        store = _store_with_traces()
+        result = evaluate_gain_overhead(store, {}, PHYNET, rng=0)
+        assert result.gain_in == [0.0]
+        assert result.overhead_in == []
+
+    def test_summary_keys(self):
+        store = _store_with_traces()
+        summary = evaluate_gain_overhead(store, {}, PHYNET, rng=0).summary()
+        assert "median_gain_in" in summary
+        assert "error_out" in summary
+
+
+class TestDistributions:
+    def test_cdf_points_monotone(self):
+        x, q = cdf_points(np.random.default_rng(0).normal(size=100))
+        assert np.all(np.diff(x) >= 0)
+        assert q[0] == 0.0 and q[-1] == 1.0
+
+    def test_cdf_empty(self):
+        x, q = cdf_points([])
+        assert x.size == 0
+
+    def test_per_day_fractions(self):
+        day = 86400.0
+        ts = np.array([0.1, 0.2, day + 0.1, day + 0.2])
+        flags = np.array([True, False, True, True])
+        fractions = per_day_fractions(ts, flags)
+        assert fractions.tolist() == [0.5, 1.0]
+
+    def test_per_day_alignment_checked(self):
+        with pytest.raises(ValueError):
+            per_day_fractions([1.0], [True, False])
+
+    def test_pairwise_within(self):
+        X = np.array([[0.0], [3.0], [4.0]])
+        d = pairwise_distances(X)
+        assert sorted(d.tolist()) == [1.0, 3.0, 4.0]
+
+    def test_pairwise_cross(self):
+        A = np.array([[0.0]])
+        B = np.array([[3.0], [4.0]])
+        assert sorted(pairwise_distances(A, B).tolist()) == [3.0, 4.0]
+
+    def test_class_profiles_separable(self):
+        rng = np.random.default_rng(0)
+        X = np.vstack([rng.normal(0, 1, (50, 3)), rng.normal(10, 1, (50, 3))])
+        y = np.array([0] * 50 + [1] * 50)
+        profiles = class_distance_profiles(X, y)
+        assert profiles["cross"].mean() > profiles["within_positive"].mean()
+        assert profiles["cross"].mean() > profiles["within_negative"].mean()
+
+
+class TestTables:
+    def test_render_table(self):
+        text = render_table(["model", "f1"], [["RF", 0.98], ["CPD+", 0.94]],
+                            title="Table 1")
+        assert "Table 1" in text
+        assert "0.980" in text
+        assert "CPD+" in text
+
+    def test_render_cdf(self):
+        text = render_cdf(np.arange(100, dtype=float), "latency")
+        assert "latency" in text and "p50=" in text
+
+    def test_render_cdf_empty(self):
+        assert "(empty)" in render_cdf([], "nothing")
+
+    def test_render_series(self):
+        text = render_series([1, 2], [0.5, 0.9], "line")
+        assert "line" in text and "0.900" in text
+
+    def test_percentile_row(self):
+        row = percentile_row(np.arange(101, dtype=float))
+        assert row[0] == 50.0
+        assert len(row) == 4
+
+    def test_percentile_row_empty(self):
+        assert percentile_row([]) == [0.0, 0.0, 0.0, 0.0]

@@ -1,0 +1,66 @@
+"""Explainability depth: feature contributions behave sensibly."""
+
+import numpy as np
+import pytest
+
+from repro.core.explain import explain_forest
+from repro.ml import RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def forest_and_schema():
+    class StubSchema:
+        names = [f"f{i}" for i in range(4)] + ["n_switch"]
+
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(400, 5))
+    y = (X[:, 0] > 0.3).astype(int)
+    forest = RandomForestClassifier(n_estimators=30, rng=1).fit(X, y)
+    return forest, StubSchema()
+
+
+def test_informative_feature_leads(forest_and_schema):
+    forest, schema = forest_and_schema
+    row = np.array([2.0, 0.0, 0.0, 0.0, 0.0])
+    attributions = explain_forest(forest, schema, row, predicted_class=1)
+    assert attributions
+    assert attributions[0].feature == "f0"
+
+
+def test_negative_contributions_excluded(forest_and_schema):
+    forest, schema = forest_and_schema
+    row = np.array([2.0, 0.0, 0.0, 0.0, 0.0])
+    attributions = explain_forest(forest, schema, row, predicted_class=1)
+    assert all(a.contribution > 0 for a in attributions)
+
+
+def test_opposite_class_flips_top_feature_sign(forest_and_schema):
+    forest, schema = forest_and_schema
+    negative_row = np.array([-2.0, 0.0, 0.0, 0.0, 0.0])
+    toward_zero = explain_forest(forest, schema, negative_row, predicted_class=0)
+    assert toward_zero
+    assert toward_zero[0].feature == "f0"
+
+
+def test_unknown_class_returns_empty(forest_and_schema):
+    forest, schema = forest_and_schema
+    row = np.zeros(5)
+    assert explain_forest(forest, schema, row, predicted_class=7) == []
+
+
+def test_top_k_cap(forest_and_schema):
+    forest, schema = forest_and_schema
+    row = np.array([2.0, 1.0, -1.0, 0.5, 3.0])
+    attributions = explain_forest(
+        forest, schema, row, predicted_class=1, top_k=2
+    )
+    assert len(attributions) <= 2
+
+
+def test_attribution_values_recorded(forest_and_schema):
+    forest, schema = forest_and_schema
+    row = np.array([2.0, 0.0, 0.0, 0.0, 9.0])
+    attributions = explain_forest(forest, schema, row, predicted_class=1)
+    by_name = {a.feature: a for a in attributions}
+    if "f0" in by_name:
+        assert by_name["f0"].value == 2.0

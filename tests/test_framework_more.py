@@ -1,0 +1,76 @@
+"""Additional framework/evaluation behaviors."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.survey import SURVEY_FACTS, TEAM_BUCKETS, USER_BUCKETS
+from repro.core import Route, ScoutFramework, TrainingOptions
+
+
+class TestAbstentionAccounting:
+    def test_include_abstentions_penalizes_recall(self, framework, scout, dataset):
+        """Counting fallbacks as 'not responsible' can only lower recall."""
+        # Evaluate over the full dataset (which contains fallbacks).
+        lenient = framework.evaluate(scout, dataset, include_abstentions=False)
+        strict = framework.evaluate(scout, dataset, include_abstentions=True)
+        assert strict.recall <= lenient.recall + 1e-9
+        assert strict.n_fallback == lenient.n_fallback
+
+    def test_fallback_incidents_always_route_fallback(self, framework, scout, dataset):
+        fallbacks = [ex for ex in dataset if ex.static_route is Route.FALLBACK]
+        for example in fallbacks[:10]:
+            assert scout.predict_example(example).responsible is None
+
+
+class TestTrainingOptionVariants:
+    def test_cv_folds_zero_disables_meta_learning(self, framework, split):
+        train, _ = split
+        fast = ScoutFramework(
+            framework.config, framework.topology, framework.store,
+            TrainingOptions(n_estimators=15, cv_folds=0, rng=0),
+        )
+        scout = fast.train(train)
+        # With no CV mistakes, the selector learned all-zero hard labels
+        # and should never route to CPD+ on its own.
+        novelty = scout.selector.novelty(train.texts[0])
+        assert novelty == 0.0
+
+    def test_decider_option_flows_through(self, framework, split):
+        train, _ = split
+        fw = ScoutFramework(
+            framework.config, framework.topology, framework.store,
+            TrainingOptions(n_estimators=15, cv_folds=2,
+                            decider="ocsvm_aggressive", rng=0),
+        )
+        scout = fw.train(train)
+        assert scout.selector.decider_kind == "ocsvm_aggressive"
+
+    def test_novelty_threshold_option(self, framework, split):
+        train, _ = split
+        fw = ScoutFramework(
+            framework.config, framework.topology, framework.store,
+            TrainingOptions(n_estimators=15, cv_folds=0,
+                            novelty_threshold=0.9, rng=0),
+        )
+        scout = fw.train(train)
+        assert scout.selector.novelty_threshold == 0.9
+
+
+class TestSurveyData:
+    def test_user_buckets_sum_to_respondents(self):
+        assert sum(b.respondents for b in USER_BUCKETS) == SURVEY_FACTS["respondents"]
+
+    def test_team_buckets_plausible(self):
+        assert sum(b.respondents for b in TEAM_BUCKETS) <= SURVEY_FACTS["respondents"]
+        assert TEAM_BUCKETS[0].label == "1-10"
+
+    def test_facts_internally_consistent(self):
+        assert (
+            SURVEY_FACTS["impact_score_at_least_4"]
+            <= SURVEY_FACTS["impact_score_at_least_3"]
+            <= SURVEY_FACTS["respondents"]
+        )
+        assert (
+            SURVEY_FACTS["investigations_over_3_teams"]
+            <= SURVEY_FACTS["investigations_at_least_2_teams"]
+        )

@@ -1,0 +1,111 @@
+"""Coverage gap-fill: less-traveled branches across subsystems."""
+
+import numpy as np
+import pytest
+
+from repro.core import Route
+from repro.core.explain import Explanation, render_report
+from repro.datacenter import ComponentKind
+from repro.incidents import Incident, IncidentSource, Severity
+
+
+def _incident_like(sample, **overrides):
+    kwargs = dict(
+        incident_id=777_000,
+        created_at=sample.created_at,
+        title=sample.title,
+        body=sample.body,
+        severity=sample.severity,
+        source=sample.source,
+        source_team=sample.source_team,
+        responsible_team=sample.responsible_team,
+    )
+    kwargs.update(overrides)
+    return Incident(**kwargs)
+
+
+class TestScoutLivePaths:
+    def test_excluded_incident_live(self, scout, incidents):
+        incident = _incident_like(
+            incidents[0], title="decommission old rack", incident_id=777_001
+        )
+        prediction = scout.predict(incident)
+        assert prediction.route is Route.EXCLUDED
+        assert prediction.responsible is False
+        assert prediction.confidence == 1.0
+
+    def test_cpd_cache_cluster_branch(self, scout, dataset):
+        cluster_examples = [
+            ex for ex in dataset.usable()
+            if scout.cpd.is_cluster_scope(ex.extracted)
+        ]
+        if not cluster_examples:
+            pytest.skip("no cluster-scope examples in sample")
+        example = cluster_examples[0]
+        verdict = scout._cpd_verdict_from_cache(example, novelty=0.9)
+        assert verdict.route is Route.UNSUPERVISED
+        assert verdict.responsible in (True, False)
+
+    def test_cpd_cache_leaf_branch(self, scout, dataset):
+        leaf_examples = [
+            ex for ex in dataset.usable()
+            if not scout.cpd.is_cluster_scope(ex.extracted)
+        ]
+        example = leaf_examples[0]
+        verdict = scout._cpd_verdict_from_cache(example, novelty=0.9)
+        assert verdict.route is Route.UNSUPERVISED
+        # Conservative rule: responsible iff any cached trigger fired.
+        assert verdict.responsible == bool(example.triggers)
+
+
+class TestRenderReportBranches:
+    def test_triggers_listed(self):
+        explanation = Explanation(
+            components=["sw-tor0.c1.dc0"],
+            triggers=["change-point in temperature on sw-tor0.c1.dc0"],
+        )
+        text = render_report("PhyNet", True, 0.7, explanation)
+        assert "Detected signals" in text
+        assert "change-point in temperature" in text
+
+    def test_notes_appended(self):
+        explanation = Explanation(notes=["matched EXCLUDE TITLE"])
+        text = render_report("PhyNet", False, 1.0, explanation)
+        assert "matched EXCLUDE TITLE" in text
+
+    def test_no_components_placeholder(self):
+        text = render_report("PhyNet", True, 0.9, Explanation())
+        assert "no specific components" in text
+
+
+class TestCliRouteTimeOption:
+    def test_explicit_time(self, tmp_path, capsys):
+        from repro.cli import main
+        model = tmp_path / "m.scout"
+        args = ["--seed", "3", "--days", "45", "--incidents", "100"]
+        main(["train", *args, "--trees", "15", "--out", str(model)])
+        capsys.readouterr()
+        code = main([
+            "route", "--seed", "3", "--days", "45",
+            "--model", str(model),
+            "--time", str(20 * 86400.0),
+            "--text", "Probes show packet loss reaching sw-tor0.c1.dc0",
+        ])
+        assert code == 0
+        assert "PhyNet Scout" in capsys.readouterr().out
+
+
+class TestStoreCovers:
+    def test_covers_helper(self, sim):
+        from repro.datacenter import Component
+        switch = Component(ComponentKind.SWITCH, "sw-tor0.c1.dc0")
+        vm = Component(ComponentKind.VM, "vm-0.c1.dc0")
+        assert sim.store.covers("snmp_syslogs", switch)
+        assert not sim.store.covers("snmp_syslogs", vm)
+
+
+class TestIncidentSourceEnum:
+    def test_values(self):
+        assert IncidentSource.CUSTOMER.value == "customer"
+        assert IncidentSource.OWN_MONITOR.value == "own_monitor"
+        assert Severity.HIGH > Severity.LOW

@@ -1,0 +1,211 @@
+"""Incident model, routing trace, store, and text generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.incidents import (
+    Incident,
+    IncidentSource,
+    IncidentStore,
+    IncidentTextGenerator,
+    RoutingHop,
+    RoutingTrace,
+    Severity,
+)
+
+
+def make_incident(i=0, team="PhyNet", recorded=None, t=0.0, source=IncidentSource.CUSTOMER):
+    return Incident(
+        incident_id=i,
+        created_at=t,
+        title=f"incident {i}",
+        body="something broke",
+        severity=Severity.LOW,
+        source=source,
+        source_team="" if source is IncidentSource.CUSTOMER else "Storage",
+        responsible_team=team,
+        recorded_team=recorded or "",
+    )
+
+
+class TestIncident:
+    def test_recorded_defaults_to_responsible(self):
+        incident = make_incident(team="PhyNet")
+        assert incident.recorded_team == "PhyNet"
+
+    def test_label_uses_recorded_team(self):
+        incident = make_incident(team="PhyNet", recorded="Storage")
+        assert incident.label("PhyNet") == 0
+        assert incident.true_label("PhyNet") == 1
+
+    def test_text_joins_title_and_body(self):
+        incident = make_incident()
+        assert "incident 0" in incident.text
+        assert "something broke" in incident.text
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Incident(
+                incident_id=0, created_at=0.0, title="", body="",
+                severity=Severity.LOW, source=IncidentSource.CUSTOMER,
+                source_team="", responsible_team="X",
+            )
+
+
+class TestRoutingTrace:
+    def trace(self):
+        return RoutingTrace(
+            incident_id=1,
+            hops=[
+                RoutingHop("Storage", 2.0),
+                RoutingHop("PhyNet", 3.0),
+                RoutingHop("SLB", 1.0),
+                RoutingHop("PhyNet", 4.0),
+            ],
+        )
+
+    def test_basic_properties(self):
+        trace = self.trace()
+        assert trace.resolved_by == "PhyNet"
+        assert trace.first_team == "Storage"
+        assert trace.n_teams == 3
+        assert trace.total_time == 10.0
+        assert trace.mis_routed
+
+    def test_time_at_sums_stints(self):
+        assert self.trace().time_at("PhyNet") == 7.0
+
+    def test_time_before_first_visit(self):
+        assert self.trace().time_before("PhyNet") == 2.0
+        assert self.trace().time_before("SLB") == 5.0
+
+    def test_time_before_unvisited_team_is_total(self):
+        assert self.trace().time_before("DNS") == 10.0
+
+    def test_waypoint(self):
+        trace = self.trace()
+        assert trace.was_waypoint("Storage")
+        assert trace.was_waypoint("SLB")
+        assert not trace.was_waypoint("PhyNet")
+        assert not trace.was_waypoint("DNS")
+
+    def test_direct_route_not_misrouted(self):
+        trace = RoutingTrace(incident_id=2, hops=[RoutingHop("PhyNet", 1.0)])
+        assert not trace.mis_routed
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingTrace(incident_id=3, hops=[])
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingHop("X", -1.0)
+
+
+class TestIncidentStore:
+    def build(self, n=10):
+        incidents = [
+            make_incident(i, team="PhyNet" if i % 3 == 0 else "Storage", t=i * 86400.0)
+            for i in range(n)
+        ]
+        traces = [
+            RoutingTrace(incident_id=i, hops=[RoutingHop("PhyNet", 1.0)])
+            for i in range(n)
+        ]
+        return IncidentStore(incidents, traces)
+
+    def test_container_protocol(self):
+        store = self.build()
+        assert len(store) == 10
+        assert store[0].incident_id == 0
+        assert len(list(store)) == 10
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentStore([make_incident(1), make_incident(1)])
+
+    def test_add_mismatched_trace_rejected(self):
+        store = IncidentStore()
+        with pytest.raises(ValueError):
+            store.add(
+                make_incident(5),
+                RoutingTrace(incident_id=6, hops=[RoutingHop("X", 1.0)]),
+            )
+
+    def test_labels(self):
+        store = self.build(6)
+        assert store.labels("PhyNet").tolist() == [1, 0, 0, 1, 0, 0]
+
+    def test_filter(self):
+        store = self.build(9)
+        phynet = store.filter(lambda i: i.responsible_team == "PhyNet")
+        assert len(phynet) == 3
+        assert phynet.trace(0) is not None
+
+    def test_subset_keeps_traces(self):
+        store = self.build()
+        sub = store.subset([0, 2])
+        assert len(sub) == 2
+        assert sub.trace(2) is not None
+
+    def test_paper_split_partitions(self):
+        store = self.build(30)
+        train, test = store.paper_split("PhyNet", rng=0)
+        assert len(train) + len(test) == 30
+        train_ids = {i.incident_id for i in train}
+        test_ids = {i.incident_id for i in test}
+        assert train_ids.isdisjoint(test_ids)
+
+    def test_time_windows(self):
+        store = self.build(30)
+        windows = store.time_windows(retrain_interval_days=5.0)
+        assert windows
+        for train, evaluate in windows:
+            assert train.timestamps().max() <= evaluate.timestamps().min()
+
+    def test_json_roundtrip(self):
+        store = self.build(4)
+        clone = IncidentStore.from_json(store.to_json())
+        assert len(clone) == 4
+        assert clone[0].title == store[0].title
+        assert clone[0].severity == store[0].severity
+        assert clone.trace(0).teams == store.trace(0).teams
+
+
+class TestTextGenerator:
+    def test_mentions_components(self):
+        gen = IncidentTextGenerator(rng=0)
+        title, body = gen.render(
+            "connectivity_loss", ["vm-1.c2.dc0", "c2.dc0"], from_monitor="Storage-watchdog"
+        )
+        assert "vm-1.c2.dc0" in body or "c2.dc0" in body
+        assert "[auto]" in body
+
+    def test_omit_components(self):
+        gen = IncidentTextGenerator(rng=0)
+        _, body = gen.render(
+            "connectivity_loss", ["vm-1.c2.dc0"], omit_components=True
+        )
+        assert "vm-1.c2.dc0" not in body
+        assert "affected resources" in body
+
+    def test_cri_prefix(self):
+        gen = IncidentTextGenerator(rng=0)
+        _, body = gen.render("latency", ["c1.dc0"], from_monitor=None)
+        assert "[auto]" not in body
+
+    def test_unknown_symptom_rejected(self):
+        with pytest.raises(ValueError):
+            IncidentTextGenerator(rng=0).render("warp_core_breach", [])
+
+    def test_deterministic_with_seed(self):
+        a = IncidentTextGenerator(rng=3).render("latency", ["c1.dc0"])
+        b = IncidentTextGenerator(rng=3).render("latency", ["c1.dc0"])
+        assert a == b
+
+    def test_noise_sentences_appended(self):
+        gen = IncidentTextGenerator(rng=0)
+        _, short = gen.render("latency", ["c1.dc0"], noise_sentences=0)
+        gen2 = IncidentTextGenerator(rng=0)
+        _, long = gen2.render("latency", ["c1.dc0"], noise_sentences=5)
+        assert len(long) > len(short)

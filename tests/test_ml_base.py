@@ -1,0 +1,67 @@
+"""Estimator-protocol and input-validation tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import GaussianNB, NotFittedError, as_rng
+from repro.ml.base import check_Xy, check_matrix
+
+
+class TestCheckMatrix:
+    def test_passthrough(self):
+        X = np.ones((3, 2))
+        assert check_matrix(X).shape == (3, 2)
+
+    def test_promotes_1d_to_row(self):
+        assert check_matrix(np.ones(4)).shape == (1, 4)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            check_matrix(np.ones((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="no rows"):
+            check_matrix(np.empty((0, 3)))
+
+    def test_coerces_lists(self):
+        X = check_matrix([[1, 2], [3, 4]])
+        assert X.dtype == float
+
+
+class TestCheckXy:
+    def test_valid(self):
+        X, y = check_Xy([[1.0], [2.0]], [0, 1])
+        assert X.shape == (2, 1) and y.shape == (2,)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="labels"):
+            check_Xy(np.ones((3, 1)), [0, 1])
+
+    def test_2d_labels_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            check_Xy(np.ones((2, 1)), np.ones((2, 2)))
+
+
+class TestAsRng:
+    def test_from_int(self):
+        rng = as_rng(7)
+        assert isinstance(rng, np.random.Generator)
+
+    def test_passthrough_generator(self):
+        base = np.random.default_rng(0)
+        assert as_rng(base) is base
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+
+class TestClassifierProtocol:
+    def test_score_is_accuracy(self):
+        X = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = GaussianNB().fit(X, y)
+        assert model.score(X, y) == 1.0
+
+    def test_require_fitted_message_names_class(self):
+        with pytest.raises(NotFittedError, match="GaussianNB"):
+            GaussianNB().predict([[1.0]])

@@ -1,0 +1,115 @@
+"""Random-forest tests, including the explainability contract."""
+
+import numpy as np
+import pytest
+
+from repro.ml import NotFittedError, RandomForestClassifier
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(500, 6))
+    y = ((X[:, 0] + X[:, 1] ** 2) > 0.7).astype(int)
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def forest(data):
+    X, y = data
+    return RandomForestClassifier(n_estimators=40, rng=7).fit(X, y)
+
+
+def test_accuracy_beats_chance(forest, data):
+    X, y = data
+    assert forest.score(X, y) > 0.9
+
+
+def test_deterministic_given_seed(data):
+    X, y = data
+    a = RandomForestClassifier(n_estimators=10, rng=42).fit(X, y)
+    b = RandomForestClassifier(n_estimators=10, rng=42).fit(X, y)
+    assert np.array_equal(a.predict_proba(X[:50]), b.predict_proba(X[:50]))
+
+
+def test_different_seeds_differ(data):
+    X, y = data
+    a = RandomForestClassifier(n_estimators=10, rng=1).fit(X, y)
+    b = RandomForestClassifier(n_estimators=10, rng=2).fit(X, y)
+    assert not np.array_equal(a.predict_proba(X[:50]), b.predict_proba(X[:50]))
+
+
+def test_proba_rows_sum_to_one(forest, data):
+    X, _ = data
+    proba = forest.predict_proba(X[:30])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.all(proba >= 0.0)
+
+
+def test_feature_importances_shape_and_norm(forest):
+    assert forest.feature_importances_.shape == (6,)
+    assert abs(forest.feature_importances_.sum() - 1.0) < 1e-9
+
+
+def test_relevant_features_dominate_importance(forest):
+    importances = forest.feature_importances_
+    assert importances[0] + importances[1] > 0.6
+
+
+def test_feature_contributions_shape(forest, data):
+    X, _ = data
+    contributions = forest.feature_contributions(X[0])
+    assert contributions.shape == (6, 2)
+
+
+def test_feature_contributions_sum_matches_proba(forest, data):
+    # Forest-level: mean(root priors) + sum(contributions) == proba.
+    X, _ = data
+    row = X[1]
+    base = np.zeros(2)
+    for tree in forest.trees_:
+        for local, forest_idx in enumerate(tree.classes_):
+            base[int(forest_idx)] += tree.root_.distribution[local]
+    base /= forest.n_estimators
+    reconstructed = base + forest.feature_contributions(row).sum(axis=0)
+    assert np.allclose(reconstructed, forest.predict_proba([row])[0], atol=1e-9)
+
+
+def test_contribution_wrong_length_raises(forest):
+    with pytest.raises(ValueError):
+        forest.feature_contributions(np.zeros(3))
+
+
+def test_unfitted_raises():
+    with pytest.raises(NotFittedError):
+        RandomForestClassifier().predict(np.zeros((1, 3)))
+
+
+def test_sample_weight_biases_bootstrap(data):
+    X, y = data
+    # Weight only class-0 rows: the forest should rarely predict 1.
+    w = np.where(y == 0, 1.0, 1e-9)
+    forest = RandomForestClassifier(n_estimators=20, rng=0).fit(
+        X, y, sample_weight=w
+    )
+    assert forest.predict(X).mean() < 0.1
+
+
+def test_single_class_training():
+    X = np.random.default_rng(0).normal(size=(30, 3))
+    y = np.zeros(30, dtype=int)
+    forest = RandomForestClassifier(n_estimators=5, rng=0).fit(X, y)
+    assert np.all(forest.predict(X) == 0)
+
+
+def test_n_estimators_validation():
+    with pytest.raises(ValueError):
+        RandomForestClassifier(n_estimators=0)
+
+
+def test_no_bootstrap_mode(data):
+    X, y = data
+    forest = RandomForestClassifier(
+        n_estimators=10, bootstrap=False, rng=0
+    ).fit(X, y)
+    assert forest.score(X, y) > 0.9

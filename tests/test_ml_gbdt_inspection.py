@@ -1,0 +1,147 @@
+"""Gradient-boosting and permutation-importance tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GradientBoostingClassifier,
+    RegressionTree,
+    f1_score,
+    permutation_importance,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(600, 5))
+    y = ((X[:, 0] + 0.8 * X[:, 1] ** 2) > 0.6).astype(int)
+    return X[:400], y[:400], X[400:], y[400:]
+
+
+class TestRegressionTree:
+    def test_fits_linear_target(self):
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-2, 2, size=(300, 2))
+        target = 3.0 * X[:, 0]
+        tree = RegressionTree(max_depth=6, min_samples_leaf=3).fit(X, target)
+        mse = np.mean((tree.predict(X) - target) ** 2)
+        assert mse < 0.5
+
+    def test_depth_one_is_a_stump(self):
+        X = np.arange(20, dtype=float).reshape(-1, 1)
+        target = (X[:, 0] >= 10).astype(float)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=2).fit(X, target)
+        assert tree.root_.left.is_leaf and tree.root_.right.is_leaf
+        assert tree.predict([[0.0]])[0] < 0.5 < tree.predict([[19.0]])[0]
+
+    def test_constant_target_single_leaf(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        tree = RegressionTree().fit(X, np.full(30, 7.0))
+        assert tree.root_.is_leaf
+        assert tree.predict(X[:3]).tolist() == [7.0, 7.0, 7.0]
+
+    def test_min_samples_leaf_validation(self):
+        with pytest.raises(ValueError):
+            RegressionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            RegressionTree(min_samples_leaf=0)
+
+    def test_custom_leaf_value_fn(self):
+        X = np.arange(10, dtype=float).reshape(-1, 1)
+        tree = RegressionTree(max_depth=1, min_samples_leaf=2).fit(
+            X, X[:, 0], leaf_value_fn=lambda targets, idx: -1.0
+        )
+        assert np.all(tree.predict(X) == -1.0)
+
+
+class TestGradientBoosting:
+    def test_beats_single_stump(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(n_estimators=80, rng=0).fit(X, y)
+        weak = GradientBoostingClassifier(n_estimators=1, rng=0).fit(X, y)
+        assert f1_score(yt, gb.predict(Xt)) > f1_score(yt, weak.predict(Xt))
+        assert f1_score(yt, gb.predict(Xt)) > 0.85
+
+    def test_proba_valid(self, data):
+        X, y, Xt, _ = data
+        gb = GradientBoostingClassifier(n_estimators=30, rng=0).fit(X, y)
+        proba = gb.predict_proba(Xt[:20])
+        assert proba.shape == (20, 2)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert np.all((proba >= 0) & (proba <= 1))
+
+    def test_subsample_still_learns(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(
+            n_estimators=60, subsample=0.6, rng=0
+        ).fit(X, y)
+        assert f1_score(yt, gb.predict(Xt)) > 0.8
+
+    def test_string_labels(self, data):
+        X, y, Xt, _ = data
+        labels = np.where(y == 1, "phynet", "other")
+        gb = GradientBoostingClassifier(n_estimators=20, rng=0).fit(X, labels)
+        assert set(gb.predict(Xt[:10])) <= {"phynet", "other"}
+
+    def test_multiclass_rejected(self):
+        X = np.random.default_rng(0).normal(size=(30, 2))
+        y = np.arange(30) % 3
+        with pytest.raises(ValueError, match="binary"):
+            GradientBoostingClassifier().fit(X, y)
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(n_estimators=0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            GradientBoostingClassifier(subsample=0.0)
+
+    def test_decision_function_monotone_with_proba(self, data):
+        X, y, Xt, _ = data
+        gb = GradientBoostingClassifier(n_estimators=20, rng=0).fit(X, y)
+        raw = gb.decision_function(Xt[:50])
+        proba = gb.predict_proba(Xt[:50])[:, 1]
+        order_raw = np.argsort(raw)
+        order_proba = np.argsort(proba)
+        assert np.array_equal(order_raw, order_proba)
+
+
+class TestPermutationImportance:
+    def test_identifies_informative_features(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(n_estimators=60, rng=0).fit(X, y)
+        importances = permutation_importance(gb, Xt, yt, n_repeats=3, rng=0)
+        top_two = set(np.argsort(-importances)[:2])
+        assert top_two == {0, 1}
+
+    def test_noise_features_near_zero(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(n_estimators=60, rng=0).fit(X, y)
+        importances = permutation_importance(gb, Xt, yt, n_repeats=3, rng=0)
+        assert all(abs(importances[j]) < 0.1 for j in (2, 3, 4))
+
+    def test_column_subset(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(n_estimators=30, rng=0).fit(X, y)
+        importances = permutation_importance(
+            gb, Xt, yt, columns=[0, 4], rng=0
+        )
+        assert importances.shape == (2,)
+        assert importances[0] > importances[1]
+
+    def test_does_not_mutate_input(self, data):
+        X, y, Xt, yt = data
+        gb = GradientBoostingClassifier(n_estimators=10, rng=0).fit(X, y)
+        before = Xt.copy()
+        permutation_importance(gb, Xt, yt, rng=0)
+        assert np.array_equal(before, Xt)
+
+    def test_validation(self, data):
+        X, y, _, _ = data
+        gb = GradientBoostingClassifier(n_estimators=5, rng=0).fit(X, y)
+        with pytest.raises(ValueError):
+            permutation_importance(gb, X, y[:-1])
+        with pytest.raises(ValueError):
+            permutation_importance(gb, X, y, n_repeats=0)

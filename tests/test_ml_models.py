@@ -1,0 +1,165 @@
+"""Tests for the Table 4 comparison classifiers and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AdaBoostClassifier,
+    GaussianNB,
+    KNeighborsClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    MultinomialNB,
+    QuadraticDiscriminantAnalysis,
+)
+
+
+@pytest.fixture(scope="module")
+def blobs():
+    rng = np.random.default_rng(0)
+    X0 = rng.normal(loc=(-2.0, 0.0), scale=1.0, size=(150, 2))
+    X1 = rng.normal(loc=(2.0, 1.0), scale=1.0, size=(150, 2))
+    X = np.vstack([X0, X1])
+    y = np.array([0] * 150 + [1] * 150)
+    shuffle = rng.permutation(len(y))
+    return X[shuffle], y[shuffle]
+
+
+ALL_MODELS = [
+    lambda: KNeighborsClassifier(5),
+    lambda: KNeighborsClassifier(3, weights="distance"),
+    lambda: GaussianNB(),
+    lambda: QuadraticDiscriminantAnalysis(),
+    lambda: AdaBoostClassifier(n_estimators=30, rng=0),
+    lambda: MLPClassifier(hidden_size=16, max_epochs=80, rng=0),
+    lambda: LogisticRegression(),
+]
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+def test_separable_blobs(blobs, factory):
+    X, y = blobs
+    model = factory().fit(X, y)
+    assert model.score(X, y) > 0.9
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+def test_proba_valid(blobs, factory):
+    X, y = blobs
+    model = factory().fit(X, y)
+    proba = model.predict_proba(X[:25])
+    assert proba.shape == (25, 2)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+
+@pytest.mark.parametrize("factory", ALL_MODELS)
+def test_string_labels(blobs, factory):
+    X, y = blobs
+    labels = np.where(y == 1, "phynet", "other")
+    model = factory().fit(X, labels)
+    assert set(model.predict(X[:10])) <= {"phynet", "other"}
+
+
+def test_knn_validates_k():
+    with pytest.raises(ValueError):
+        KNeighborsClassifier(0)
+    with pytest.raises(ValueError):
+        KNeighborsClassifier(3, weights="bogus")
+
+
+def test_knn_k_larger_than_train_set():
+    X = np.array([[0.0], [1.0], [2.0]])
+    y = np.array([0, 0, 1])
+    model = KNeighborsClassifier(10).fit(X, y)
+    # Falls back to all points; majority class wins everywhere.
+    assert np.all(model.predict(X) == 0)
+
+
+def test_knn_exact_match_distance_weighted():
+    X = np.array([[0.0], [1.0], [5.0]])
+    y = np.array([0, 1, 1])
+    model = KNeighborsClassifier(3, weights="distance").fit(X, y)
+    assert model.predict([[0.0]])[0] == 0
+
+
+def test_gaussian_nb_handles_constant_feature():
+    X = np.column_stack([np.ones(40), np.arange(40, dtype=float)])
+    y = (np.arange(40) >= 20).astype(int)
+    model = GaussianNB().fit(X, y)
+    assert model.score(X, y) > 0.9
+
+
+def test_multinomial_nb_rejects_negative():
+    with pytest.raises(ValueError):
+        MultinomialNB().fit(np.array([[-1.0, 2.0]]), [0])
+
+
+def test_multinomial_nb_counts():
+    X = np.array([[5, 0], [4, 1], [0, 5], [1, 4]], dtype=float)
+    y = np.array([0, 0, 1, 1])
+    model = MultinomialNB().fit(X, y)
+    assert model.predict([[3, 0]])[0] == 0
+    assert model.predict([[0, 3]])[0] == 1
+
+
+def test_qda_reg_param_validation():
+    with pytest.raises(ValueError):
+        QuadraticDiscriminantAnalysis(reg_param=2.0)
+
+
+def test_qda_few_samples_per_class_is_stable():
+    # Fewer samples than features: regularization must keep it finite.
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(8, 10))
+    y = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+    model = QuadraticDiscriminantAnalysis().fit(X, y)
+    proba = model.predict_proba(X)
+    assert np.all(np.isfinite(proba))
+
+
+def test_adaboost_perfect_weak_learner_short_circuits():
+    X = np.array([[0.0], [1.0], [2.0], [3.0]])
+    y = np.array([0, 0, 1, 1])
+    model = AdaBoostClassifier(n_estimators=50, rng=0).fit(X, y)
+    assert len(model.estimators_) == 1
+    assert model.score(X, y) == 1.0
+
+
+def test_adaboost_nonlinear(blobs):
+    rng = np.random.default_rng(4)
+    X = rng.uniform(-1, 1, size=(300, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    model = AdaBoostClassifier(n_estimators=60, base_max_depth=2, rng=0).fit(X, y)
+    assert model.score(X, y) > 0.85
+
+
+def test_mlp_deterministic_given_seed(blobs):
+    X, y = blobs
+    a = MLPClassifier(hidden_size=8, max_epochs=20, rng=9).fit(X, y)
+    b = MLPClassifier(hidden_size=8, max_epochs=20, rng=9).fit(X, y)
+    assert np.allclose(a.predict_proba(X[:10]), b.predict_proba(X[:10]))
+
+
+def test_mlp_validates_hidden_size():
+    with pytest.raises(ValueError):
+        MLPClassifier(hidden_size=0)
+
+
+def test_logistic_coefficients_shape(blobs):
+    X, y = blobs
+    model = LogisticRegression().fit(X, y)
+    assert model.coef_.shape == (2, 2)
+    assert model.intercept_.shape == (2,)
+
+
+def test_logistic_multiclass():
+    rng = np.random.default_rng(2)
+    centers = [(-3, 0), (3, 0), (0, 4)]
+    X = np.vstack([
+        rng.normal(loc=c, scale=0.7, size=(60, 2)) for c in centers
+    ])
+    y = np.repeat([0, 1, 2], 60)
+    model = LogisticRegression().fit(X, y)
+    assert model.score(X, y) > 0.95
+    assert model.predict_proba(X[:5]).shape == (5, 3)

@@ -1,0 +1,145 @@
+"""Preprocessing (scalers, imputer) and split-protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    MeanImputer,
+    MinMaxScaler,
+    StandardScaler,
+    imbalance_aware_split,
+    normalize_series,
+    time_based_windows,
+    train_test_split,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_var(self):
+        X = np.random.default_rng(0).normal(5.0, 3.0, size=(200, 4))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_stays_finite(self):
+        X = np.column_stack([np.ones(10), np.arange(10, dtype=float)])
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+        assert np.allclose(Z[:, 0], 0.0)
+
+    def test_transform_checks_width(self):
+        scaler = StandardScaler().fit(np.zeros((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.zeros((2, 4)))
+
+
+class TestMinMaxScaler:
+    def test_range(self):
+        X = np.random.default_rng(1).normal(size=(50, 3))
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= 0.0 and Z.max() <= 1.0
+
+    def test_constant_column(self):
+        X = np.full((5, 1), 7.0)
+        Z = MinMaxScaler().fit_transform(X)
+        assert np.all(np.isfinite(Z))
+
+
+class TestMeanImputer:
+    def test_fills_with_training_mean(self):
+        X = np.array([[1.0, 10.0], [3.0, 20.0]])
+        imputer = MeanImputer().fit(X)
+        filled = imputer.transform(np.array([[np.nan, 15.0]]))
+        assert filled[0, 0] == 2.0
+        assert filled[0, 1] == 15.0
+
+    def test_nan_in_training_ignored(self):
+        X = np.array([[1.0], [np.nan], [3.0]])
+        imputer = MeanImputer().fit(X)
+        assert imputer.means_[0] == 2.0
+
+    def test_all_nan_column_imputes_zero(self):
+        X = np.full((4, 1), np.nan)
+        imputer = MeanImputer().fit(X)
+        assert imputer.transform(X)[0, 0] == 0.0
+
+    def test_does_not_mutate_input(self):
+        imputer = MeanImputer().fit(np.array([[1.0], [2.0]]))
+        X = np.array([[np.nan]])
+        imputer.transform(X)
+        assert np.isnan(X[0, 0])
+
+
+class TestNormalizeSeries:
+    def test_zero_mean_unit_std(self):
+        z = normalize_series(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert abs(z.mean()) < 1e-12
+        assert abs(z.std() - 1.0) < 1e-12
+
+    def test_constant_series(self):
+        assert np.allclose(normalize_series(np.full(5, 3.0)), 0.0)
+
+    def test_empty(self):
+        assert normalize_series(np.array([])).size == 0
+
+
+class TestTrainTestSplit:
+    def test_partition(self):
+        train, test = train_test_split(100, 0.3, rng=0)
+        assert len(train) + len(test) == 100
+        assert set(train).isdisjoint(test)
+        assert len(test) == 30
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            train_test_split(10, 1.5)
+
+
+class TestImbalanceAwareSplit:
+    def test_paper_proportions(self):
+        labels = np.array([1] * 100 + [0] * 300)
+        train, test = imbalance_aware_split(labels, rng=0)
+        train_labels = labels[train]
+        assert (train_labels == 1).sum() == 50       # half the positives
+        assert (train_labels == 0).sum() == 105      # 35% of negatives
+        assert len(train) + len(test) == 400
+        assert set(train).isdisjoint(test)
+
+    def test_deterministic(self):
+        labels = np.array([1, 0] * 50)
+        a = imbalance_aware_split(labels, rng=7)
+        b = imbalance_aware_split(labels, rng=7)
+        assert np.array_equal(a[0], b[0])
+
+    def test_all_one_class(self):
+        labels = np.zeros(20, dtype=int)
+        train, test = imbalance_aware_split(labels, rng=0)
+        assert len(train) + len(test) == 20
+
+
+class TestTimeWindows:
+    def test_growing_history(self):
+        ts = np.arange(0, 100.0, 1.0)
+        windows = time_based_windows(ts, retrain_interval=20.0)
+        assert len(windows) >= 3
+        # Training sets grow monotonically.
+        sizes = [len(train) for train, _ in windows]
+        assert sizes == sorted(sizes)
+
+    def test_fixed_history_window(self):
+        ts = np.arange(0, 100.0, 1.0)
+        windows = time_based_windows(ts, retrain_interval=10.0, history_window=20.0)
+        for train, _ in windows[2:]:
+            assert len(train) <= 21
+
+    def test_no_leakage(self):
+        ts = np.sort(np.random.default_rng(0).uniform(0, 100, 200))
+        for train, evaluate in time_based_windows(ts, 25.0):
+            assert ts[train].max() <= ts[evaluate].min()
+
+    def test_interval_validation(self):
+        with pytest.raises(ValueError):
+            time_based_windows(np.arange(5.0), retrain_interval=0.0)
+
+    def test_empty_input(self):
+        assert time_based_windows(np.array([]), 10.0) == []

@@ -1,0 +1,168 @@
+"""OneClassSVM and change-point detector tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    ChangePoint,
+    CusumDetector,
+    EDivisive,
+    OneClassSVM,
+    energy_statistic,
+)
+from repro.ml.svm import _project_box_simplex, polynomial_kernel, rbf_kernel
+
+
+@pytest.fixture(scope="module")
+def inliers():
+    rng = np.random.default_rng(0)
+    return rng.normal(size=(150, 2))
+
+
+class TestOneClassSVM:
+    def test_inliers_mostly_accepted(self, inliers):
+        model = OneClassSVM(nu=0.1).fit(inliers)
+        assert (model.predict(inliers) == 1).mean() > 0.6
+
+    def test_far_outliers_rejected(self, inliers):
+        model = OneClassSVM(nu=0.1).fit(inliers)
+        outliers = np.array([[10.0, 10.0], [-12.0, 8.0], [15.0, -9.0]])
+        assert np.all(model.predict(outliers) == -1)
+
+    def test_decision_function_ordering(self, inliers):
+        model = OneClassSVM(nu=0.1).fit(inliers)
+        near = model.decision_function(np.array([[0.0, 0.0]]))[0]
+        far = model.decision_function(np.array([[30.0, 30.0]]))[0]
+        assert near > far
+
+    def test_poly_kernel_variant(self, inliers):
+        model = OneClassSVM(nu=0.05, kernel="poly").fit(inliers)
+        assert model.predict(inliers).shape == (150,)
+
+    def test_nu_validation(self):
+        with pytest.raises(ValueError):
+            OneClassSVM(nu=0.0)
+        with pytest.raises(ValueError):
+            OneClassSVM(kernel="linear")
+
+    def test_alpha_constraints_hold(self, inliers):
+        model = OneClassSVM(nu=0.2, max_iter=200).fit(inliers)
+        upper = 1.0 / (0.2 * len(inliers))
+        assert np.all(model.alpha_ >= -1e-9)
+        assert np.all(model.alpha_ <= upper + 1e-9)
+        assert abs(model.alpha_.sum() - 1.0) < 1e-6
+
+    def test_feature_count_checked(self, inliers):
+        model = OneClassSVM().fit(inliers)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 5)))
+
+
+class TestProjection:
+    def test_result_in_box_and_simplex(self):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            raw = rng.normal(size=30)
+            projected = _project_box_simplex(raw, upper=0.1)
+            assert np.all(projected >= -1e-12)
+            assert np.all(projected <= 0.1 + 1e-9)
+            assert abs(projected.sum() - 1.0) < 1e-6
+
+    def test_identity_when_feasible(self):
+        alpha = np.full(10, 0.1)
+        projected = _project_box_simplex(alpha, upper=0.5)
+        assert np.allclose(projected, alpha, atol=1e-9)
+
+
+class TestKernels:
+    def test_rbf_diagonal_is_one(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.allclose(np.diag(K), 1.0)
+
+    def test_rbf_bounded(self):
+        X = np.random.default_rng(0).normal(size=(10, 3))
+        K = rbf_kernel(X, X, gamma=0.5)
+        assert np.all((K >= 0.0) & (K <= 1.0))
+
+    def test_poly_matches_manual(self):
+        X = np.array([[1.0, 2.0]])
+        Y = np.array([[3.0, 4.0]])
+        K = polynomial_kernel(X, Y, gamma=1.0, degree=2, coef0=1.0)
+        assert np.isclose(K[0, 0], (11.0 + 1.0) ** 2)
+
+
+class TestEnergyStatistic:
+    def test_same_distribution_small(self):
+        rng = np.random.default_rng(0)
+        a, b = rng.normal(size=50), rng.normal(size=50)
+        c = rng.normal(loc=5.0, size=50)
+        assert energy_statistic(a, b) < energy_statistic(a, c)
+
+    def test_empty_input(self):
+        assert energy_statistic(np.array([]), np.array([1.0])) == 0.0
+
+
+class TestEDivisive:
+    def test_detects_clear_shift(self):
+        rng = np.random.default_rng(0)
+        series = np.concatenate([rng.normal(0, 1, 40), rng.normal(5, 1, 40)])
+        points = EDivisive(rng=0).detect(series)
+        assert any(abs(cp.index - 40) <= 3 for cp in points)
+
+    def test_no_detection_on_noise(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(size=60)
+        points = EDivisive(rng=0, significance=0.05).detect(series)
+        assert len(points) <= 1  # permutation test keeps FPs rare
+
+    def test_multiple_changes(self):
+        rng = np.random.default_rng(2)
+        series = np.concatenate([
+            rng.normal(0, 0.5, 30),
+            rng.normal(6, 0.5, 30),
+            rng.normal(-6, 0.5, 30),
+        ])
+        points = EDivisive(rng=0).detect(series)
+        assert len(points) >= 2
+
+    def test_short_series_no_crash(self):
+        assert EDivisive(rng=0).detect(np.array([1.0, 2.0])) == []
+
+    def test_min_segment_validation(self):
+        with pytest.raises(ValueError):
+            EDivisive(min_segment=1)
+
+    def test_max_points_cap(self):
+        rng = np.random.default_rng(3)
+        series = np.concatenate(
+            [rng.normal(m, 0.3, 25) for m in (0, 5, -5, 5)]
+        )
+        points = EDivisive(rng=0).detect(series, max_points=1)
+        assert len(points) == 1
+
+
+class TestCusum:
+    def test_detects_shift(self):
+        rng = np.random.default_rng(0)
+        series = np.concatenate([rng.normal(0, 1, 30), rng.normal(4, 1, 30)])
+        assert CusumDetector().detect(series)
+
+    def test_quiet_on_flat_series(self):
+        assert CusumDetector().detect(np.ones(50)) == []
+
+    def test_quiet_on_noise(self):
+        rng = np.random.default_rng(4)
+        false_alarms = sum(
+            bool(CusumDetector(threshold=6.0).detect(rng.normal(size=24)))
+            for _ in range(50)
+        )
+        assert false_alarms <= 5
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            CusumDetector(threshold=0.0)
+
+    def test_changepoint_dataclass(self):
+        cp = ChangePoint(index=3, score=1.5)
+        assert cp.index == 3 and cp.score == 1.5

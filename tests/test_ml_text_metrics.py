@@ -1,0 +1,135 @@
+"""Text vectorization and metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    CountVectorizer,
+    TfidfVectorizer,
+    accuracy_score,
+    classification_report,
+    confusion_matrix,
+    f1_score,
+    important_words,
+    precision_score,
+    recall_score,
+    tokenize,
+)
+
+
+class TestTokenize:
+    def test_basic(self):
+        assert tokenize("Switch DOWN in dc3") == ["switch", "down", "dc3"]
+
+    def test_preserves_component_names(self):
+        tokens = tokenize("VM vm-3.c10.dc3 unreachable")
+        assert "vm-3.c10.dc3" in tokens
+
+    def test_drops_stopwords(self):
+        assert "the" not in tokenize("the switch is on the rack")
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+class TestCountVectorizer:
+    def test_counts(self):
+        docs = ["a switch switch down", "vm slow"]
+        v = CountVectorizer().fit(docs)
+        X = v.transform(["switch switch vm"])
+        assert X[0, v.vocabulary_["switch"]] == 2
+        assert X[0, v.vocabulary_["vm"]] == 1
+
+    def test_unknown_tokens_ignored(self):
+        v = CountVectorizer().fit(["alpha beta"])
+        X = v.transform(["gamma delta"])
+        assert X.sum() == 0
+
+    def test_max_features(self):
+        docs = ["a b c d e f g h", "a b c"]
+        v = CountVectorizer(max_features=3).fit(docs)
+        assert len(v.vocabulary_) == 3
+
+    def test_min_df(self):
+        docs = ["common rare1", "common rare2"]
+        v = CountVectorizer(min_df=2).fit(docs)
+        assert list(v.vocabulary_) == ["common"]
+
+    def test_min_df_validation(self):
+        with pytest.raises(ValueError):
+            CountVectorizer(min_df=0)
+
+
+class TestTfidf:
+    def test_rows_unit_norm(self):
+        docs = ["switch down dc1", "storage mount failure", "switch reboot"]
+        X = TfidfVectorizer().fit_transform(docs)
+        norms = np.linalg.norm(X, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_weighted_higher(self):
+        docs = ["common rare"] + ["common other"] * 9
+        v = TfidfVectorizer().fit(docs)
+        X = v.transform(["common rare"])
+        assert X[0, v.vocabulary_["rare"]] > X[0, v.vocabulary_["common"]]
+
+
+class TestImportantWords:
+    def test_discriminative_words_rank_first(self):
+        docs = ["switch latency issue"] * 10 + ["disk mount failure"] * 10
+        labels = [1] * 10 + [0] * 10
+        words = important_words(docs, labels, top_k=4)
+        assert set(words) <= {"switch", "latency", "issue", "disk", "mount", "failure"}
+
+    def test_single_class_falls_back_to_frequency(self):
+        docs = ["alpha beta", "alpha gamma"]
+        words = important_words(docs, [1, 1], top_k=1)
+        assert words == ["alpha"]
+
+
+class TestMetrics:
+    def test_perfect(self):
+        y = [1, 0, 1, 0]
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    def test_precision_vs_recall_asymmetry(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 0, 0, 0]
+        assert precision_score(y_true, y_pred) == 1.0
+        assert recall_score(y_true, y_pred) == pytest.approx(1 / 3)
+
+    def test_zero_division_safe(self):
+        assert precision_score([0, 0], [0, 0]) == 0.0
+        assert recall_score([0, 0], [1, 1]) == 0.0
+        assert f1_score([0, 0], [0, 0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1], [1, 1, 1]) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            precision_score([1, 0], [1])
+
+    def test_confusion_matrix(self):
+        m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+        assert m.tolist() == [[1, 1], [0, 2]]
+        assert m.sum() == 4
+
+    def test_confusion_matrix_with_labels(self):
+        m = confusion_matrix(["a"], ["a"], labels=["a", "b"])
+        assert m.shape == (2, 2)
+
+    def test_classification_report(self):
+        report = classification_report([1, 1, 0, 0], [1, 0, 0, 0])
+        assert report.support == 2
+        assert report.precision == 1.0
+        assert report.recall == 0.5
+        assert "precision=" in str(report)
+
+    def test_string_positive_class(self):
+        y_true = ["phynet", "other", "phynet"]
+        y_pred = ["phynet", "phynet", "phynet"]
+        assert precision_score(y_true, y_pred, positive="phynet") == pytest.approx(2 / 3)
+        assert recall_score(y_true, y_pred, positive="phynet") == 1.0

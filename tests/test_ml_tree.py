@@ -1,0 +1,141 @@
+"""Decision-tree classifier tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeClassifier, NotFittedError
+
+
+@pytest.fixture
+def xor_data():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+def test_fits_xor(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=4)
+    assert tree.fit(X, y).score(X, y) > 0.95
+
+
+def test_pure_labels_yield_single_leaf():
+    X = np.arange(10, dtype=float).reshape(-1, 1)
+    y = np.zeros(10, dtype=int)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.root_.is_leaf
+    assert tree.n_leaves_ == 1
+
+
+def test_max_depth_respected(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=2).fit(X, y)
+    assert tree.depth_ <= 2
+
+
+def test_min_samples_leaf_respected(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(min_samples_leaf=50).fit(X, y)
+
+    def leaves(node):
+        if node.is_leaf:
+            yield node
+        else:
+            yield from leaves(node.left)
+            yield from leaves(node.right)
+
+    assert all(leaf.n_samples >= 50 for leaf in leaves(tree.root_))
+
+
+def test_predict_before_fit_raises():
+    with pytest.raises(NotFittedError):
+        DecisionTreeClassifier().predict([[1.0, 2.0]])
+
+
+def test_wrong_feature_count_raises(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier().fit(X, y)
+    with pytest.raises(ValueError, match="features"):
+        tree.predict(np.zeros((1, 5)))
+
+
+def test_predict_proba_rows_sum_to_one(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    proba = tree.predict_proba(X[:20])
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_string_labels_roundtrip():
+    X = np.array([[0.0], [1.0], [0.1], [0.9]])
+    y = np.array(["cat", "dog", "cat", "dog"])
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert list(tree.predict(X)) == ["cat", "dog", "cat", "dog"]
+
+
+def test_sample_weight_zero_removes_influence():
+    # Points with zero weight must not affect the learned split.
+    X = np.array([[0.0], [1.0], [2.0], [3.0], [10.0], [11.0]])
+    y = np.array([0, 0, 0, 0, 1, 1])
+    w = np.array([1.0, 1.0, 1.0, 1.0, 0.0, 0.0])
+    tree = DecisionTreeClassifier().fit(X, y, sample_weight=w)
+    # With the class-1 points weightless, the tree sees only one class.
+    assert tree.predict([[10.5]])[0] == 0
+
+
+def test_sample_weight_negative_raises():
+    X = np.array([[0.0], [1.0]])
+    with pytest.raises(ValueError, match="non-negative"):
+        DecisionTreeClassifier().fit(X, [0, 1], sample_weight=[-1.0, 1.0])
+
+
+def test_feature_importances_sum_to_one(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    assert tree.feature_importances_.shape == (2,)
+    assert abs(tree.feature_importances_.sum() - 1.0) < 1e-9
+
+
+def test_irrelevant_feature_gets_low_importance():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(500, 2))
+    y = (X[:, 0] > 0).astype(int)
+    tree = DecisionTreeClassifier(max_depth=4).fit(X, y)
+    assert tree.feature_importances_[0] > 0.9
+
+
+def test_decision_contributions_decompose_prediction(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=5).fit(X, y)
+    for row in X[:10]:
+        reconstructed = (
+            tree.root_.distribution
+            + tree.decision_contributions(row).sum(axis=0)
+        )
+        assert np.allclose(reconstructed, tree.predict_proba([row])[0])
+
+
+def test_min_samples_split_validation():
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(min_samples_split=1)
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier(min_samples_leaf=0)
+
+
+def test_mismatched_labels_raise():
+    with pytest.raises(ValueError):
+        DecisionTreeClassifier().fit(np.zeros((3, 2)), [0, 1])
+
+
+def test_max_features_sqrt_still_learns(xor_data):
+    X, y = xor_data
+    tree = DecisionTreeClassifier(max_depth=6, max_features="sqrt", rng=0)
+    assert tree.fit(X, y).score(X, y) > 0.8
+
+
+def test_constant_features_yield_leaf():
+    X = np.ones((20, 3))
+    y = np.array([0, 1] * 10)
+    tree = DecisionTreeClassifier().fit(X, y)
+    assert tree.root_.is_leaf

@@ -1,0 +1,125 @@
+"""MLE Scout Master tests (Appendix C's sophisticated variant)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation import (
+    AbstractScout,
+    MleScoutMaster,
+    ScoutAnswer,
+    default_teams,
+    simulate_master_gain,
+    simulate_mle_gain,
+)
+from repro.simulation.mle_master import ScoutProfile
+from repro.simulation.teams import PHYNET, SLB, STORAGE
+
+
+class TestScoutProfile:
+    def test_laplace_start(self):
+        profile = ScoutProfile("X")
+        assert profile.true_positive_rate == 0.5
+        assert profile.false_positive_rate == 0.5
+
+    def test_updates_move_rates(self):
+        profile = ScoutProfile("X")
+        for _ in range(20):
+            profile.update(said_yes=True, was_responsible=True)
+            profile.update(said_yes=False, was_responsible=False)
+        assert profile.true_positive_rate > 0.9
+        assert profile.false_positive_rate < 0.1
+
+    def test_confidence_weighting(self):
+        profile = ScoutProfile("X", tp=99, fn=1, fp=1, tn=99)
+        confident_yes = ScoutAnswer("X", True, 1.0)
+        hesitant_yes = ScoutAnswer("X", True, 0.5)
+        strong = profile.answer_likelihood(confident_yes, team_responsible=True)
+        weak = profile.answer_likelihood(hesitant_yes, team_responsible=True)
+        assert strong > weak
+        assert abs(weak - 0.5) < 1e-9  # confidence 0.5 = indifference
+
+
+class TestMleRouting:
+    @pytest.fixture()
+    def master(self):
+        master = MleScoutMaster(default_teams())
+        # Pre-train profiles: accurate PhyNet Scout, noisy SLB Scout.
+        for _ in range(50):
+            master.profile(PHYNET).update(True, True)
+            master.profile(PHYNET).update(False, False)
+            master.profile(SLB).update(True, False)   # cries wolf
+            master.profile(SLB).update(True, True)
+        return master
+
+    def test_routes_to_confident_accurate_scout(self, master):
+        answers = [
+            ScoutAnswer(PHYNET, True, 0.95),
+            ScoutAnswer(SLB, False, 0.9),
+        ]
+        assert master.route(answers) == PHYNET
+
+    def test_noisy_scout_discounted(self, master):
+        # SLB says yes, but historically its yes means little; PhyNet's
+        # accurate no should win out -> fall back.
+        answers = [
+            ScoutAnswer(PHYNET, False, 0.95),
+            ScoutAnswer(SLB, True, 0.95),
+        ]
+        choice = master.route(answers)
+        assert choice != PHYNET
+
+    def test_empty_answers_fall_back(self, master):
+        assert master.route([]) is None
+
+    def test_posterior_normalized(self, master):
+        answers = [
+            ScoutAnswer(PHYNET, True, 0.9),
+            ScoutAnswer(STORAGE, True, 0.7),
+        ]
+        posterior = master.posterior(answers)
+        assert abs(sum(posterior.values()) - 1.0) < 1e-9
+        assert all(0.0 <= p <= 1.0 for p in posterior.values())
+
+    def test_observe_updates_profiles(self):
+        master = MleScoutMaster(default_teams())
+        answers = [ScoutAnswer(PHYNET, True, 0.9)]
+        before = master.profile(PHYNET).tp
+        master.observe(answers, responsible=PHYNET)
+        assert master.profile(PHYNET).tp == before + 1
+
+
+class TestMleSimulation:
+    def test_mle_beats_strawman_on_heterogeneous_fleet(self, incidents):
+        """The MLE master's edge: it learns per-Scout reliability, so an
+        unreliable-but-confident Scout gets discounted instead of
+        hijacking routing decisions."""
+        registry = default_teams()
+        scouts = [
+            AbstractScout(PHYNET, accuracy=0.95, beta=0.05),
+            AbstractScout(STORAGE, accuracy=0.8, beta=0.2),
+            AbstractScout(SLB, accuracy=0.55, beta=0.0),  # cries wolf
+        ]
+        strawman = simulate_master_gain(
+            incidents, scouts, registry, rng=np.random.default_rng(1)
+        )
+        from repro.simulation import MleScoutMaster
+        master = MleScoutMaster(registry)
+        # Warm the profiles on one replay, evaluate on the next.
+        simulate_mle_gain(
+            incidents, scouts, registry,
+            rng=np.random.default_rng(0), master=master,
+        )
+        mle = simulate_mle_gain(
+            incidents, scouts, registry,
+            rng=np.random.default_rng(1), master=master,
+        )
+        assert mle.sum() >= strawman.sum() - 0.5
+        # And it mis-routes no more often.
+        assert np.mean(mle < 0) <= np.mean(strawman < 0) + 0.02
+
+    def test_gains_bounded(self, incidents):
+        registry = default_teams()
+        gains = simulate_mle_gain(
+            incidents, [AbstractScout(PHYNET)], registry, rng=0
+        )
+        assert np.all(gains <= 1.0)

@@ -1,0 +1,50 @@
+"""Persistence round-trips for non-PhyNet Scouts and CLI-trained models."""
+
+import numpy as np
+import pytest
+
+from repro.config import storage_config
+from repro.core import ScoutFramework, TrainingOptions, load_scout, save_scout
+
+
+@pytest.fixture(scope="module")
+def storage_scout_env(sim, incidents):
+    framework = ScoutFramework(
+        storage_config(), sim.topology, sim.store,
+        TrainingOptions(n_estimators=20, cv_folds=0, rng=0),
+    )
+    data = framework.dataset(incidents, compute_signals=False).usable()
+    if len(np.unique(data.y)) < 2:
+        pytest.skip("degenerate storage sample")
+    scout = framework.train(data)
+    return framework, scout, data
+
+
+def test_storage_scout_roundtrip(storage_scout_env, sim, tmp_path):
+    framework, scout, data = storage_scout_env
+    path = tmp_path / "storage.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    assert clone.team == "Storage"
+    for example in data.examples[:10]:
+        a = scout.predict_example(example)
+        b = clone.predict_example(example)
+        assert a.responsible == b.responsible
+
+
+def test_roundtrip_evaluation_identical(storage_scout_env, sim, tmp_path):
+    framework, scout, data = storage_scout_env
+    path = tmp_path / "storage.scout"
+    save_scout(scout, path)
+    clone = load_scout(path, sim.topology, sim.store)
+    original = framework.evaluate(scout, data)
+    restored = framework.evaluate(clone, data)
+    assert original.f1 == restored.f1
+    assert original.n_supervised == restored.n_supervised
+
+
+def test_saved_file_is_tagged(storage_scout_env, tmp_path):
+    _, scout, _ = storage_scout_env
+    path = tmp_path / "storage.scout"
+    save_scout(scout, path)
+    assert path.read_bytes().startswith(b"SCOUTPKL")

@@ -1,0 +1,178 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.analysis import pairwise_distances
+from repro.incidents import RoutingHop, RoutingTrace
+from repro.ml import (
+    DecisionTreeClassifier,
+    MeanImputer,
+    f1_score,
+    precision_score,
+    recall_score,
+    tokenize,
+)
+from repro.ml.svm import _project_box_simplex
+from repro.monitoring import poisson_counts, uniform_at
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**63 - 1),
+    start=st.integers(min_value=0, max_value=10**9),
+    n=st.integers(min_value=1, max_value=200),
+    stream=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=60)
+def test_uniform_at_deterministic_and_bounded(seed, start, n, stream):
+    idx = np.arange(start, start + n, dtype=np.uint64)
+    a = uniform_at(seed, idx, stream)
+    b = uniform_at(seed, idx, stream)
+    assert np.array_equal(a, b)
+    assert np.all((a > 0.0) & (a < 1.0))
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    split=st.integers(min_value=1, max_value=99),
+)
+@settings(max_examples=30)
+def test_uniform_random_access_consistency(seed, split):
+    """Reading a sub-range yields the same values as a bulk read."""
+    full = uniform_at(seed, np.arange(100, dtype=np.uint64))
+    part = uniform_at(seed, np.arange(split, 100, dtype=np.uint64))
+    assert np.array_equal(full[split:], part)
+
+
+@given(
+    lam=st.floats(min_value=0.0, max_value=20.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=30)
+def test_poisson_counts_nonnegative(lam, seed):
+    counts = poisson_counts(seed, np.arange(50, dtype=np.uint64), lam)
+    assert np.all(counts >= 0)
+
+
+@given(
+    y_true=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=50),
+    y_pred=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=50),
+)
+@settings(max_examples=80)
+def test_metric_bounds_and_f1_mean_inequality(y_true, y_pred):
+    n = min(len(y_true), len(y_pred))
+    yt, yp = y_true[:n], y_pred[:n]
+    p = precision_score(yt, yp)
+    r = recall_score(yt, yp)
+    f1 = f1_score(yt, yp)
+    assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0 and 0.0 <= f1 <= 1.0
+    # Harmonic mean never exceeds the arithmetic mean.
+    assert f1 <= (p + r) / 2 + 1e-12
+
+
+@given(
+    alpha=arrays(np.float64, st.integers(2, 40), elements=finite_floats),
+    upper_scale=st.floats(min_value=1.0, max_value=10.0),
+)
+@settings(max_examples=60)
+def test_box_simplex_projection_feasible(alpha, upper_scale):
+    upper = upper_scale / len(alpha)
+    projected = _project_box_simplex(alpha, upper)
+    assert np.all(projected >= -1e-9)
+    assert np.all(projected <= upper + 1e-9)
+    assert abs(projected.sum() - 1.0) < 1e-5
+
+
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 30), st.integers(1, 5)),
+        elements=st.one_of(finite_floats, st.just(np.nan)),
+    )
+)
+@settings(max_examples=50)
+def test_imputer_removes_all_nans(X):
+    imputer = MeanImputer().fit(X)
+    filled = imputer.transform(X)
+    assert not np.any(np.isnan(filled))
+
+
+@given(text=st.text(max_size=300))
+@settings(max_examples=80)
+def test_tokenize_never_crashes_and_lowercases(text):
+    tokens = tokenize(text)
+    assert all(token == token.lower() for token in tokens)
+    assert all(token for token in tokens)
+
+
+@given(
+    times=st.lists(
+        st.floats(min_value=0.001, max_value=100.0), min_size=1, max_size=10
+    ),
+    teams=st.lists(st.sampled_from(["A", "B", "C"]), min_size=1, max_size=10),
+)
+@settings(max_examples=60)
+def test_routing_trace_time_invariants(times, teams):
+    n = min(len(times), len(teams))
+    trace = RoutingTrace(
+        incident_id=0,
+        hops=[RoutingHop(teams[i], times[i]) for i in range(n)],
+    )
+    assert abs(sum(trace.time_at(t) for t in set(trace.teams)) - trace.total_time) < 1e-9
+    for team in set(trace.teams):
+        assert 0.0 <= trace.time_before(team) <= trace.total_time
+    # time_before of the resolver + its own time <= total.
+    resolver = trace.resolved_by
+    assert trace.time_before(resolver) + trace.time_at(resolver) <= trace.total_time + 1e-9
+
+
+@given(
+    X=arrays(
+        np.float64,
+        st.tuples(st.integers(2, 12), st.integers(1, 4)),
+        elements=st.floats(min_value=-100, max_value=100, allow_nan=False),
+    )
+)
+@settings(max_examples=40)
+def test_pairwise_distances_nonnegative_and_count(X):
+    d = pairwise_distances(X)
+    n = len(X)
+    assert len(d) == n * (n - 1) // 2
+    assert np.all(d >= 0.0)
+
+
+@given(
+    n=st.integers(min_value=20, max_value=80),
+    depth=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_tree_contribution_decomposition_property(n, depth, seed):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 3))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(int)
+    if len(np.unique(y)) < 2:
+        return
+    tree = DecisionTreeClassifier(max_depth=depth).fit(X, y)
+    row = X[0]
+    reconstructed = (
+        tree.root_.distribution + tree.decision_contributions(row).sum(axis=0)
+    )
+    assert np.allclose(reconstructed, tree.predict_proba([row])[0], atol=1e-9)
+
+
+@given(
+    values=st.lists(finite_floats, min_size=1, max_size=100),
+)
+@settings(max_examples=50)
+def test_tree_predictions_are_known_classes(values):
+    X = np.array(values).reshape(-1, 1)
+    y = (X[:, 0] > np.median(X[:, 0])).astype(int)
+    tree = DecisionTreeClassifier(max_depth=3).fit(X, y)
+    assert set(np.unique(tree.predict(X))) <= set(np.unique(y))

@@ -1,0 +1,139 @@
+"""Property-based tests on the monitoring store and routing metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import evaluate_gain_overhead, overhead_in_distribution
+from repro.core import Route, ScoutPrediction
+from repro.datacenter import Component, ComponentKind
+from repro.incidents import (
+    Incident,
+    IncidentSource,
+    IncidentStore,
+    RoutingHop,
+    RoutingTrace,
+    Severity,
+)
+from repro.monitoring import FailureEffect, MonitoringStore, phynet_datasets
+
+_SWITCH = Component(ComponentKind.SWITCH, "sw-tor0.c1.dc0")
+
+
+@pytest.fixture(scope="module")
+def store():
+    return MonitoringStore(phynet_datasets(), seed=3)
+
+
+@given(
+    t0=st.floats(min_value=0.0, max_value=10**7),
+    span=st.floats(min_value=0.0, max_value=10**5),
+)
+@settings(max_examples=40)
+def test_window_nesting_consistency(t0, span):
+    """Any sub-window of a query returns exactly the matching values."""
+    store = MonitoringStore(phynet_datasets(), seed=3)
+    t1 = t0 + span
+    outer = store.query_series("temperature", _SWITCH, t0, t1)
+    mid = t0 + span / 2.0
+    inner = store.query_series("temperature", _SWITCH, mid, t1)
+    mask = outer.timestamps >= inner.timestamps[0] if len(inner) else []
+    if len(inner):
+        assert np.array_equal(outer.values[mask], inner.values)
+
+
+@given(
+    magnitude=st.floats(min_value=-50.0, max_value=50.0),
+    start_frac=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=40)
+def test_shift_effect_is_additive(magnitude, start_frac):
+    t0, t1 = 86400.0, 86400.0 + 7200.0
+    clean_store = MonitoringStore(phynet_datasets(), seed=9)
+    clean = clean_store.query_series("pfc_counters", _SWITCH, t0, t1)
+    dirty_store = MonitoringStore(phynet_datasets(), seed=9)
+    start = t0 + start_frac * (t1 - t0)
+    dirty_store.inject(
+        FailureEffect("pfc_counters", _SWITCH.name, start, t1, "shift", magnitude)
+    )
+    dirty = dirty_store.query_series("pfc_counters", _SWITCH, t0, t1)
+    mask = (clean.timestamps >= start)
+    floor = 0.0  # pfc_counters floor
+    expected = np.maximum(clean.values[mask] + magnitude, floor)
+    assert np.allclose(dirty.values[mask], expected)
+    assert np.array_equal(dirty.values[~mask], clean.values[~mask])
+
+
+def _random_store(draw_teams, draw_times, positive_team="PhyNet"):
+    incidents, traces = [], []
+    for i, (teams, times) in enumerate(zip(draw_teams, draw_times)):
+        n = min(len(teams), len(times))
+        if n == 0:
+            continue
+        hops = [RoutingHop(teams[j], times[j]) for j in range(n)]
+        incidents.append(
+            Incident(
+                incident_id=i, created_at=float(i), title="t", body="b",
+                severity=Severity.LOW, source=IncidentSource.CUSTOMER,
+                source_team="", responsible_team=hops[-1].team,
+            )
+        )
+        traces.append(RoutingTrace(incident_id=i, hops=hops))
+    return IncidentStore(incidents, traces)
+
+
+@given(
+    draw_teams=st.lists(
+        st.lists(st.sampled_from(["PhyNet", "Storage", "SLB"]), min_size=1, max_size=5),
+        min_size=1,
+        max_size=15,
+    ),
+    draw_times=st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=50.0), min_size=1, max_size=5),
+        min_size=1,
+        max_size=15,
+    ),
+    verdict=st.sampled_from([True, False, None]),
+)
+@settings(max_examples=60)
+def test_gain_overhead_fractions_bounded(draw_teams, draw_times, verdict):
+    store = _random_store(draw_teams, draw_times)
+    if len(store) == 0:
+        return
+    predictions = {
+        incident.incident_id: ScoutPrediction(
+            incident.incident_id, verdict, 0.9, Route.SUPERVISED
+        )
+        for incident in store
+    }
+    result = evaluate_gain_overhead(store, predictions, "PhyNet", rng=0)
+    for values in (result.gain_in, result.gain_out,
+                   result.best_gain_in, result.best_gain_out,
+                   result.overhead_in):
+        assert all(0.0 <= v <= 1.0 for v in values)
+    assert 0.0 <= result.error_out <= 1.0
+    # The Scout can never beat the best-possible gate-keeper.
+    assert sum(result.gain_in) <= sum(result.best_gain_in) + 1e-9
+    assert sum(result.gain_out) <= sum(result.best_gain_out) + 1e-9
+
+
+@given(
+    draw_teams=st.lists(
+        st.lists(st.sampled_from(["PhyNet", "Storage"]), min_size=1, max_size=4),
+        min_size=1,
+        max_size=10,
+    ),
+    draw_times=st.lists(
+        st.lists(st.floats(min_value=0.01, max_value=10.0), min_size=1, max_size=4),
+        min_size=1,
+        max_size=10,
+    ),
+)
+@settings(max_examples=40)
+def test_overhead_distribution_bounded(draw_teams, draw_times):
+    store = _random_store(draw_teams, draw_times)
+    if len(store) == 0:
+        return
+    pool = overhead_in_distribution(store, "PhyNet")
+    assert np.all((pool >= 0.0) & (pool <= 1.0))

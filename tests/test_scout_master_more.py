@@ -1,0 +1,50 @@
+"""Additional Scout Master composition semantics."""
+
+import pytest
+
+from repro.simulation import ScoutAnswer, ScoutMaster, default_teams
+from repro.simulation.teams import AUTH, DATABASE, PHYNET, STORAGE
+
+
+@pytest.fixture(scope="module")
+def master():
+    return ScoutMaster(default_teams())
+
+
+def test_abstaining_answers_ignored(master):
+    answers = [
+        ScoutAnswer(PHYNET, None, 0.0),
+        ScoutAnswer(STORAGE, True, 0.9),
+    ]
+    assert master.route(answers) == STORAGE
+
+
+def test_three_way_chain_prefers_deepest_dependency(master):
+    # Auth depends on Database depends on Storage... Auth depends on
+    # (PhyNet, Database); Database depends on (Storage, PhyNet).
+    answers = [
+        ScoutAnswer(AUTH, True, 0.9),
+        ScoutAnswer(DATABASE, True, 0.9),
+    ]
+    # Database is a dependency of Auth: route to Database.
+    assert master.route(answers) == DATABASE
+
+
+def test_mutual_nondependents_fall_to_confidence(master):
+    answers = [
+        ScoutAnswer(STORAGE, True, 0.6),
+        ScoutAnswer(AUTH, True, 0.95),
+    ]
+    assert master.route(answers) == AUTH
+
+
+def test_custom_confidence_floor():
+    master = ScoutMaster(default_teams(), confidence_floor=0.9)
+    answers = [ScoutAnswer(PHYNET, True, 0.85)]
+    assert master.route(answers) is None
+    answers = [ScoutAnswer(PHYNET, True, 0.95)]
+    assert master.route(answers) == PHYNET
+
+
+def test_empty_answer_list(master):
+    assert master.route([]) is None

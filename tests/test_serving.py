@@ -1,0 +1,86 @@
+"""Incident-manager (online serving) tests."""
+
+import pytest
+
+from repro.serving import IncidentManager
+from repro.simulation import default_teams
+from repro.simulation.teams import PHYNET
+
+
+@pytest.fixture()
+def manager(scout):
+    manager = IncidentManager(default_teams())
+    manager.register(scout)
+    return manager
+
+
+def test_registration(manager, scout):
+    assert manager.registered_teams == [PHYNET]
+    with pytest.raises(ValueError, match="already"):
+        manager.register(scout)
+
+
+def test_unknown_team_rejected(scout):
+    manager = IncidentManager(default_teams())
+    bad = scout
+    object.__setattr__  # no-op; Scout is a plain class
+    bad_config = scout.config
+    # Fake a scout for a team outside the registry.
+    class FakeScout:
+        team = "Ghost"
+    with pytest.raises(ValueError, match="unknown team"):
+        manager.register(FakeScout())
+
+
+def test_handle_logs_decisions(manager, incidents):
+    decision = manager.handle(incidents[0])
+    assert decision.incident_id == incidents[0].incident_id
+    assert len(decision.answers) == 1
+    assert decision.latency_seconds >= 0.0
+    assert manager.log[-1] is decision
+
+
+def test_suggestion_mode_never_acts(manager, incidents):
+    for incident in list(incidents)[:5]:
+        assert manager.handle(incident).acted is False
+
+
+def test_stats_accumulate(manager, incidents):
+    for incident in list(incidents)[:6]:
+        manager.handle(incident)
+    stats = manager.stats(PHYNET)
+    assert stats.calls == 6
+    assert stats.said_yes + stats.said_no + stats.abstained == 6
+    assert stats.mean_latency > 0.0
+
+
+def test_resolution_feeds_drift_monitor(manager, incidents):
+    incident = incidents[0]
+    manager.handle(incident)
+    manager.resolve(incident.incident_id, incident.responsible_team)
+    monitor = manager.drift_monitor(PHYNET)
+    assert monitor.observations in (0, 1)  # 0 only if the Scout abstained
+
+
+def test_resolve_unknown_incident_raises(manager):
+    with pytest.raises(KeyError):
+        manager.resolve(123456789, PHYNET)
+
+
+def test_whatif_accuracy(manager, incidents):
+    sample = list(incidents)[:30]
+    for incident in sample:
+        manager.handle(incident)
+    truth = {i.incident_id: i.responsible_team for i in sample}
+    summary = manager.whatif_accuracy(truth)
+    assert abs(sum(summary.values()) - 1.0) < 1e-9
+    # A single accurate PhyNet Scout should make mostly-correct or
+    # abstaining suggestions; outright wrong ones must be a minority.
+    assert summary["wrong"] < 0.5
+
+
+def test_unregister(manager, incidents):
+    manager.unregister(PHYNET)
+    assert manager.registered_teams == []
+    decision = manager.handle(incidents[0])
+    assert decision.suggested_team is None

@@ -1,0 +1,101 @@
+"""Incident-manager composition tests with lightweight fake Scouts."""
+
+import pytest
+
+from repro.core import Route, ScoutPrediction
+from repro.serving import IncidentManager
+from repro.serving.manager import ServingDecision
+from repro.simulation import default_teams
+from repro.simulation.teams import DNS, PHYNET, STORAGE
+
+
+class FakeScout:
+    """A deterministic stand-in honoring the Scout prediction protocol."""
+
+    def __init__(self, team, responsible, confidence=0.9):
+        self.team = team
+        self._responsible = responsible
+        self._confidence = confidence
+
+    def predict(self, incident):
+        return ScoutPrediction(
+            incident_id=incident.incident_id,
+            responsible=self._responsible,
+            confidence=self._confidence,
+            route=Route.SUPERVISED if self._responsible is not None else Route.FALLBACK,
+        )
+
+
+@pytest.fixture()
+def registry():
+    return default_teams()
+
+
+def test_single_yes_routes_there(registry, incidents):
+    manager = IncidentManager(registry)
+    manager.register(FakeScout(PHYNET, True))
+    manager.register(FakeScout(STORAGE, False))
+    decision = manager.handle(incidents[0])
+    assert decision.suggested_team == PHYNET
+
+
+def test_dependency_tiebreak(registry, incidents):
+    manager = IncidentManager(registry)
+    manager.register(FakeScout(PHYNET, True, 0.7))
+    manager.register(FakeScout(STORAGE, True, 0.99))
+    decision = manager.handle(incidents[0])
+    # Storage depends on PhyNet: the composition prefers the dependency.
+    assert decision.suggested_team == PHYNET
+
+
+def test_all_no_abstains(registry, incidents):
+    manager = IncidentManager(registry)
+    for team in (PHYNET, STORAGE, DNS):
+        manager.register(FakeScout(team, False))
+    decision = manager.handle(incidents[0])
+    assert decision.suggested_team is None
+
+
+def test_low_confidence_yes_ignored(registry, incidents):
+    manager = IncidentManager(registry, confidence_floor=0.8)
+    manager.register(FakeScout(PHYNET, True, confidence=0.6))
+    decision = manager.handle(incidents[0])
+    assert decision.suggested_team is None
+
+
+def test_abstaining_scout_counted(registry, incidents):
+    manager = IncidentManager(registry)
+    manager.register(FakeScout(PHYNET, None))
+    manager.handle(incidents[0])
+    assert manager.stats(PHYNET).abstained == 1
+
+
+def test_acting_mode(registry, incidents):
+    manager = IncidentManager(registry, suggestion_mode=False)
+    manager.register(FakeScout(PHYNET, True))
+    decision = manager.handle(incidents[0])
+    assert decision.acted is True
+
+
+def test_decision_is_dataclass(registry, incidents):
+    manager = IncidentManager(registry)
+    manager.register(FakeScout(PHYNET, True))
+    decision = manager.handle(incidents[0])
+    assert isinstance(decision, ServingDecision)
+    assert decision.predictions[0].responsible is True
+
+
+def test_whatif_counts_multi_scout(registry, incidents):
+    manager = IncidentManager(registry)
+    manager.register(FakeScout(PHYNET, True))   # always claims
+    manager.register(FakeScout(STORAGE, False))
+    sample = list(incidents)[:40]
+    for incident in sample:
+        manager.handle(incident)
+    truth = {i.incident_id: i.responsible_team for i in sample}
+    summary = manager.whatif_accuracy(truth)
+    phynet_frac = sum(
+        1 for i in sample if i.responsible_team == PHYNET
+    ) / len(sample)
+    # An always-yes PhyNet Scout is right exactly on PhyNet incidents.
+    assert summary["correct"] == pytest.approx(phynet_frac, abs=1e-9)

@@ -1,0 +1,75 @@
+"""Feature construction over team-owned datasets (cluster-direct data)."""
+
+import numpy as np
+import pytest
+
+from repro.config import slb_config, storage_config
+from repro.core import ComponentExtractor, FeatureBuilder
+from repro.datacenter import ComponentKind
+from repro.monitoring import FailureEffect
+
+_T = 86400.0 * 310  # beyond any workload horizon
+
+
+@pytest.fixture()
+def slb_builder(sim):
+    return FeatureBuilder(slb_config(), sim.topology, sim.store)
+
+
+@pytest.fixture()
+def storage_builder(sim):
+    return FeatureBuilder(storage_config(), sim.topology, sim.store)
+
+
+class TestClusterDirectDatasets:
+    def test_vip_probe_feature_exists(self, slb_builder):
+        assert "cluster.vip_probe_failures.probe_failure" in slb_builder.schema.names
+
+    def test_cluster_component_observed_directly(self, sim, slb_builder):
+        cluster = sim.topology.components(ComponentKind.CLUSTER)[0]
+        kinds = sim.store.schema("vip_probe_failures").component_kinds
+        observables = slb_builder._observables(cluster, kinds)
+        assert observables == [cluster]
+
+    def test_burst_shows_in_features(self, sim, slb_builder):
+        cluster = sim.topology.components(ComponentKind.CLUSTER)[1]
+        extractor = ComponentExtractor(slb_config(), sim.topology)
+        extracted = extractor.extract(f"VIP drop in cluster {cluster.name}")
+        snapshot = sim.store.snapshot_effects()
+        sim.store.inject(
+            FailureEffect(
+                "vip_probe_failures", cluster.name, _T - 3600.0, _T,
+                mode="burst", event_type="probe_failure", rate=8.0,
+            )
+        )
+        slb_builder.clear_cache()
+        vector = slb_builder.features(extracted, _T)
+        sim.store.restore_effects(snapshot)
+        idx = slb_builder.schema.index_of("cluster.vip_probe_failures.probe_failure")
+        assert vector[idx] >= 6.0
+
+
+class TestStorageFeatures:
+    def test_server_level_latency_features(self, storage_builder):
+        assert "server.storage_latency.mean" in storage_builder.schema.names
+
+    def test_latency_shift_detected(self, sim, storage_builder):
+        server = sim.topology.components(ComponentKind.SERVER)[2]
+        extractor = ComponentExtractor(storage_config(), sim.topology)
+        extracted = extractor.extract(f"IO stalls on {server.name}")
+        snapshot = sim.store.snapshot_effects()
+        sim.store.inject(
+            FailureEffect(
+                "storage_latency", server.name, _T - 1800.0, _T, "shift", 6.0
+            )
+        )
+        storage_builder.clear_cache()
+        vector = storage_builder.features(extracted, _T)
+        sim.store.restore_effects(snapshot)
+        p99 = storage_builder.schema.index_of("server.storage_latency.p99")
+        assert vector[p99] > 3.0
+
+    def test_phynet_datasets_absent(self, storage_builder):
+        assert not any(
+            "ping_statistics" in name for name in storage_builder.schema.names
+        )

@@ -1,0 +1,80 @@
+"""Team-dataset and per-team starter-config tests."""
+
+import pytest
+
+from repro.config import (
+    database_config,
+    dns_config,
+    slb_config,
+    storage_config,
+    team_scout_configs,
+)
+from repro.datacenter import ComponentKind
+from repro.monitoring import TEAM_DATASET_NAMES, team_datasets
+from repro.simulation import CloudSimulation, SimulationConfig
+
+
+class TestTeamDatasets:
+    def test_five_datasets(self):
+        assert len(TEAM_DATASET_NAMES) == 5
+
+    def test_names_disjoint_from_phynet(self):
+        from repro.monitoring import PHYNET_DATASET_NAMES
+        assert not set(TEAM_DATASET_NAMES) & set(PHYNET_DATASET_NAMES)
+
+    def test_cluster_level_event_datasets(self):
+        by_name = {schema.name: schema for schema in team_datasets()}
+        assert by_name["vip_probe_failures"].covers(ComponentKind.CLUSTER)
+        assert by_name["dns_query_timeouts"].covers(ComponentKind.CLUSTER)
+
+    def test_registered_in_simulation_store(self):
+        sim = CloudSimulation(SimulationConfig(seed=0))
+        for name in TEAM_DATASET_NAMES:
+            assert name in sim.store.dataset_names
+
+
+class TestTeamConfigs:
+    def test_all_four_parse(self):
+        configs = team_scout_configs()
+        assert set(configs) == {"Storage", "SLB", "DNS", "Database"}
+
+    @pytest.mark.parametrize(
+        "factory,team,locator",
+        [
+            (storage_config, "Storage", "disk_io_errors"),
+            (slb_config, "SLB", "vip_probe_failures"),
+            (dns_config, "DNS", "dns_query_timeouts"),
+            (database_config, "Database", "db_query_latency"),
+        ],
+    )
+    def test_config_contents(self, factory, team, locator):
+        config = factory()
+        assert config.team == team
+        assert locator in [ref.locator for ref in config.monitoring]
+        assert ComponentKind.CLUSTER in config.component_patterns
+        assert config.lookback == 7200.0
+
+    def test_storage_scenario_leaves_signature(self):
+        """A storage failure must be visible in the storage datasets."""
+        sim = CloudSimulation(SimulationConfig(seed=2, duration_days=60.0))
+        incidents = sim.generate(300)
+        storage_effects = [
+            key for key in sim.store._effects if key[0] == "storage_latency"
+        ]
+        assert storage_effects
+
+    def test_team_scout_trains(self):
+        """The framework turns a starter config into a working Scout."""
+        from repro.core import ScoutFramework, TrainingOptions
+        from repro.ml import imbalance_aware_split
+        sim = CloudSimulation(SimulationConfig(seed=9, duration_days=90.0))
+        incidents = sim.generate(400)
+        framework = ScoutFramework(
+            storage_config(), sim.topology, sim.store,
+            TrainingOptions(n_estimators=30, cv_folds=0, rng=0),
+        )
+        data = framework.dataset(incidents, compute_signals=False).usable()
+        train_idx, test_idx = imbalance_aware_split(data.y, rng=1)
+        scout = framework.train(data.subset(train_idx))
+        report = framework.evaluate(scout, data.subset(test_idx))
+        assert report.f1 > 0.85

@@ -1,0 +1,71 @@
+"""Additional split-protocol behaviors (warmup, custom fractions)."""
+
+import numpy as np
+import pytest
+
+from repro.incidents import IncidentStore
+from repro.ml import imbalance_aware_split, time_based_windows
+
+
+class TestWarmup:
+    def test_default_warmup_is_one_interval(self):
+        ts = np.arange(0.0, 100.0)
+        windows = time_based_windows(ts, retrain_interval=20.0)
+        first_train, first_eval = windows[0]
+        # First cut at start + warmup (= one interval).
+        assert ts[first_train].max() < 20.0
+        assert ts[first_eval].min() >= 20.0
+
+    def test_custom_warmup(self):
+        ts = np.arange(0.0, 100.0)
+        windows = time_based_windows(ts, retrain_interval=10.0, warmup=50.0)
+        first_train, first_eval = windows[0]
+        assert len(first_train) == 50
+        assert ts[first_eval].min() >= 50.0
+
+    def test_windows_cover_eval_points_disjointly(self):
+        ts = np.sort(np.random.default_rng(0).uniform(0, 200, 300))
+        windows = time_based_windows(ts, retrain_interval=40.0)
+        seen = set()
+        for _, eval_idx in windows:
+            overlap = seen & set(eval_idx.tolist())
+            assert not overlap
+            seen |= set(eval_idx.tolist())
+
+
+class TestCustomFractions:
+    def test_fractions_respected(self):
+        labels = np.array([1] * 200 + [0] * 200)
+        train, _ = imbalance_aware_split(
+            labels,
+            positive_train_fraction=0.25,
+            negative_train_fraction=0.75,
+            rng=0,
+        )
+        train_labels = labels[train]
+        assert (train_labels == 1).sum() == 50
+        assert (train_labels == 0).sum() == 150
+
+    def test_custom_positive_class_value(self):
+        labels = np.array(["a"] * 10 + ["b"] * 10)
+        train, test = imbalance_aware_split(labels, positive="a", rng=0)
+        assert len(train) + len(test) == 20
+
+
+class TestStoreTimeWindowsWarmup:
+    def test_warmup_days_passthrough(self):
+        from repro.incidents import Incident, IncidentSource, Severity
+        incidents = [
+            Incident(
+                incident_id=i, created_at=i * 86400.0, title="t", body="b",
+                severity=Severity.LOW, source=IncidentSource.CUSTOMER,
+                source_team="", responsible_team="X",
+            )
+            for i in range(60)
+        ]
+        store = IncidentStore(incidents)
+        windows = store.time_windows(
+            retrain_interval_days=10.0, warmup_days=30.0
+        )
+        first_train, _ = windows[0]
+        assert len(first_train) == 30

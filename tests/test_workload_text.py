@@ -1,0 +1,94 @@
+"""Workload ↔ text-generation integration: who reveals what."""
+
+import pytest
+
+from repro.incidents import IncidentSource
+from repro.simulation import CloudSimulation, SimulationConfig, default_scenarios
+
+
+@pytest.fixture(scope="module")
+def big_sample():
+    sim = CloudSimulation(SimulationConfig(seed=19, duration_days=120.0))
+    return sim.generate(600)
+
+
+def _detail_of(scenario_name):
+    return next(
+        s.detail for s in default_scenarios() if s.name == scenario_name
+    )
+
+
+class TestDetailLeakage:
+    def test_own_monitor_incidents_carry_detail(self, big_sample):
+        detail = _detail_of("fcs_corruption")
+        own = [
+            i for i in big_sample
+            if i.scenario == "fcs_corruption"
+            and i.source is IncidentSource.OWN_MONITOR
+        ]
+        assert own
+        assert all(detail in i.body for i in own)
+
+    def test_other_monitor_incidents_lack_detail(self, big_sample):
+        detail = _detail_of("tor_reboot")
+        others = [
+            i for i in big_sample
+            if i.scenario == "tor_reboot"
+            and i.source is IncidentSource.OTHER_MONITOR
+        ]
+        assert others
+        assert all(detail not in i.body for i in others)
+
+    def test_cris_lack_detail(self, big_sample):
+        cris = [
+            i for i in big_sample if i.source is IncidentSource.CUSTOMER
+        ]
+        details = {s.detail for s in default_scenarios() if s.detail}
+        assert cris
+        for incident in cris:
+            assert not any(detail in incident.body for detail in details)
+
+
+class TestObservedSymptom:
+    def test_storage_watchdog_sees_storage_symptoms(self, big_sample):
+        """§7.5: a ToR failure surfaces as virtual-disk trouble to the
+        storage team's monitors."""
+        tor_via_storage = [
+            i for i in big_sample
+            if i.scenario == "tor_reboot"
+            and i.source is IncidentSource.OTHER_MONITOR
+            and i.source_team == "Storage"
+        ]
+        assert tor_via_storage
+        storage_vocab = ("disk", "storage", "file-share", "mount")
+        hits = sum(
+            any(word in i.text.lower() for word in storage_vocab)
+            for i in tor_via_storage
+        )
+        assert hits == len(tor_via_storage)
+
+    def test_own_monitor_sees_cause_symptom(self, big_sample):
+        own = [
+            i for i in big_sample
+            if i.scenario == "tor_reboot"
+            and i.source is IncidentSource.OWN_MONITOR
+        ]
+        assert own
+        # The cause-side symptom is connectivity, not storage.
+        assert all("connect" in i.text.lower() or "packet loss" in i.text.lower()
+                   or "degraded" in i.text.lower() for i in own)
+
+
+class TestWatchdogPrefix:
+    def test_monitor_incidents_name_their_watchdog(self, big_sample):
+        monitored = [
+            i for i in big_sample if i.source is not IncidentSource.CUSTOMER
+        ]
+        assert monitored
+        for incident in monitored[:50]:
+            assert f"{incident.source_team}-watchdog" in incident.body
+
+    def test_cri_bodies_have_support_prefix(self, big_sample):
+        cris = [i for i in big_sample if i.source is IncidentSource.CUSTOMER]
+        for incident in cris[:30]:
+            assert "[auto]" not in incident.body
