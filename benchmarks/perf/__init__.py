@@ -1,0 +1,7 @@
+"""Performance-regression harness for the Scout pipeline.
+
+Run ``python -m benchmarks.perf.run`` (with ``src`` on PYTHONPATH) to
+time the expensive pipeline stages on the standard bench workload and
+write ``BENCH_scout.json`` at the repository root.  See ``run.py`` for
+the metric definitions and the output schema.
+"""

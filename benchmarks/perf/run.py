@@ -1,0 +1,195 @@
+"""Times the Scout pipeline's expensive stages on a fixed workload.
+
+The harness exists to catch performance regressions: every stage that
+the optimization work targets — dataset featurization, forest training,
+batched ``predict_proba``, and single-incident serving — is timed on
+the standard bench workload (seed 7, 2000 incidents over 270 days) and
+compared against the committed seed-implementation numbers in
+``baseline_seed.json``.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run            # full workload
+    PYTHONPATH=src python -m benchmarks.perf.run --quick    # CI smoke
+    PYTHONPATH=src python -m benchmarks.perf.run --jobs 4
+
+Output schema (written to ``BENCH_scout.json`` at the repo root)::
+
+    {
+      "workload":  {seed, duration_days, n_incidents, n_usable, n_features},
+      "n_jobs":    resolved worker count,
+      "before":    seed-implementation metrics (baseline_seed.json),
+      "after":     metrics measured by this run,
+      "speedup":   before/after ratios per metric (and train_plus_build)
+    }
+
+Metrics (all wall-clock seconds):
+
+* ``dataset_build_seconds``   — ``ScoutFramework.dataset`` over the history
+* ``framework_train_seconds`` — ``ScoutFramework.train`` (CV + final fit)
+* ``forest_fit_seconds``      — a bare 120-tree ``RandomForestClassifier.fit``
+* ``batch_predict_seconds``   — ``predict_proba`` over every usable incident
+* ``scout_predict_seconds_mean`` — mean live ``Scout.predict`` per incident
+* ``eval_f1``                 — held-out F1, guarding against silent
+  accuracy loss from a "fast but wrong" change
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import phynet_config
+from repro.core import ScoutFramework, TrainingOptions
+from repro.ml import RandomForestClassifier, imbalance_aware_split
+from repro.simulation import CloudSimulation, SimulationConfig
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+_BASELINE = Path(__file__).resolve().parent / "baseline_seed.json"
+
+# The standard bench workload; --quick shrinks it for CI smoke runs.
+SEED = 7
+DURATION_DAYS = 270.0
+N_INCIDENTS = 2000
+
+
+def run_bench(
+    seed: int = SEED,
+    duration_days: float = DURATION_DAYS,
+    n_incidents: int = N_INCIDENTS,
+    n_jobs: int | None = None,
+    predict_samples: int = 20,
+) -> dict:
+    """Time every stage once and return the metric dict."""
+    out: dict = {}
+    sim = CloudSimulation(SimulationConfig(seed=seed, duration_days=duration_days))
+    incidents = sim.generate(n_incidents)
+
+    framework = ScoutFramework(
+        phynet_config(),
+        sim.topology,
+        sim.store,
+        TrainingOptions(n_estimators=120, cv_folds=3, rng=0, n_jobs=n_jobs),
+    )
+    start = time.perf_counter()
+    data = framework.dataset(incidents)
+    out["dataset_build_seconds"] = time.perf_counter() - start
+
+    usable = data.usable()
+    train_idx, test_idx = imbalance_aware_split(usable.y, rng=3)
+    train, test = usable.subset(train_idx), usable.subset(test_idx)
+
+    start = time.perf_counter()
+    scout = framework.train(train)
+    out["framework_train_seconds"] = time.perf_counter() - start
+
+    X = scout.imputer.transform(usable.X)
+    y = usable.y
+    forest = RandomForestClassifier(n_estimators=120, rng=1, n_jobs=n_jobs)
+    start = time.perf_counter()
+    forest.fit(X, y)
+    out["forest_fit_seconds"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    forest.predict_proba(X)
+    out["batch_predict_seconds"] = time.perf_counter() - start
+    out["batch_predict_rows"] = int(X.shape[0])
+
+    laps = []
+    for example in test.examples[:predict_samples]:
+        start = time.perf_counter()
+        scout.predict(example.incident)
+        laps.append(time.perf_counter() - start)
+    out["scout_predict_seconds_mean"] = float(np.mean(laps)) if laps else 0.0
+
+    report = framework.evaluate(scout, test)
+    out["eval_f1"] = report.f1
+    out["workload"] = {
+        "seed": seed,
+        "duration_days": duration_days,
+        "n_incidents": n_incidents,
+        "n_usable": len(usable),
+        "n_features": int(X.shape[1]),
+    }
+    return out
+
+
+_SPEEDUP_KEYS = {
+    "dataset_build": "dataset_build_seconds",
+    "framework_train": "framework_train_seconds",
+    "forest_fit": "forest_fit_seconds",
+    "batch_predict": "batch_predict_seconds",
+    "scout_predict": "scout_predict_seconds_mean",
+}
+
+
+def compare(before: dict, after: dict) -> dict:
+    """before/after wall-clock ratios (>1 means the change is faster)."""
+    speedup = {}
+    for label, key in _SPEEDUP_KEYS.items():
+        if key in before and after.get(key):
+            speedup[label] = round(before[key] / after[key], 3)
+    both = ("dataset_build_seconds", "framework_train_seconds")
+    if all(k in before and k in after for k in both):
+        speedup["train_plus_build"] = round(
+            sum(before[k] for k in both) / sum(after[k] for k in both), 3
+        )
+    return speedup
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.run", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload (CI smoke): 80 incidents over 60 days",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker count for fitting/featurization (default: all cores)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=_REPO_ROOT / "BENCH_scout.json",
+        help="output path (default: BENCH_scout.json at the repo root)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=_BASELINE,
+        help="baseline metrics JSON to compare against ('' to skip)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        after = run_bench(
+            duration_days=60.0, n_incidents=80, n_jobs=args.jobs,
+            predict_samples=5,
+        )
+    else:
+        after = run_bench(n_jobs=args.jobs)
+
+    from repro.ml import resolve_n_jobs
+
+    result = {
+        "workload": after.pop("workload"),
+        "n_jobs": resolve_n_jobs(args.jobs),
+        "after": after,
+    }
+    baseline_path = Path(args.baseline) if str(args.baseline) else None
+    if baseline_path and baseline_path.exists() and not args.quick:
+        before = json.loads(baseline_path.read_text())
+        before.pop("workload", None)
+        result["before"] = before
+        result["speedup"] = compare(before, after)
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))
+    print(f"\nwritten to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

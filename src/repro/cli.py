@@ -50,6 +50,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--incidents", type=int, default=500, help="incident count"
         )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for featurization/training (-1 = all cores)",
+        )
 
     p_sim = sub.add_parser("simulate", help="generate an incident dataset")
     common(p_sim)
@@ -115,7 +121,9 @@ def _cmd_train(args) -> int:
         _config_for(args.team),
         sim.topology,
         sim.store,
-        TrainingOptions(n_estimators=args.trees, cv_folds=2, rng=0),
+        TrainingOptions(
+            n_estimators=args.trees, cv_folds=2, rng=0, n_jobs=args.jobs
+        ),
     )
     data = framework.dataset(incidents).usable()
     scout = framework.train(data)
@@ -131,7 +139,12 @@ def _cmd_evaluate(args) -> int:
     sim = _simulation(args)
     incidents = sim.generate(args.incidents)
     scout = load_scout(args.model, sim.topology, sim.store)
-    framework = ScoutFramework(scout.config, sim.topology, sim.store)
+    framework = ScoutFramework(
+        scout.config,
+        sim.topology,
+        sim.store,
+        TrainingOptions(n_jobs=args.jobs),
+    )
     data = framework.dataset(incidents).usable()
     _, test_idx = imbalance_aware_split(data.y, rng=1)
     report = framework.evaluate(scout, data.subset(test_idx))

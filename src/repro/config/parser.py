@@ -17,7 +17,8 @@ The surface syntax follows the paper's examples::
     # options
     SET lookback = 7200;
 
-Strings are double-quoted; ``\\"`` escapes a quote.  ``#`` starts a
+Strings are double-quoted; ``\\"`` escapes a quote and ``\\\\`` escapes
+a backslash (so a pattern may end in a backslash).  ``#`` starts a
 comment.  Statements end with ``;``.
 """
 
@@ -61,16 +62,23 @@ def _strip_comments(text: str) -> str:
     # them into the statement stream.
     for line in text.split("\n"):
         in_string = False
+        escaped = False
         out = []
-        i = 0
-        while i < len(line):
-            char = line[i]
-            if char == '"' and (i == 0 or line[i - 1] != "\\"):
-                in_string = not in_string
-            if char == "#" and not in_string:
+        for char in line:
+            # Backslash-pair tracking ("\\" is an escaped backslash, so
+            # a quote right after it still closes the string).
+            if in_string:
+                if escaped:
+                    escaped = False
+                elif char == "\\":
+                    escaped = True
+                elif char == '"':
+                    in_string = False
+            elif char == '"':
+                in_string = True
+            elif char == "#":
                 break
             out.append(char)
-            i += 1
         lines.append("".join(out))
     return "\n".join(lines)
 
@@ -86,12 +94,21 @@ def _split_statements(text: str) -> list[tuple[str, int]]:
     line = 1
     start_line = 1
     in_string = False
-    previous = ""
+    escaped = False
     for char in text:
         if char == "\n":
             line += 1
-        if char == '"' and previous != "\\":
-            in_string = not in_string
+        # Same backslash-pair tracking as _strip_comments: "\\" is an
+        # escaped backslash, so a quote after it closes the string.
+        if in_string:
+            if escaped:
+                escaped = False
+            elif char == "\\":
+                escaped = True
+            elif char == '"':
+                in_string = False
+        elif char == '"':
+            in_string = True
         if char == ";" and not in_string:
             statement = "".join(current).strip()
             if statement:
@@ -101,11 +118,9 @@ def _split_statements(text: str) -> list[tuple[str, int]]:
         else:
             if not current:
                 if char.isspace():
-                    previous = char
                     continue  # skip leading whitespace between statements
                 start_line = line
             current.append(char)
-        previous = char
     tail = "".join(current).strip()
     if tail:
         raise ConfigSyntaxError(f"missing ';' after: {tail[:50]!r}", start_line)

@@ -108,23 +108,38 @@ class CPDPlus:
                 if not self.store.is_active(locator):
                     continue
                 kinds = self.store.schema(locator).component_kinds
+                # Same component→device expansion order as the feature
+                # pulls (duplicate devices mentioned via two components
+                # deliberately count twice, as they always have).
+                devs = []
                 for component in components:
-                    for device in self.builder._observables(component, kinds):
-                        window = self.builder.series(locator, device, t - T, t)
-                        if window is None or len(window) < 6:
-                            continue
-                        devices += 1
-                        found = self.detector.detect(window.values)
-                        if found:
-                            detections += 1
-                            # Container-kind groups feed the cluster RF
-                            # only; device-level triggers (and thus the
-                            # conservative any-signal rule) come from
-                            # the implicated leaf devices themselves.
-                            if group.kind in _LEAF_KINDS:
-                                triggers.append(
-                                    f"change-point in {locator} on {device.name}"
-                                )
+                    devs.extend(self.builder._observables(component, kinds))
+                self.builder.prefetch_series(locator, devs, t - T, t)
+                rows = []
+                row_devs = []
+                for device in devs:
+                    window = self.builder.series(locator, device, t - T, t)
+                    if window is None or len(window) < 6:
+                        continue
+                    devices += 1
+                    rows.append(window.values)
+                    row_devs.append(device)
+                if not rows:
+                    continue
+                # All rows share the locator's sampling grid, so the
+                # whole group CUSUM-scans as one matrix.
+                hits = self.detector.detect_any(np.vstack(rows))
+                detections += int(hits.sum())
+                # Container-kind groups feed the cluster RF only;
+                # device-level triggers (and thus the conservative
+                # any-signal rule) come from the implicated leaf
+                # devices themselves.
+                if group.kind in _LEAF_KINDS:
+                    for device, hit in zip(row_devs, hits):
+                        if hit:
+                            triggers.append(
+                                f"change-point in {locator} on {device.name}"
+                            )
             if devices:
                 vector[g] = detections / devices
 
@@ -147,9 +162,7 @@ class CPDPlus:
                     events = self.builder.events(feature.locator, device, t - T, t)
                     if events is None:
                         continue
-                    count = sum(
-                        1 for etype in events.types if etype == feature.event_type
-                    )
+                    count = events.count_of(feature.event_type)
                     expected = rate * T / 3600.0
                     # Poisson upper-tail test: flag counts beyond the
                     # ~95% envelope of the healthy rate, and never on a

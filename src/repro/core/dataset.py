@@ -19,12 +19,63 @@ import numpy as np
 
 from ..incidents.incident import Incident
 from ..incidents.store import IncidentStore
+from ..ml.base import resolve_n_jobs
 from .cpd_plus import CPDPlus
 from .extraction import ComponentExtractor, ExtractedComponents
 from .features import FeatureBuilder
 from .selector import Route
 
 __all__ = ["ScoutExample", "ScoutDataset"]
+
+
+def _build_examples(
+    builder: FeatureBuilder,
+    extractor: ComponentExtractor,
+    cpd: CPDPlus,
+    incidents: list[Incident],
+    compute_signals: bool,
+) -> list["ScoutExample"]:
+    """Featurize one shard of incidents serially.
+
+    Module-level so process-pool workers can run it: every example is a
+    pure function of its incident (the monitoring store is a
+    deterministic hash of time), so sharding incidents across processes
+    is safe and reproduces the serial output exactly.
+    """
+    config = builder.config
+    examples: list[ScoutExample] = []
+    n_signals = len(cpd.signal_names())
+    for incident in incidents:
+        builder.clear_cache()
+        extracted = extractor.extract(incident.text)
+        static_route: Route | None = None
+        for rule in config.excludes:
+            if rule.matches(incident.title, incident.body, extracted.all):
+                static_route = Route.EXCLUDED
+                break
+        if static_route is None and extracted.is_empty:
+            static_route = Route.FALLBACK
+        if static_route is None:
+            features = builder.features(extracted, incident.created_at)
+            if compute_signals:
+                signals, triggers = cpd.signals(extracted, incident.created_at)
+            else:
+                signals, triggers = np.zeros(n_signals), []
+        else:
+            features = np.zeros(len(builder.schema))
+            signals, triggers = np.zeros(n_signals), []
+        examples.append(
+            ScoutExample(
+                incident=incident,
+                extracted=extracted,
+                static_route=static_route,
+                features=features,
+                signals=signals,
+                triggers=tuple(triggers),
+                label=incident.label(config.team),
+            )
+        )
+    return examples
 
 
 @dataclass
@@ -70,46 +121,68 @@ class ScoutDataset:
         cpd: CPDPlus,
         incidents: IncidentStore | list[Incident],
         compute_signals: bool = True,
+        n_jobs: int | None = 1,
     ) -> "ScoutDataset":
-        config = builder.config
-        examples: list[ScoutExample] = []
-        n_signals = len(cpd.signal_names())
-        for incident in incidents:
-            builder.clear_cache()
-            extracted = extractor.extract(incident.text)
-            static_route: Route | None = None
-            for rule in config.excludes:
-                if rule.matches(incident.title, incident.body, extracted.all):
-                    static_route = Route.EXCLUDED
-                    break
-            if static_route is None and extracted.is_empty:
-                static_route = Route.FALLBACK
-            if static_route is None:
-                features = builder.features(extracted, incident.created_at)
-                if compute_signals:
-                    signals, triggers = cpd.signals(extracted, incident.created_at)
-                else:
-                    signals, triggers = np.zeros(n_signals), []
-            else:
-                features = np.zeros(len(builder.schema))
-                signals, triggers = np.zeros(n_signals), []
-            examples.append(
-                ScoutExample(
-                    incident=incident,
-                    extracted=extracted,
-                    static_route=static_route,
-                    features=features,
-                    signals=signals,
-                    triggers=tuple(triggers),
-                    label=incident.label(config.team),
-                )
+        """Featurize incidents, optionally sharded across processes.
+
+        ``n_jobs=1`` (default) builds serially in-process; ``None``/-1
+        uses all cores.  Workers receive a pickled copy of the builder
+        stack and contiguous incident shards, and shard outputs are
+        re-concatenated in order — the result is identical to a serial
+        build for any ``n_jobs``.
+        """
+        incident_list = list(incidents)
+        n_workers = min(resolve_n_jobs(n_jobs), max(1, len(incident_list)))
+        if n_workers > 1:
+            examples = cls._build_parallel(
+                builder, extractor, cpd, incident_list, compute_signals,
+                n_workers,
+            )
+        else:
+            examples = _build_examples(
+                builder, extractor, cpd, incident_list, compute_signals
             )
         return cls(
             examples,
             list(builder.schema.names),
             cpd.signal_names(),
-            config.team,
+            builder.config.team,
         )
+
+    @staticmethod
+    def _build_parallel(
+        builder: FeatureBuilder,
+        extractor: ComponentExtractor,
+        cpd: CPDPlus,
+        incidents: list[Incident],
+        compute_signals: bool,
+        n_workers: int,
+    ) -> list["ScoutExample"]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        bounds = np.linspace(0, len(incidents), n_workers + 1).astype(int)
+        shards = [
+            incidents[lo:hi]
+            for lo, hi in zip(bounds[:-1], bounds[1:])
+            if hi > lo
+        ]
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _build_examples,
+                        builder, extractor, cpd, shard, compute_signals,
+                    )
+                    for shard in shards
+                ]
+                results = [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Sandboxes without process spawning fall back to serial;
+            # identical results either way.
+            return _build_examples(
+                builder, extractor, cpd, incidents, compute_signals
+            )
+        return [example for shard in results for example in shard]
 
     # -- container ---------------------------------------------------------
 

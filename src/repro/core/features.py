@@ -102,12 +102,16 @@ class FeatureSchema:
             )
         for kind in config.kinds:
             self.names.append(f"n_{kind.value}")
+        self._index = {name: i for i, name in enumerate(self.names)}
 
     def __len__(self) -> int:
         return len(self.names)
 
     def index_of(self, name: str) -> int:
-        return self.names.index(name)
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ValueError(f"{name!r} is not in the feature schema") from None
 
 
 def _covers(dataset_kinds: frozenset[ComponentKind], kind: ComponentKind) -> bool:
@@ -146,15 +150,28 @@ class FeatureBuilder:
         self.topology = topology
         self.store = store
         self.schema = FeatureSchema(config, store)
-        # Per-incident memo: cluster/DC/leaf feature groups and CPD+ all
-        # re-query the same (dataset, device, window) series.  Callers
-        # reset it between incidents via clear_cache().
+        # Two cache lifetimes, all initialized here so clear_cache() and
+        # pickling (parallel dataset builds ship builders to workers)
+        # always see every memo:
+        #
+        # * per-incident — cluster/DC/leaf feature groups and CPD+ all
+        #   re-query the same (dataset, device, window) series/events;
+        #   callers reset these between incidents via clear_cache();
+        # * topology-lifetime — ``_observables_memo`` maps a container
+        #   component to its observable leaf devices, which depends only
+        #   on the (immutable) topology and config, so clear_cache()
+        #   deliberately keeps it.
         self._series_memo: dict = {}
         self._norm_memo: dict = {}
         self._events_memo: dict = {}
+        self._observables_memo: dict = {}
 
     def clear_cache(self) -> None:
-        """Reset the per-incident query memo (call between incidents)."""
+        """Reset the per-incident query memos (call between incidents).
+
+        The topology-lifetime ``_observables_memo`` survives: container
+        membership cannot change within a builder's lifetime.
+        """
         self._series_memo.clear()
         self._norm_memo.clear()
         self._events_memo.clear()
@@ -166,12 +183,53 @@ class FeatureBuilder:
             self._series_memo[key] = self.store.query_series(locator, device, t0, t1)
         return self._series_memo[key]
 
+    def prefetch_series(
+        self, locator: str, devices: list[Component], t0: float, t1: float
+    ) -> None:
+        """Warm the series memo for many devices with one batched query.
+
+        ``query_series_batch`` is bit-identical to per-device queries,
+        so later :meth:`series` calls see exactly the values they would
+        have computed — just without per-device generator overhead.
+        """
+        missing: list[Component] = []
+        seen: set[str] = set()
+        for device in devices:
+            if device.name in seen:
+                continue
+            seen.add(device.name)
+            if (locator, device.name, t0, t1) not in self._series_memo:
+                missing.append(device)
+        if len(missing) < 2:
+            return
+        batch = self.store.query_series_batch(locator, missing, t0, t1)
+        for device, series in zip(missing, batch):
+            self._series_memo[(locator, device.name, t0, t1)] = series
+
     def events(self, locator: str, device: Component, t0: float, t1: float):
         """Memoized MonitoringStore.query_events."""
         key = (locator, device.name, t0, t1)
         if key not in self._events_memo:
             self._events_memo[key] = self.store.query_events(locator, device, t0, t1)
         return self._events_memo[key]
+
+    def prefetch_events(
+        self, locator: str, devices: list[Component], t0: float, t1: float
+    ) -> None:
+        """Warm the events memo for many devices with one batched query."""
+        missing: list[Component] = []
+        seen: set[str] = set()
+        for device in devices:
+            if device.name in seen:
+                continue
+            seen.add(device.name)
+            if (locator, device.name, t0, t1) not in self._events_memo:
+                missing.append(device)
+        if len(missing) < 2:
+            return
+        batch = self.store.query_events_batch(locator, missing, t0, t1)
+        for device, series in zip(missing, batch):
+            self._events_memo[(locator, device.name, t0, t1)] = series
 
     # -- component resolution ----------------------------------------------
 
@@ -183,9 +241,7 @@ class FeatureBuilder:
             return [component]
         if component.kind not in _CONTAINER_KINDS:
             return []
-        cache = getattr(self, "_observables_memo", None)
-        if cache is None:
-            cache = self._observables_memo = {}
+        cache = self._observables_memo
         key = (component.name, dataset_kinds)
         if key in cache:
             return cache[key]
@@ -233,6 +289,56 @@ class FeatureBuilder:
             std = 1.0
         return (window.values - mean) / std
 
+    def _prefetch_normalized(
+        self, locator: str, devices: list[Component], t: float
+    ) -> None:
+        """Warm the normalized-window memo for a batch of devices.
+
+        All devices of one (dataset, window) share the sampling grid, so
+        their look-back/reference windows stack into matrices and the
+        z-scoring reduces along one axis — per-row results equal the
+        scalar :meth:`_compute_normalized_window` bit-for-bit.
+        """
+        missing: list[Component] = []
+        seen: set[str] = set()
+        for device in devices:
+            if device.name in seen:
+                continue
+            seen.add(device.name)
+            if (locator, device.name, t) not in self._norm_memo:
+                missing.append(device)
+        if len(missing) < 2:
+            return
+        T = self.config.lookback
+        ref_span = self.config.reference_multiple * T
+        usable: list[tuple[Component, np.ndarray]] = []
+        for device in missing:
+            window = self.series(locator, device, t - T, t)
+            if window is None:
+                self._norm_memo[(locator, device.name, t)] = None
+            elif len(window) == 0:
+                self._norm_memo[(locator, device.name, t)] = np.empty(0)
+            else:
+                usable.append((device, window.values))
+        if not usable:
+            return
+        windows = np.vstack([values for _, values in usable])
+        references = [
+            self.series(locator, device, t - T - ref_span, t - T)
+            for device, _ in usable
+        ]
+        if references[0] is None or len(references[0]) < 2:
+            means = windows.mean(axis=1)
+            stds = windows.std(axis=1)
+        else:
+            ref_matrix = np.vstack([ref.values for ref in references])
+            means = ref_matrix.mean(axis=1)
+            stds = ref_matrix.std(axis=1)
+        stds = np.where(stds == 0.0, 1.0, stds)
+        normalized = (windows - means[:, np.newaxis]) / stds[:, np.newaxis]
+        for row, (device, _) in enumerate(usable):
+            self._norm_memo[(locator, device.name, t)] = normalized[row]
+
     def pull_group(
         self,
         group: _TsGroup,
@@ -242,11 +348,21 @@ class FeatureBuilder:
         """Normalized windows for a group; bool marks 'any data source up'."""
         windows: list[np.ndarray] = []
         any_active = False
+        T = self.config.lookback
+        ref_span = self.config.reference_multiple * T
         for locator in group.locators:
             if not self.store.is_active(locator):
                 continue
             dataset_kinds = self.store.schema(locator).component_kinds
             any_active = True
+            devices: list[Component] = []
+            for component in components:
+                devices.extend(self._observables(component, dataset_kinds))
+            # One batched pull per (dataset, window) warms the memos for
+            # the whole group before the per-device normalization loop.
+            self.prefetch_series(locator, devices, t - T, t)
+            self.prefetch_series(locator, devices, t - T - ref_span, t - T)
+            self._prefetch_normalized(locator, devices, t)
             for component in components:
                 for device in self._observables(component, dataset_kinds):
                     normalized = self._normalized_window(locator, device, t)
@@ -265,15 +381,21 @@ class FeatureBuilder:
             return float("nan")
         T = self.config.lookback
         dataset_kinds = self.store.schema(feature.locator).component_kinds
+        devices = [
+            device
+            for component in components
+            for device in self._observables(component, dataset_kinds)
+        ]
+        self.prefetch_events(feature.locator, devices, t - T, t)
         count = 0
-        for component in components:
-            for device in self._observables(component, dataset_kinds):
-                events = self.events(feature.locator, device, t - T, t)
-                if events is None:
-                    continue
-                count += sum(
-                    1 for etype in events.types if etype == feature.event_type
-                )
+        for device in devices:
+            events = self.events(feature.locator, device, t - T, t)
+            if events is None:
+                continue
+            # Cached per-type counts: several _EventFeature entries
+            # share one (dataset, device, window) EventSeries, so
+            # re-scanning the type tuple per feature is wasted work.
+            count += events.count_of(feature.event_type)
         return float(count)
 
     # -- the feature vector ----------------------------------------------------

@@ -51,6 +51,10 @@ class TrainingOptions:
     # mis-classified in cross-validation.
     mistake_boost: float = 2.0
     rng: int = 0
+    # Worker processes for forest fitting and dataset featurization:
+    # 1 = serial, None/-1 = all cores.  Any value yields bit-identical
+    # models and features (§7 reproducibility) — only wall-clock changes.
+    n_jobs: int | None = 1
 
 
 @dataclass
@@ -107,11 +111,21 @@ class ScoutFramework:
         self,
         incidents: IncidentStore,
         compute_signals: bool = True,
+        n_jobs: int | None = None,
     ) -> ScoutDataset:
-        """Pre-compute pipeline state for a set of incidents."""
+        """Pre-compute pipeline state for a set of incidents.
+
+        ``n_jobs`` overrides the training options' worker count for this
+        build (pass -1 for all cores); results are identical either way.
+        """
         cpd = CPDPlus(self.builder)
         return ScoutDataset.build(
-            self.builder, self.extractor, cpd, incidents, compute_signals
+            self.builder,
+            self.extractor,
+            cpd,
+            incidents,
+            compute_signals,
+            n_jobs=self.options.n_jobs if n_jobs is None else n_jobs,
         )
 
     # -- training ----------------------------------------------------------------
@@ -155,6 +169,7 @@ class ScoutFramework:
                 n_estimators=max(20, opts.n_estimators // 3),
                 max_depth=opts.max_depth,
                 rng=np.random.default_rng(int(rng.integers(2**31))),
+                n_jobs=opts.n_jobs,
             )
             forest.fit(X[mask], y[mask])
             hard[fold] = (forest.predict(X[fold]) != y[fold]).astype(int)
@@ -181,6 +196,7 @@ class ScoutFramework:
             n_estimators=opts.n_estimators,
             max_depth=opts.max_depth,
             rng=np.random.default_rng(opts.rng + 1),
+            n_jobs=opts.n_jobs,
         )
         forest.fit(X, y, sample_weight=weights)
 

@@ -6,7 +6,7 @@ the Table 4 comparison classifiers — implemented on numpy.
 """
 
 from .adaboost import AdaBoostClassifier
-from .base import Classifier, Estimator, NotFittedError, as_rng
+from .base import Classifier, Estimator, NotFittedError, as_rng, resolve_n_jobs
 from .cpd import ChangePoint, CusumDetector, EDivisive, energy_statistic
 from .forest import RandomForestClassifier
 from .gbdt import GradientBoostingClassifier, RegressionTree
@@ -65,6 +65,7 @@ __all__ = [
     "TreeNode",
     "accuracy_score",
     "as_rng",
+    "resolve_n_jobs",
     "classification_report",
     "confusion_matrix",
     "energy_statistic",

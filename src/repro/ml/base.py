@@ -9,6 +9,8 @@ follow along.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 __all__ = [
@@ -18,7 +20,19 @@ __all__ = [
     "check_matrix",
     "check_Xy",
     "as_rng",
+    "resolve_n_jobs",
 ]
+
+
+def resolve_n_jobs(n_jobs: int | None) -> int:
+    """Resolve an ``n_jobs`` knob to a concrete worker count.
+
+    ``None`` or any value < 1 (sklearn's ``-1`` convention) means "all
+    cores"; otherwise the value is used as-is.
+    """
+    if n_jobs is None or n_jobs < 1:
+        return max(1, os.cpu_count() or 1)
+    return int(n_jobs)
 
 
 class NotFittedError(RuntimeError):

@@ -137,6 +137,37 @@ class CusumDetector:
         self.threshold = threshold
         self.drift = drift
 
+    def detect_any(self, matrix) -> np.ndarray:
+        """Row-wise "has at least one change point" over equal-length series.
+
+        Equivalent to ``[bool(self.detect(row)) for row in matrix]``: a
+        series has a detection iff the *first* CUSUM scan crosses the
+        threshold anywhere, so the reset-and-rescan loop of
+        :meth:`detect` is unnecessary and all rows batch into one pass.
+        CPD+ scans every observable device of a component group and only
+        needs this boolean per device.
+        """
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2:
+            raise ValueError("detect_any expects a 2-D (rows, samples) array")
+        out = np.zeros(matrix.shape[0], dtype=bool)
+        if matrix.shape[1] < 3:
+            return out
+        std = matrix.std(axis=1)
+        ok = std != 0.0
+        if not np.any(ok):
+            return out
+        rows = matrix[ok]
+        z = (rows - rows.mean(axis=1, keepdims=True)) / std[ok, np.newaxis]
+        s_pos = np.cumsum(z - self.drift, axis=1)
+        s_neg = np.cumsum(-z - self.drift, axis=1)
+        pos = s_pos - np.minimum.accumulate(np.minimum(s_pos, 0.0), axis=1)
+        neg = s_neg - np.minimum.accumulate(np.minimum(s_neg, 0.0), axis=1)
+        out[ok] = (
+            (pos > self.threshold) | (neg > self.threshold)
+        ).any(axis=1)
+        return out
+
     def detect(self, values) -> list[ChangePoint]:
         values = np.asarray(values, dtype=float)
         if len(values) < 3:
@@ -145,12 +176,26 @@ class CusumDetector:
         if std == 0.0:
             return []
         z = (values - values.mean()) / std
+        # Vectorized CUSUM: the recurrence p_i = max(0, p_{i-1} + x_i)
+        # equals S_i - min(0, S_1, .., S_i) for S = cumsum(x), so each
+        # segment between detections is two cumsums and a running min.
+        # Detections reset the state, so re-scan from just past each hit;
+        # the loop runs once per change point, not once per sample.
         found: list[ChangePoint] = []
-        pos = neg = 0.0
-        for i, value in enumerate(z):
-            pos = max(0.0, pos + value - self.drift)
-            neg = max(0.0, neg - value - self.drift)
-            if pos > self.threshold or neg > self.threshold:
-                found.append(ChangePoint(index=i, score=max(pos, neg)))
-                pos = neg = 0.0
+        start = 0
+        n = len(z)
+        while start < n:
+            seg = z[start:]
+            s_pos = np.cumsum(seg - self.drift)
+            s_neg = np.cumsum(-seg - self.drift)
+            pos = s_pos - np.minimum.accumulate(np.minimum(s_pos, 0.0))
+            neg = s_neg - np.minimum.accumulate(np.minimum(s_neg, 0.0))
+            hits = np.flatnonzero((pos > self.threshold) | (neg > self.threshold))
+            if hits.size == 0:
+                break
+            i = int(hits[0])
+            found.append(
+                ChangePoint(index=start + i, score=float(max(pos[i], neg[i])))
+            )
+            start += i + 1
         return found

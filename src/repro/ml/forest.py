@@ -4,16 +4,103 @@
 offer explain-ability."  Explainability comes from aggregating per-tree
 feature contributions (Palczewska et al. [57]) — see
 :meth:`RandomForestClassifier.feature_contributions`.
+
+Training draws every tree's rng seed and bootstrap sample *up front*
+from the forest rng, so the per-tree fits are independent pure
+functions of ``(params, X, y, seed, bootstrap_idx)``.  That makes
+``n_jobs > 1`` (process-pool fitting) bit-identical to the serial path:
+parallelism changes wall-clock, never predictions (§7 reproducibility).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .base import Classifier, as_rng, check_Xy, check_matrix
-from .tree import DecisionTreeClassifier
+from .base import Classifier, as_rng, check_Xy, check_matrix, resolve_n_jobs
+from .tree import _NO_FEATURE, DecisionTreeClassifier
 
 __all__ = ["RandomForestClassifier"]
+
+_SEED_BOUND = 2**63
+
+
+class _EnsembleArrays:
+    """Every tree's flat arrays concatenated for one merged traversal.
+
+    Per-tree batch prediction spends its time in numpy-call overhead
+    (roughly ``depth`` tiny calls per tree).  Concatenating the node
+    arrays of all trees — child indices re-based by each tree's node
+    offset, leaf distributions scattered into forest class columns —
+    turns the whole forest into one big flat tree whose (tree, row)
+    lanes advance together in a single level-synchronous loop.
+    """
+
+    __slots__ = ("feature", "threshold", "left", "right", "distribution", "roots")
+
+    def __init__(self, trees: list[DecisionTreeClassifier], n_classes: int) -> None:
+        flats = [tree.flat_ for tree in trees]
+        sizes = np.array([flat.n_nodes for flat in flats], dtype=np.int64)
+        offsets = np.concatenate([[0], np.cumsum(sizes[:-1])])
+        self.roots = offsets
+        self.feature = np.concatenate([flat.feature for flat in flats])
+        self.threshold = np.concatenate([flat.threshold for flat in flats])
+        # Leaves keep their -1 child markers; they are never dereferenced
+        # because lanes leave the active set on reaching a leaf.
+        self.left = np.concatenate(
+            [flat.children_left.astype(np.int64) + off
+             for flat, off in zip(flats, offsets)]
+        )
+        self.right = np.concatenate(
+            [flat.children_right.astype(np.int64) + off
+             for flat, off in zip(flats, offsets)]
+        )
+        distribution = np.zeros((int(sizes.sum()), n_classes))
+        for tree, flat, off in zip(trees, flats, offsets):
+            cols = tree.classes_.astype(int)
+            distribution[off : off + flat.n_nodes][:, cols] = flat.distribution
+        self.distribution = distribution
+
+    def sum_proba(self, X: np.ndarray) -> np.ndarray:
+        """Sum of per-tree class distributions for every row of ``X``."""
+        n_rows = X.shape[0]
+        n_trees = len(self.roots)
+        idx = np.repeat(self.roots, n_rows)
+        rows = np.tile(np.arange(n_rows), n_trees)
+        feature = self.feature
+        active = np.flatnonzero(feature[idx] != _NO_FEATURE)
+        while active.size:
+            cur = idx[active]
+            go_left = X[rows[active], feature[cur]] <= self.threshold[cur]
+            nxt = np.where(go_left, self.left[cur], self.right[cur])
+            idx[active] = nxt
+            active = active[feature[nxt] != _NO_FEATURE]
+        leaves = self.distribution[idx]
+        return leaves.reshape(n_trees, n_rows, -1).sum(axis=0)
+
+
+def _fit_tree_shard(
+    params: dict,
+    X: np.ndarray,
+    y: np.ndarray,
+    sample_weight: np.ndarray | None,
+    seeds: np.ndarray,
+    bootstrap_indices: np.ndarray | None,
+) -> list[DecisionTreeClassifier]:
+    """Fit a shard of trees serially (runs in a worker process).
+
+    Module-level so it pickles for ``ProcessPoolExecutor``; also the
+    serial path, so n_jobs=1 and n_jobs>1 execute identical code.
+    """
+    trees: list[DecisionTreeClassifier] = []
+    for i, seed in enumerate(seeds):
+        tree = DecisionTreeClassifier(rng=np.random.default_rng(int(seed)), **params)
+        if bootstrap_indices is not None:
+            idx = bootstrap_indices[i]
+            tree.fit(X[idx], y[idx])
+        else:
+            tree.fit(X, y, sample_weight=sample_weight)
+        trees.append(tree)
+    return trees
 
 
 class RandomForestClassifier(Classifier):
@@ -31,6 +118,10 @@ class RandomForestClassifier(Classifier):
         Sample rows with replacement per tree (bagging).
     rng:
         Seed or Generator for reproducibility.
+    n_jobs:
+        Worker processes for tree fitting: 1 (default) fits serially in
+        process, ``None``/-1 uses all cores.  Results are bit-identical
+        regardless of the value.
     """
 
     def __init__(
@@ -42,6 +133,7 @@ class RandomForestClassifier(Classifier):
         max_features: str | int | float | None = "sqrt",
         bootstrap: bool = True,
         rng: int | np.random.Generator | None = None,
+        n_jobs: int | None = 1,
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be >= 1")
@@ -51,7 +143,16 @@ class RandomForestClassifier(Classifier):
         self.min_samples_leaf = min_samples_leaf
         self.max_features = max_features
         self.bootstrap = bootstrap
+        self.n_jobs = n_jobs
         self._rng = as_rng(rng)
+
+    def _tree_params(self) -> dict:
+        return {
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
 
     def fit(self, X, y, sample_weight=None) -> "RandomForestClassifier":
         X, y = check_Xy(X, y)
@@ -64,7 +165,6 @@ class RandomForestClassifier(Classifier):
             if sample_weight.shape != encoded.shape:
                 raise ValueError("sample_weight length must match y")
         self.n_features_ = X.shape[1]
-        self.trees_: list[DecisionTreeClassifier] = []
         # Bootstrap probabilities follow the sample weights, so §8's
         # up-weighting of previously mis-classified incidents also biases
         # which rows each tree sees.
@@ -72,20 +172,33 @@ class RandomForestClassifier(Classifier):
         probabilities = (
             sample_weight / weight_sum if weight_sum > 0 else None
         )
-        for _ in range(self.n_estimators):
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                min_samples_split=self.min_samples_split,
-                min_samples_leaf=self.min_samples_leaf,
-                max_features=self.max_features,
-                rng=self._rng,
+        # Pre-draw every tree's seed and bootstrap sample from the
+        # forest rng in a fixed order.  After this point tree fits are
+        # independent of each other, so serial and parallel execution
+        # consume the rng identically and produce the same forest.
+        seeds = self._rng.integers(_SEED_BOUND, size=self.n_estimators)
+        if self.bootstrap:
+            bootstrap_indices = np.vstack(
+                [
+                    self._rng.choice(n, size=n, replace=True, p=probabilities)
+                    for _ in range(self.n_estimators)
+                ]
             )
-            if self.bootstrap:
-                idx = self._rng.choice(n, size=n, replace=True, p=probabilities)
-                tree.fit(X[idx], encoded[idx])
-            else:
-                tree.fit(X, encoded, sample_weight=sample_weight)
-            self.trees_.append(tree)
+        else:
+            bootstrap_indices = None
+
+        n_workers = resolve_n_jobs(self.n_jobs)
+        params = self._tree_params()
+        if n_workers == 1 or self.n_estimators == 1:
+            self.trees_ = _fit_tree_shard(
+                params, X, encoded, sample_weight, seeds, bootstrap_indices
+            )
+        else:
+            self.trees_ = self._fit_parallel(
+                params, X, encoded, sample_weight, seeds, bootstrap_indices,
+                n_workers,
+            )
+
         importances = np.zeros(self.n_features_)
         for tree in self.trees_:
             # Trees trained on bootstrap samples may have seen only one
@@ -98,6 +211,58 @@ class RandomForestClassifier(Classifier):
         self._fitted = True
         return self
 
+    def _fit_parallel(
+        self,
+        params: dict,
+        X: np.ndarray,
+        encoded: np.ndarray,
+        sample_weight: np.ndarray,
+        seeds: np.ndarray,
+        bootstrap_indices: np.ndarray | None,
+        n_workers: int,
+    ) -> list[DecisionTreeClassifier]:
+        """Fit tree shards in a process pool, preserving tree order."""
+        from concurrent.futures import ProcessPoolExecutor
+
+        n_shards = min(n_workers, self.n_estimators)
+        shards = np.array_split(np.arange(self.n_estimators), n_shards)
+        try:
+            with ProcessPoolExecutor(max_workers=n_workers) as pool:
+                futures = [
+                    pool.submit(
+                        _fit_tree_shard,
+                        params,
+                        X,
+                        encoded,
+                        sample_weight,
+                        seeds[shard],
+                        None
+                        if bootstrap_indices is None
+                        else bootstrap_indices[shard],
+                    )
+                    for shard in shards
+                ]
+                results = [f.result() for f in futures]
+        except (OSError, PermissionError):
+            # Sandboxes without process spawning fall back to serial;
+            # identical results either way.
+            return _fit_tree_shard(
+                params, X, encoded, sample_weight, seeds, bootstrap_indices
+            )
+        return [tree for shard_trees in results for tree in shard_trees]
+
+    def _merged(self) -> _EnsembleArrays:
+        """The concatenated flat-tree ensemble, built lazily and cached.
+
+        Lazy so forests unpickled from bundles saved before this
+        attribute existed rebuild it transparently on first use.
+        """
+        ensemble = getattr(self, "_ensemble_", None)
+        if ensemble is None:
+            ensemble = _EnsembleArrays(self.trees_, len(self.classes_))
+            self._ensemble_ = ensemble
+        return ensemble
+
     def predict_proba(self, X) -> np.ndarray:
         self._require_fitted()
         X = check_matrix(X)
@@ -105,16 +270,10 @@ class RandomForestClassifier(Classifier):
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
-        proba = np.zeros((X.shape[0], len(self.classes_)))
-        for tree in self.trees_:
-            tree_proba = tree.predict_proba(X)
-            # Map tree-local class indices back to forest classes: trees
-            # are fit on integer-encoded labels, so tree.classes_ holds
-            # forest class *indices*.
-            for local, forest_idx in enumerate(tree.classes_):
-                proba[:, int(forest_idx)] += tree_proba[:, local]
-        proba /= self.n_estimators
-        return proba
+        # Trees are fit on integer-encoded labels, so each tree's
+        # classes_ holds forest class indices; the merged ensemble has
+        # them pre-scattered into forest columns.
+        return self._merged().sum_proba(X) / self.n_estimators
 
     def feature_contributions(self, row) -> np.ndarray:
         """Average per-feature contribution across trees for one sample.
@@ -131,7 +290,6 @@ class RandomForestClassifier(Classifier):
             )
         total = np.zeros((self.n_features_, len(self.classes_)))
         for tree in self.trees_:
-            local = tree.decision_contributions(row)
-            for local_idx, forest_idx in enumerate(tree.classes_):
-                total[:, int(forest_idx)] += local[:, local_idx]
+            cols = tree.classes_.astype(int)
+            total[:, cols] += tree.decision_contributions(row)
         return total / self.n_estimators

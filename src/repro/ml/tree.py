@@ -4,6 +4,18 @@ This is the building block of the random forest (§5.2.1).  It records,
 for every node, the class distribution of the training samples that
 reached it — which is what the feature-contribution explanation method
 of Palczewska et al. [57] (used by the deployed PhyNet Scout) needs.
+
+Fitting produces two views of the same tree:
+
+* ``root_`` — the linked :class:`TreeNode` structure, kept for
+  introspection and as the reference implementation of prediction;
+* ``flat_`` — a :class:`FlatTree` of parallel numpy arrays (preorder
+  node layout), which powers the vectorized batch ``predict_proba``
+  and the feature-contribution walk.
+
+Batch prediction advances *all* rows one tree level per iteration
+instead of walking Python objects row by row, so its cost scales with
+tree depth, not with ``n_rows × depth`` Python-level steps.
 """
 
 from __future__ import annotations
@@ -14,7 +26,9 @@ import numpy as np
 
 from .base import Classifier, as_rng, check_Xy, check_matrix
 
-__all__ = ["DecisionTreeClassifier", "TreeNode"]
+__all__ = ["DecisionTreeClassifier", "TreeNode", "FlatTree"]
+
+_NO_FEATURE = -1
 
 
 @dataclass
@@ -36,6 +50,105 @@ class TreeNode:
     @property
     def is_leaf(self) -> bool:
         return self.feature is None
+
+
+@dataclass(frozen=True)
+class FlatTree:
+    """A fitted tree compiled into parallel arrays (preorder layout).
+
+    ``feature[i] == -1`` marks node ``i`` as a leaf; for leaves,
+    ``threshold`` / ``children_*`` entries are unused.  ``distribution``
+    stacks every node's class distribution into one matrix so batch
+    prediction is a single fancy-index into it.
+    """
+
+    feature: np.ndarray  # (n_nodes,) int32, -1 for leaves
+    threshold: np.ndarray  # (n_nodes,) float64
+    children_left: np.ndarray  # (n_nodes,) int32
+    children_right: np.ndarray  # (n_nodes,) int32
+    distribution: np.ndarray  # (n_nodes, n_classes) float64
+    n_samples: np.ndarray  # (n_nodes,) int64
+    depth: np.ndarray  # (n_nodes,) int32
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.feature)
+
+    @classmethod
+    def from_nodes(cls, root: TreeNode, n_classes: int) -> "FlatTree":
+        """Compile a linked node tree into flat arrays (iteratively)."""
+        nodes: list[TreeNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not node.is_leaf:
+                # Push right first so the left child is processed next:
+                # preorder layout, matching the recursive reading order.
+                stack.append(node.right)
+                stack.append(node.left)
+        index = {id(node): i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        feature = np.full(n, _NO_FEATURE, dtype=np.int32)
+        threshold = np.zeros(n, dtype=np.float64)
+        children_left = np.full(n, _NO_FEATURE, dtype=np.int32)
+        children_right = np.full(n, _NO_FEATURE, dtype=np.int32)
+        distribution = np.empty((n, n_classes), dtype=np.float64)
+        n_samples = np.empty(n, dtype=np.int64)
+        depth = np.empty(n, dtype=np.int32)
+        for i, node in enumerate(nodes):
+            distribution[i] = node.distribution
+            n_samples[i] = node.n_samples
+            depth[i] = node.depth
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                children_left[i] = index[id(node.left)]
+                children_right[i] = index[id(node.right)]
+        return cls(
+            feature=feature,
+            threshold=threshold,
+            children_left=children_left,
+            children_right=children_right,
+            distribution=distribution,
+            n_samples=n_samples,
+            depth=depth,
+        )
+
+    def leaf_indices(self, X: np.ndarray) -> np.ndarray:
+        """The leaf node index each row of ``X`` lands in.
+
+        Level-synchronous traversal: every iteration advances all
+        still-internal rows one level, so the loop runs ``depth`` times
+        regardless of batch size.
+        """
+        idx = np.zeros(X.shape[0], dtype=np.int32)
+        feature = self.feature
+        if self.n_nodes == 1:
+            return idx
+        threshold = self.threshold
+        left = self.children_left
+        right = self.children_right
+        active = np.arange(X.shape[0])
+        while active.size:
+            cur = idx[active]
+            f = feature[cur]
+            go_left = X[active, f] <= threshold[cur]
+            idx[active] = np.where(go_left, left[cur], right[cur])
+            active = active[feature[idx[active]] != _NO_FEATURE]
+        return idx
+
+    def decision_path(self, row: np.ndarray) -> list[int]:
+        """Node indices visited from root to leaf for one sample."""
+        path = [0]
+        node = 0
+        while self.feature[node] != _NO_FEATURE:
+            if row[self.feature[node]] <= self.threshold[node]:
+                node = int(self.children_left[node])
+            else:
+                node = int(self.children_right[node])
+            path.append(node)
+        return path
 
 
 def _gini(class_weights: np.ndarray) -> float:
@@ -90,7 +203,8 @@ class DecisionTreeClassifier(Classifier):
         self.n_features_ = X.shape[1]
         self._n_classes = len(self.classes_)
         self._feature_importance_acc = np.zeros(self.n_features_)
-        self.root_ = self._build(X, encoded, sample_weight, depth=0)
+        self.root_ = self._build(X, encoded, sample_weight)
+        self.flat_ = FlatTree.from_nodes(self.root_, self._n_classes)
         total = self._feature_importance_acc.sum()
         self.feature_importances_ = (
             self._feature_importance_acc / total
@@ -117,33 +231,57 @@ class DecisionTreeClassifier(Classifier):
     def _class_weights(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
         return np.bincount(y, weights=w, minlength=self._n_classes)
 
-    def _build(
-        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, depth: int
-    ) -> TreeNode:
+    def _make_node(
+        self, y: np.ndarray, w: np.ndarray, depth: int
+    ) -> tuple[TreeNode, np.ndarray, float]:
         counts = self._class_weights(y, w)
         total = counts.sum()
         distribution = counts / total if total > 0 else np.full(
             self._n_classes, 1.0 / self._n_classes
         )
         node = TreeNode(distribution=distribution, n_samples=len(y), depth=depth)
-        if (
-            len(y) < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or np.count_nonzero(counts) <= 1
-        ):
-            return node
+        return node, counts, total
 
-        split = self._best_split(X, y, w, counts)
-        if split is None:
-            return node
-        feature, threshold, gain = split
-        node.feature = feature
-        node.threshold = threshold
-        self._feature_importance_acc[feature] += gain * total
-        mask = X[:, feature] <= threshold
-        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
-        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
-        return node
+    def _build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray) -> TreeNode:
+        """Grow the tree depth-first with an explicit stack.
+
+        The stack replaces recursion so arbitrarily deep trees (no
+        ``max_depth``) cannot hit Python's recursion limit.  Children
+        are pushed right-then-left, preserving the preorder in which the
+        recursive formulation consumed the feature-subsampling rng.
+        """
+        root, counts, total = self._make_node(y, w, depth=0)
+        stack: list[tuple[TreeNode, np.ndarray, np.ndarray, np.ndarray, np.ndarray, float]] = [
+            (root, X, y, w, counts, total)
+        ]
+        while stack:
+            node, Xn, yn, wn, counts, total = stack.pop()
+            if (
+                len(yn) < self.min_samples_split
+                or (self.max_depth is not None and node.depth >= self.max_depth)
+                or np.count_nonzero(counts) <= 1
+            ):
+                continue
+            split = self._best_split(Xn, yn, wn, counts)
+            if split is None:
+                continue
+            feature, threshold, gain = split
+            node.feature = feature
+            node.threshold = threshold
+            self._feature_importance_acc[feature] += gain * total
+            mask = Xn[:, feature] <= threshold
+            inv = ~mask
+            left, lcounts, ltotal = self._make_node(
+                yn[mask], wn[mask], node.depth + 1
+            )
+            right, rcounts, rtotal = self._make_node(
+                yn[inv], wn[inv], node.depth + 1
+            )
+            node.left = left
+            node.right = right
+            stack.append((right, Xn[inv], yn[inv], wn[inv], rcounts, rtotal))
+            stack.append((left, Xn[mask], yn[mask], wn[mask], lcounts, ltotal))
+        return root
 
     def _best_split(
         self,
@@ -225,13 +363,26 @@ class DecisionTreeClassifier(Classifier):
             path.append(node)
         return path
 
-    def predict_proba(self, X) -> np.ndarray:
+    def _check_predict_input(self, X) -> np.ndarray:
         self._require_fitted()
         X = check_matrix(X)
         if X.shape[1] != self.n_features_:
             raise ValueError(
                 f"expected {self.n_features_} features, got {X.shape[1]}"
             )
+        return X
+
+    def predict_proba(self, X) -> np.ndarray:
+        X = self._check_predict_input(X)
+        return self.flat_.distribution[self.flat_.leaf_indices(X)]
+
+    def predict_proba_nodes(self, X) -> np.ndarray:
+        """Reference implementation: per-row walk of the node objects.
+
+        Kept for equivalence testing against the vectorized flat-array
+        path; do not use in hot loops.
+        """
+        X = self._check_predict_input(X)
         return np.vstack([self._leaf_path(row)[-1].distribution for row in X])
 
     def decision_contributions(self, row: np.ndarray) -> np.ndarray:
@@ -245,33 +396,26 @@ class DecisionTreeClassifier(Classifier):
         self._require_fitted()
         row = np.asarray(row, dtype=float)
         contributions = np.zeros((self.n_features_, self._n_classes))
-        path = self._leaf_path(row)
-        for parent, child in zip(path[:-1], path[1:]):
-            contributions[parent.feature] += (
-                child.distribution - parent.distribution
-            )
+        flat = self.flat_
+        path = flat.decision_path(row)
+        if len(path) > 1:
+            parents = np.asarray(path[:-1], dtype=np.int64)
+            children = np.asarray(path[1:], dtype=np.int64)
+            deltas = flat.distribution[children] - flat.distribution[parents]
+            np.add.at(contributions, flat.feature[parents], deltas)
         return contributions
 
     # -- introspection -----------------------------------------------------
 
     @property
     def depth_(self) -> int:
+        """Maximum leaf depth (computed from the flat arrays, no recursion)."""
         self._require_fitted()
-
-        def walk(node: TreeNode) -> int:
-            if node.is_leaf:
-                return node.depth
-            return max(walk(node.left), walk(node.right))
-
-        return walk(self.root_)
+        leaves = self.flat_.feature == _NO_FEATURE
+        return int(self.flat_.depth[leaves].max())
 
     @property
     def n_leaves_(self) -> int:
+        """Number of leaves (computed from the flat arrays, no recursion)."""
         self._require_fitted()
-
-        def walk(node: TreeNode) -> int:
-            if node.is_leaf:
-                return 1
-            return walk(node.left) + walk(node.right)
-
-        return walk(self.root_)
+        return int(np.count_nonzero(self.flat_.feature == _NO_FEATURE))

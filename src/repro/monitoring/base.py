@@ -15,7 +15,9 @@ and the optional *class tag* that marks datasets as combinable.
 from __future__ import annotations
 
 import enum
+from collections import Counter
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -68,11 +70,20 @@ class EventSeries:
     def __len__(self) -> int:
         return len(self.timestamps)
 
+    @cached_property
+    def _type_counts(self) -> Counter:
+        # Cached: feature builders ask for per-type counts once per
+        # (dataset, type) pair and would otherwise re-scan the tuple.
+        # cached_property writes to __dict__ directly, bypassing the
+        # frozen-dataclass __setattr__ guard.
+        return Counter(self.types)
+
     def count_by_type(self) -> dict[str, int]:
-        counts: dict[str, int] = {}
-        for event_type in self.types:
-            counts[event_type] = counts.get(event_type, 0) + 1
-        return counts
+        return dict(self._type_counts)
+
+    def count_of(self, event_type: str) -> int:
+        """Occurrences of one event type (cached, O(1) after first call)."""
+        return self._type_counts[event_type]
 
 
 @dataclass(frozen=True)

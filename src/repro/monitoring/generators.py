@@ -18,6 +18,9 @@ __all__ = [
     "series_seed",
     "uniform_at",
     "normal_at",
+    "uniform_grid",
+    "normal_grid",
+    "uniform_mixed",
     "poisson_counts",
 ]
 
@@ -75,6 +78,50 @@ def uniform_at(seed: int, indices: np.ndarray, stream: int = 0) -> np.ndarray:
 def normal_at(seed: int, indices: np.ndarray, stream: int = 0) -> np.ndarray:
     """Standard-normal samples at arbitrary indices (inverse CDF)."""
     return ndtri(uniform_at(seed, indices, stream))
+
+
+def uniform_grid(
+    seeds: np.ndarray, indices: np.ndarray, stream: int = 0
+) -> np.ndarray:
+    """Uniform(0, 1) samples for many streams over shared indices.
+
+    Returns a ``(len(seeds), len(indices))`` matrix whose row ``d``
+    equals ``uniform_at(seeds[d], indices, stream)`` bit-for-bit: the
+    per-key construction is the same modular arithmetic, just broadcast
+    so one :func:`_splitmix64` call covers every (seed, index) pair.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64).reshape(-1, 1)
+    indices = np.asarray(indices, dtype=np.uint64).reshape(1, -1)
+    # seed * C * (stream+1) mod 2**64 — modular products commute, so
+    # folding the constant first matches the scalar path exactly.
+    salt = seeds * np.uint64((0xD6E8FEB86659FD93 * (stream + 1)) & _MASK_INT)
+    keys = seeds ^ (indices * np.uint64(0x9E3779B97F4A7C15)) ^ salt
+    bits = _splitmix64(keys)
+    return (bits >> np.uint64(11)).astype(float) / 9007199254740992.0 + 5e-17
+
+
+def normal_grid(
+    seeds: np.ndarray, indices: np.ndarray, stream: int = 0
+) -> np.ndarray:
+    """Standard-normal samples for many streams over shared indices."""
+    return ndtri(uniform_grid(seeds, indices, stream))
+
+
+def uniform_mixed(
+    seeds: np.ndarray, indices: np.ndarray, stream: int = 0
+) -> np.ndarray:
+    """Uniform(0, 1) samples where each element carries its own seed.
+
+    ``uniform_mixed(seeds, indices)[k] == uniform_at(seeds[k],
+    [indices[k]])[0]`` bit-for-bit — it lets callers concatenate the
+    pending draws of many streams and hash them in a single pass.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    indices = np.asarray(indices, dtype=np.uint64)
+    salt = seeds * np.uint64((0xD6E8FEB86659FD93 * (stream + 1)) & _MASK_INT)
+    keys = seeds ^ (indices * np.uint64(0x9E3779B97F4A7C15)) ^ salt
+    bits = _splitmix64(keys)
+    return (bits >> np.uint64(11)).astype(float) / 9007199254740992.0 + 5e-17
 
 
 def poisson_counts(

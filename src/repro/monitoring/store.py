@@ -23,7 +23,16 @@ from .base import (
     FailureEffect,
     TimeSeries,
 )
-from .generators import normal_at, poisson_counts, series_seed, uniform_at
+from .generators import (
+    _poisson_cdf,
+    normal_at,
+    normal_grid,
+    poisson_counts,
+    series_seed,
+    uniform_at,
+    uniform_grid,
+    uniform_mixed,
+)
 
 __all__ = ["MonitoringStore"]
 
@@ -31,6 +40,17 @@ _DAY = 86400.0
 _HOUR = 3600.0
 # Event noise is binned at one-minute granularity.
 _EVENT_BIN = 60.0
+
+
+def _assemble_events(
+    time_parts: list[np.ndarray], types: list[str]
+) -> EventSeries:
+    """Merge per-source event times/types into one time-sorted series."""
+    times_arr = np.concatenate(time_parts) if time_parts else np.empty(0)
+    order = np.argsort(times_arr, kind="stable")
+    times_arr = times_arr[order]
+    types_tuple = tuple(types[i] for i in order)
+    return EventSeries(times_arr, types_tuple)
 
 
 class MonitoringStore:
@@ -159,6 +179,57 @@ class MonitoringStore:
             np.maximum(values, spec.floor, out=values)
         return TimeSeries(timestamps, values)
 
+    def query_series_batch(
+        self, dataset: str, components: list[Component], t0: float, t1: float
+    ) -> list[TimeSeries | None]:
+        """Batched :meth:`query_series` over many components.
+
+        Returns one entry per component, each bit-identical to the
+        scalar query.  All components share the same window, so the bin
+        indices, timestamps, and diurnal baseline are computed once and
+        only the per-component hash noise differs — one broadcast
+        :func:`normal_grid` call replaces ``len(components)`` scalar
+        generator calls, which is where feature pulls spend their time.
+        """
+        schema = self.schema(dataset)
+        if schema.kind is not DataKind.TIME_SERIES:
+            raise ValueError(f"{dataset} is not TIME_SERIES")
+        if t1 < t0:
+            raise ValueError("query window end must be >= start")
+        out: list[TimeSeries | None] = [None] * len(components)
+        if not self.is_active(dataset):
+            return out
+        covered = [
+            (i, c) for i, c in enumerate(components) if schema.covers(c.kind)
+        ]
+        if not covered:
+            return out
+        spec = schema.baseline
+        first = max(0, int(np.ceil(t0 / spec.interval)))
+        last = int(np.floor(t1 / spec.interval))
+        if last < first:
+            for i, _ in covered:
+                out[i] = TimeSeries(np.empty(0), np.empty(0))
+            return out
+        indices = np.arange(first, last + 1, dtype=np.uint64)
+        timestamps = indices.astype(float) * spec.interval
+        base = spec.mean + spec.diurnal_amp * np.sin(
+            2.0 * np.pi * timestamps / _DAY
+        )
+        seeds = np.array(
+            [self._series_seed(dataset, c.name) for _, c in covered],
+            dtype=np.uint64,
+        )
+        values = base[np.newaxis, :] + spec.std * normal_grid(seeds, indices)
+        for row, (i, component) in enumerate(covered):
+            series = self._apply_series_effects(
+                dataset, component.name, timestamps, values[row]
+            )
+            if spec.floor is not None:
+                np.maximum(series, spec.floor, out=series)
+            out[i] = TimeSeries(timestamps, series)
+        return out
+
     def _apply_series_effects(
         self,
         dataset: str,
@@ -167,13 +238,23 @@ class MonitoringStore:
         values: np.ndarray,
     ) -> np.ndarray:
         effects = self._effects.get((dataset, component))
-        if not effects:
+        if not effects or len(timestamps) == 0:
             return values
-        values = values.copy()
+        # Scalar window-overlap pre-filter: histories accumulate many
+        # effects per (dataset, component) and most lie entirely outside
+        # the queried window, so skip them before any array work.
+        t_lo = timestamps[0]
+        t_hi = timestamps[-1]
+        copied = False
         for effect in effects:
-            mask = (timestamps >= effect.start) & (timestamps <= effect.end)
-            if not np.any(mask):
+            if effect.start > t_hi:
+                break  # effects are kept sorted by start
+            if effect.end < t_lo:
                 continue
+            mask = (timestamps >= effect.start) & (timestamps <= effect.end)
+            if not copied:
+                values = values.copy()
+                copied = True
             if effect.mode == "shift":
                 values[mask] += effect.magnitude
             elif effect.mode == "scale":
@@ -198,7 +279,7 @@ class MonitoringStore:
         seed = self._series_seed(dataset, component.name)
         first = max(0, int(np.ceil(t0 / _EVENT_BIN)))
         last = int(np.floor(t1 / _EVENT_BIN))
-        times: list[float] = []
+        time_parts: list[np.ndarray] = []
         types: list[str] = []
         if last >= first:
             indices = np.arange(first, last + 1, dtype=np.uint64)
@@ -207,30 +288,137 @@ class MonitoringStore:
             ):
                 lam = hourly_rate * _EVENT_BIN / _HOUR
                 counts = poisson_counts(seed, indices, lam, stream=stream + 1)
-                for idx, count in zip(indices[counts > 0], counts[counts > 0]):
-                    bin_start = float(idx) * _EVENT_BIN
-                    offsets = uniform_at(
-                        seed,
-                        np.arange(int(count), dtype=np.uint64) + idx,
-                        stream=1000 + stream,
-                    )
-                    for off in offsets:
-                        times.append(bin_start + float(off) * _EVENT_BIN)
-                        types.append(event_type)
-        # Burst effects add failure events deterministically.
-        for effect in self._effects.get((dataset, component.name), []):
+                nonzero = counts > 0
+                if not np.any(nonzero):
+                    continue
+                bins = indices[nonzero]
+                per_bin = counts[nonzero]
+                total = int(per_bin.sum())
+                # Event j of a bin draws its offset at hash index
+                # ``bin + j`` — np.repeat builds all (bin, j) pairs at
+                # once instead of one tiny uniform_at call per bin.
+                rep_bins = np.repeat(bins, per_bin)
+                ends = np.cumsum(per_bin)
+                within = (
+                    np.arange(total, dtype=np.uint64)
+                    - np.repeat(ends - per_bin, per_bin).astype(np.uint64)
+                )
+                offsets = uniform_at(seed, rep_bins + within, stream=1000 + stream)
+                time_parts.append(
+                    rep_bins.astype(float) * _EVENT_BIN + offsets * _EVENT_BIN
+                )
+                types.extend([event_type] * total)
+        self._append_burst_events(
+            dataset, component.name, t0, t1, time_parts, types
+        )
+        return _assemble_events(time_parts, types)
+
+    def _append_burst_events(
+        self,
+        dataset: str,
+        component: str,
+        t0: float,
+        t1: float,
+        time_parts: list[np.ndarray],
+        types: list[str],
+    ) -> None:
+        """Burst effects add failure events deterministically."""
+        for effect in self._effects.get((dataset, component), []):
+            if effect.start >= t1:
+                break  # effects are kept sorted by start
             lo = max(t0, effect.start)
             hi = min(t1, effect.end)
             if hi <= lo or effect.rate <= 0.0:
                 continue
             n_events = max(1, int(round(effect.rate * (hi - lo) / _HOUR)))
-            event_times = np.linspace(lo, hi, n_events, endpoint=False)
-            times.extend(float(x) for x in event_times)
+            time_parts.append(np.linspace(lo, hi, n_events, endpoint=False))
             types.extend([effect.event_type] * n_events)
-        order = np.argsort(times, kind="stable")
-        times_arr = np.asarray(times, dtype=float)[order]
-        types_tuple = tuple(types[i] for i in order)
-        return EventSeries(times_arr, types_tuple)
+
+    def query_events_batch(
+        self, dataset: str, components: list[Component], t0: float, t1: float
+    ) -> list[EventSeries | None]:
+        """Batched :meth:`query_events` over many components.
+
+        Bit-identical per entry to the scalar query.  The Poisson bin
+        counts of every component hash through one :func:`uniform_grid`
+        call per event type, and the per-event time offsets of all
+        components concatenate into one :func:`uniform_mixed` call —
+        the per-component work that remains is array slicing.
+        """
+        schema = self.schema(dataset)
+        if schema.kind is not DataKind.EVENT:
+            raise ValueError(f"{dataset} is not EVENT")
+        if t1 < t0:
+            raise ValueError("query window end must be >= start")
+        out: list[EventSeries | None] = [None] * len(components)
+        if not self.is_active(dataset):
+            return out
+        covered = [
+            (i, c) for i, c in enumerate(components) if schema.covers(c.kind)
+        ]
+        if not covered:
+            return out
+        first = max(0, int(np.ceil(t0 / _EVENT_BIN)))
+        last = int(np.floor(t1 / _EVENT_BIN))
+        time_parts: list[list[np.ndarray]] = [[] for _ in covered]
+        types: list[list[str]] = [[] for _ in covered]
+        if last >= first:
+            indices = np.arange(first, last + 1, dtype=np.uint64)
+            seeds = np.array(
+                [self._series_seed(dataset, c.name) for _, c in covered],
+                dtype=np.uint64,
+            )
+            for stream, (event_type, hourly_rate) in enumerate(
+                sorted(schema.events.rates.items())
+            ):
+                lam = hourly_rate * _EVENT_BIN / _HOUR
+                if lam == 0.0:
+                    continue
+                u = uniform_grid(seeds, indices, stream=stream + 1)
+                counts = np.searchsorted(_poisson_cdf(lam), u)
+                rows = np.flatnonzero(counts.any(axis=1))
+                if rows.size == 0:
+                    continue
+                key_parts: list[np.ndarray] = []
+                seed_parts: list[np.ndarray] = []
+                bin_parts: list[np.ndarray] = []
+                for row in rows:
+                    nonzero = counts[row] > 0
+                    bins = indices[nonzero]
+                    per_bin = counts[row][nonzero]
+                    total = int(per_bin.sum())
+                    # Event j of a bin draws its offset at hash index
+                    # ``bin + j``, exactly as the scalar query does.
+                    rep_bins = np.repeat(bins, per_bin)
+                    ends = np.cumsum(per_bin)
+                    within = (
+                        np.arange(total, dtype=np.uint64)
+                        - np.repeat(ends - per_bin, per_bin).astype(np.uint64)
+                    )
+                    key_parts.append(rep_bins + within)
+                    seed_parts.append(
+                        np.full(total, seeds[row], dtype=np.uint64)
+                    )
+                    bin_parts.append(rep_bins)
+                offsets = uniform_mixed(
+                    np.concatenate(seed_parts),
+                    np.concatenate(key_parts),
+                    stream=1000 + stream,
+                )
+                pos = 0
+                for row, rep_bins in zip(rows, bin_parts):
+                    chunk = offsets[pos : pos + len(rep_bins)]
+                    pos += len(rep_bins)
+                    time_parts[row].append(
+                        rep_bins.astype(float) * _EVENT_BIN + chunk * _EVENT_BIN
+                    )
+                    types[row].extend([event_type] * len(rep_bins))
+        for row, (i, component) in enumerate(covered):
+            self._append_burst_events(
+                dataset, component.name, t0, t1, time_parts[row], types[row]
+            )
+            out[i] = _assemble_events(time_parts[row], types[row])
+        return out
 
     # -- convenience -------------------------------------------------------
 

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from ..core.drift import DriftMonitor
 from ..core.scout import Scout, ScoutPrediction
 from ..incidents.incident import Incident
+from ..ml.base import resolve_n_jobs
 from ..simulation.scout_master import ScoutAnswer, ScoutMaster
 from ..simulation.teams import TeamRegistry
 
@@ -78,9 +79,11 @@ class IncidentManager:
         suggestion_mode: bool = True,
         confidence_floor: float = 0.5,
         clock=time.perf_counter,
+        n_jobs: int | None = 1,
     ) -> None:
         self.registry = registry
         self.suggestion_mode = suggestion_mode
+        self.n_jobs = n_jobs
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
         self._stats: dict[str, ScoutServiceStats] = {}
@@ -109,15 +112,38 @@ class IncidentManager:
 
     # -- serving -----------------------------------------------------------------
 
+    def _call_scouts(
+        self, incident: Incident
+    ) -> list[tuple[str, ScoutPrediction, float]]:
+        """Run every registered Scout on one incident.
+
+        Returns ``(team, prediction, latency)`` in sorted team order —
+        the composition input is deterministic regardless of ``n_jobs``.
+        Each Scout owns its feature builder (and caches), so concurrent
+        per-team predictions never share mutable state; the thread pool
+        overlaps their monitoring pulls.
+        """
+        teams = sorted(self._scouts)
+
+        def call(team: str) -> tuple[str, ScoutPrediction, float]:
+            call_start = self._clock()
+            prediction = self._scouts[team].predict(incident)
+            return team, prediction, self._clock() - call_start
+
+        n_workers = min(resolve_n_jobs(self.n_jobs), max(1, len(teams)))
+        if n_workers > 1 and len(teams) > 1:
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                return list(pool.map(call, teams))
+        return [call(team) for team in teams]
+
     def handle(self, incident: Incident) -> ServingDecision:
         """Fan an incident out to every registered Scout and compose."""
         started = self._clock()
         answers: list[ScoutAnswer] = []
         predictions: list[ScoutPrediction] = []
-        for team, scout in sorted(self._scouts.items()):
-            call_start = self._clock()
-            prediction = scout.predict(incident)
-            elapsed = self._clock() - call_start
+        for team, prediction, elapsed in self._call_scouts(incident):
             stats = self._stats[team]
             stats.calls += 1
             stats.total_latency += elapsed
@@ -142,6 +168,14 @@ class IncidentManager:
         )
         self._log.append(decision)
         return decision
+
+    def handle_batch(self, incidents: list[Incident]) -> list[ServingDecision]:
+        """Serve a burst of incidents in arrival order.
+
+        Decisions (and the audit log) are ordered exactly as the input;
+        per-incident Scout fan-out still parallelizes under ``n_jobs``.
+        """
+        return [self.handle(incident) for incident in incidents]
 
     # -- feedback ------------------------------------------------------------------
 

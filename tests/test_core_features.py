@@ -38,6 +38,36 @@ class TestSchema:
     def test_class_tag_merges_drop_datasets(self, builder):
         merged = [n for n in builder.schema.names if "PACKET_DROPS" in n]
         assert len(merged) > 0
+
+    def test_index_of_agrees_with_names(self, builder):
+        for i, name in enumerate(builder.schema.names):
+            assert builder.schema.index_of(name) == i
+
+    def test_index_of_unknown_name_raises(self, builder):
+        with pytest.raises(ValueError):
+            builder.schema.index_of("no.such.feature")
+
+
+class TestCacheLifetimes:
+    def test_clear_cache_resets_query_memos(self, builder, sim):
+        device = sim.topology.components(ComponentKind.SWITCH)[0]
+        locator = builder.config.monitoring[0].locator
+        builder.series(locator, device, _T - 7200.0, _T)
+        assert builder._series_memo
+        builder.clear_cache()
+        assert not builder._series_memo
+        assert not builder._norm_memo
+        assert not builder._events_memo
+
+    def test_observables_memo_survives_clear_cache(self, builder, sim):
+        cluster = sim.topology.components(ComponentKind.CLUSTER)[0]
+        kinds = frozenset({ComponentKind.SWITCH})
+        members = builder._observables(cluster, kinds)
+        assert members
+        builder.clear_cache()
+        # Topology-lifetime memo: same object, no recomputation needed.
+        assert builder._observables_memo
+        assert builder._observables(cluster, kinds) is members
         # The merged group replaces its member datasets.
         assert not any("link_drop_statistics" in n for n in builder.schema.names)
 

@@ -1,0 +1,221 @@
+"""Parity tests for the vectorized/parallel fast paths.
+
+Every optimization in the pipeline — flat-array tree inference,
+pre-drawn parallel forest fitting, batched monitoring queries, sharded
+dataset builds, and the batched CUSUM scan — claims bit-identical
+results to its simple serial counterpart.  These tests hold each one to
+that claim.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datacenter.components import ComponentKind
+from repro.ml import RandomForestClassifier
+from repro.ml.cpd import CusumDetector
+from repro.ml.tree import DecisionTreeClassifier
+from repro.monitoring.base import DataKind
+from repro.monitoring.generators import (
+    normal_at,
+    normal_grid,
+    uniform_at,
+    uniform_grid,
+    uniform_mixed,
+)
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(17)
+    X = rng.normal(size=(400, 8))
+    y = ((X[:, 0] - X[:, 3] * X[:, 1]) > 0.2).astype(int)
+    return X, y
+
+
+# -- flat-tree inference ---------------------------------------------------
+
+
+def test_flat_predict_matches_node_walk(data):
+    X, y = data
+    tree = DecisionTreeClassifier(max_depth=None, rng=5).fit(X, y)
+    assert np.array_equal(tree.predict_proba(X), tree.predict_proba_nodes(X))
+
+
+def test_flat_predict_matches_node_walk_unseen(data):
+    X, y = data
+    tree = DecisionTreeClassifier(max_depth=6, rng=5).fit(X, y)
+    fresh = np.random.default_rng(23).normal(size=(200, 8)) * 3.0
+    assert np.array_equal(tree.predict_proba(fresh), tree.predict_proba_nodes(fresh))
+
+
+def test_deep_tree_introspection_is_iterative():
+    # A pathological one-point-per-leaf staircase produces a tree deeper
+    # than Python's default recursion limit would allow to walk.
+    n = 2000
+    X = np.arange(n, dtype=float).reshape(-1, 1)
+    y = (np.arange(n) % 2).astype(int)
+    tree = DecisionTreeClassifier(max_depth=None, min_samples_leaf=1, rng=0)
+    tree.fit(X, y)
+    assert tree.depth_ > 0
+    assert tree.n_leaves_ >= 2
+    assert np.array_equal(tree.predict(X), y)
+
+
+# -- forest parallelism ----------------------------------------------------
+
+
+def test_forest_parallel_matches_serial(data):
+    X, y = data
+    serial = RandomForestClassifier(n_estimators=12, rng=9, n_jobs=1).fit(X, y)
+    parallel = RandomForestClassifier(n_estimators=12, rng=9, n_jobs=2).fit(X, y)
+    assert np.array_equal(serial.predict_proba(X), parallel.predict_proba(X))
+    assert np.array_equal(
+        serial.feature_importances_, parallel.feature_importances_
+    )
+
+
+# -- batched generators ----------------------------------------------------
+
+
+def test_uniform_grid_matches_uniform_at():
+    rng = np.random.default_rng(2)
+    seeds = rng.integers(0, 2**63, size=10, dtype=np.uint64)
+    indices = np.arange(500, 900, dtype=np.uint64)
+    for stream in (0, 3, 1001):
+        grid = uniform_grid(seeds, indices, stream)
+        ngrid = normal_grid(seeds, indices, stream)
+        for row, seed in enumerate(seeds):
+            assert np.array_equal(grid[row], uniform_at(int(seed), indices, stream))
+            assert np.array_equal(ngrid[row], normal_at(int(seed), indices, stream))
+
+
+def test_uniform_mixed_matches_uniform_at():
+    rng = np.random.default_rng(4)
+    seeds = rng.integers(0, 2**63, size=64, dtype=np.uint64)
+    indices = rng.integers(0, 10_000, size=64, dtype=np.uint64)
+    mixed = uniform_mixed(seeds, indices, stream=1002)
+    for k in range(len(seeds)):
+        expected = uniform_at(int(seeds[k]), indices[k : k + 1], stream=1002)
+        assert mixed[k] == expected[0]
+
+
+# -- batched store queries -------------------------------------------------
+
+
+def _devices(sim, limit=12):
+    out = []
+    for kind in ComponentKind:
+        out.extend(sim.topology.components(kind)[:limit])
+    return out
+
+
+def test_query_series_batch_matches_scalar(sim):
+    store = sim.store
+    devices = _devices(sim)
+    names = [
+        n for n in store.dataset_names
+        if store.schema(n).kind is DataKind.TIME_SERIES
+    ]
+    assert names
+    for name in names:
+        for window in [(0.0, 7200.0), (4e6, 4e6 + 7200.0), (-9000.0, -4000.0)]:
+            batch = store.query_series_batch(name, devices, *window)
+            for device, got in zip(devices, batch):
+                want = store.query_series(name, device, *window)
+                if want is None:
+                    assert got is None
+                else:
+                    assert np.array_equal(want.timestamps, got.timestamps)
+                    assert np.array_equal(want.values, got.values)
+
+
+def test_query_events_batch_matches_scalar(sim):
+    store = sim.store
+    devices = _devices(sim)
+    names = [
+        n for n in store.dataset_names
+        if store.schema(n).kind is DataKind.EVENT
+    ]
+    assert names
+    for name in names:
+        for window in [(0.0, 7200.0), (4e6, 4e6 + 7200.0)]:
+            batch = store.query_events_batch(name, devices, *window)
+            for device, got in zip(devices, batch):
+                want = store.query_events(name, device, *window)
+                if want is None:
+                    assert got is None
+                else:
+                    assert np.array_equal(want.timestamps, got.timestamps)
+                    assert want.types == got.types
+
+
+def test_event_series_count_of_matches_scan(sim):
+    store = sim.store
+    devices = _devices(sim, limit=4)
+    for name in store.dataset_names:
+        if store.schema(name).kind is not DataKind.EVENT:
+            continue
+        for device in devices:
+            events = store.query_events(name, device, 0.0, 86400.0)
+            if events is None:
+                continue
+            for event_type in set(events.types) | {"no-such-type"}:
+                scan = sum(1 for t in events.types if t == event_type)
+                assert events.count_of(event_type) == scan
+
+
+# -- batched CUSUM ---------------------------------------------------------
+
+
+def test_detect_any_matches_per_row_detect():
+    detector = CusumDetector(threshold=5.0)
+    rng = np.random.default_rng(31)
+    matrix = rng.normal(size=(120, 24))
+    matrix[::5] += np.linspace(0.0, 7.0, 24)  # drifting rows
+    matrix[7] = 3.25  # constant (zero-std) row
+    got = detector.detect_any(matrix)
+    want = np.array([bool(detector.detect(row)) for row in matrix])
+    assert np.array_equal(got, want)
+
+
+def test_detect_any_short_rows_and_shape_checks():
+    detector = CusumDetector(threshold=5.0)
+    assert not detector.detect_any(np.zeros((4, 2))).any()
+    with pytest.raises(ValueError):
+        detector.detect_any(np.zeros(5))
+
+
+# -- end-to-end determinism ------------------------------------------------
+
+
+def test_dataset_build_parallel_matches_serial(framework, incidents):
+    subset = incidents[:40]
+    serial = framework.dataset(subset)
+    parallel = framework.dataset(subset, n_jobs=2)
+    assert np.array_equal(serial.X, parallel.X, equal_nan=True)
+    assert np.array_equal(serial.signals_matrix, parallel.signals_matrix)
+    assert [e.triggers for e in serial] == [e.triggers for e in parallel]
+    assert [e.static_route for e in serial] == [e.static_route for e in parallel]
+
+
+def test_feature_builder_batch_prefetch_matches_scalar(framework, incidents, monkeypatch):
+    from repro.core.features import FeatureBuilder
+
+    subset = incidents[:25]
+    monkeypatch.setattr(
+        FeatureBuilder, "prefetch_series", lambda self, *a, **k: None
+    )
+    monkeypatch.setattr(
+        FeatureBuilder, "_prefetch_normalized", lambda self, *a, **k: None
+    )
+    monkeypatch.setattr(
+        FeatureBuilder, "prefetch_events", lambda self, *a, **k: None
+    )
+    scalar = framework.dataset(subset)
+    monkeypatch.undo()
+    batched = framework.dataset(subset)
+    assert np.array_equal(scalar.X, batched.X, equal_nan=True)
+    assert np.array_equal(scalar.signals_matrix, batched.signals_matrix)
+    assert [e.triggers for e in scalar] == [e.triggers for e in batched]
