@@ -127,6 +127,37 @@ _SPEEDUP_KEYS = {
 }
 
 
+def check_tolerance(
+    after: dict, committed: dict, tolerance: float
+) -> list[str]:
+    """Regression check of this run against committed metrics.
+
+    Returns violation messages for every timing metric that is more
+    than ``tolerance`` (fractional) slower than the committed number,
+    and for an ``eval_f1`` drop beyond 0.02 — the resilience/serving
+    wrappers must not regress the healthy fast path.
+    """
+    violations = []
+    for key in _SPEEDUP_KEYS.values():
+        ref = committed.get(key)
+        if not ref or not after.get(key):
+            continue
+        limit = ref * (1.0 + tolerance)
+        if after[key] > limit:
+            violations.append(
+                f"{key}: {after[key]:.3f}s exceeds committed "
+                f"{ref:.3f}s by more than {tolerance:.0%}"
+            )
+    ref_f1 = committed.get("eval_f1")
+    if ref_f1 is not None and after.get("eval_f1") is not None:
+        if after["eval_f1"] < ref_f1 - 0.02:
+            violations.append(
+                f"eval_f1: {after['eval_f1']:.4f} fell more than 0.02 "
+                f"below committed {ref_f1:.4f}"
+            )
+    return violations
+
+
 def compare(before: dict, after: dict) -> dict:
     """before/after wall-clock ratios (>1 means the change is faster)."""
     speedup = {}
@@ -162,6 +193,16 @@ def main(argv: list[str] | None = None) -> int:
         "--baseline", type=Path, default=_BASELINE,
         help="baseline metrics JSON to compare against ('' to skip)",
     )
+    parser.add_argument(
+        "--check-against", type=Path, default=None,
+        help="committed bench JSON (e.g. BENCH_scout.json): exit 1 when "
+        "this run's timings exceed its 'after' numbers by --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.10,
+        help="allowed fractional slowdown for --check-against "
+        "(default 0.10 = 10%%)",
+    )
     args = parser.parse_args(argv)
 
     if args.quick:
@@ -188,6 +229,29 @@ def main(argv: list[str] | None = None) -> int:
     args.out.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
     print(f"\nwritten to {args.out}")
+
+    if args.check_against is not None:
+        committed = json.loads(args.check_against.read_text())
+        committed_after = committed.get("after", committed)
+        committed_workload = committed.get("workload")
+        if committed_workload and committed_workload != result["workload"]:
+            print(
+                f"error: --check-against workload {committed_workload} "
+                f"does not match this run's {result['workload']}; "
+                "run the same workload (no --quick mismatch) to compare"
+            )
+            return 2
+        violations = check_tolerance(
+            after, committed_after, args.tolerance
+        )
+        if violations:
+            print(f"PERF REGRESSION vs {args.check_against}:")
+            for violation in violations:
+                print(f"  {violation}")
+            return 1
+        print(
+            f"within {args.tolerance:.0%} tolerance of {args.check_against}"
+        )
     return 0
 
 

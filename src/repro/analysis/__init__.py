@@ -1,5 +1,10 @@
 """Evaluation machinery: gain/overhead metrics, distributions, tables."""
 
+from .availability import (
+    ServingAvailability,
+    availability_report,
+    per_team_outcomes,
+)
 from .calibration import (
     ReliabilityBucket,
     accuracy_above_threshold,
@@ -22,6 +27,9 @@ from .tables import percentile_row, render_cdf, render_series, render_table
 __all__ = [
     "GainOverheadResult",
     "ReliabilityBucket",
+    "ServingAvailability",
+    "availability_report",
+    "per_team_outcomes",
     "accuracy_above_threshold",
     "expected_calibration_error",
     "reliability_curve",

@@ -1,0 +1,132 @@
+"""Serving availability and abstain-cause accounting.
+
+The deployed Scout's promise is "never worse than the legacy process":
+when the serving layer degrades a failed call to an abstain, the
+incident still routes — but an operator needs to see *how much*
+degradation is happening and *why* Scouts are abstaining.  These
+counters aggregate a decision log into exactly that report:
+availability (healthy calls / fan-outs), the abstain-cause split
+(model fallback vs. fault degradation), and per-team outcome counts.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..serving.manager import CallStatus, ServingDecision
+
+__all__ = ["ServingAvailability", "availability_report", "per_team_outcomes"]
+
+
+@dataclass(frozen=True)
+class ServingAvailability:
+    """Aggregate fault/abstain accounting over a decision log."""
+
+    incidents: int
+    scout_calls: int
+    ok: int
+    errors: int
+    timeouts: int
+    breaker_open: int
+    model_abstains: int
+    fault_abstains: int
+    degraded_incidents: int
+    suggestions: int
+
+    @property
+    def availability(self) -> float:
+        """Fraction of per-Scout calls that completed healthily."""
+        return self.ok / self.scout_calls if self.scout_calls else 1.0
+
+    @property
+    def abstain_causes(self) -> dict[str, int]:
+        """Why Scouts abstained: model fallback vs. each fault class."""
+        return {
+            "model_fallback": self.model_abstains,
+            CallStatus.ERROR.value: self.errors,
+            CallStatus.TIMEOUT.value: self.timeouts,
+            CallStatus.BREAKER_OPEN.value: self.breaker_open,
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"incidents served        {self.incidents}",
+            f"scout calls             {self.scout_calls}",
+            f"availability            {self.availability:.3f}",
+            f"degraded incidents      {self.degraded_incidents}",
+            f"suggestions made        {self.suggestions}",
+            "abstain causes:",
+        ]
+        lines += [
+            f"  {cause:<21} {count}"
+            for cause, count in self.abstain_causes.items()
+        ]
+        return "\n".join(lines)
+
+
+def availability_report(
+    log: Iterable[ServingDecision],
+) -> ServingAvailability:
+    """Aggregate an :class:`IncidentManager` log into counters.
+
+    Decisions logged before the resilience layer existed (no recorded
+    outcomes) count every answer as a healthy call.
+    """
+    incidents = scout_calls = ok = errors = timeouts = breaker_open = 0
+    model_abstains = fault_abstains = degraded = suggestions = 0
+    for decision in log:
+        incidents += 1
+        if decision.suggested_team is not None:
+            suggestions += 1
+        if decision.degraded:
+            degraded += 1
+        if not decision.outcomes:
+            scout_calls += len(decision.answers)
+            ok += len(decision.answers)
+            model_abstains += sum(
+                1 for a in decision.answers if a.responsible is None
+            )
+            continue
+        for answer, outcome in zip(decision.answers, decision.outcomes):
+            scout_calls += 1
+            if outcome.status is CallStatus.OK:
+                ok += 1
+                if answer.responsible is None:
+                    model_abstains += 1
+            else:
+                fault_abstains += 1
+                if outcome.status is CallStatus.ERROR:
+                    errors += 1
+                elif outcome.status is CallStatus.TIMEOUT:
+                    timeouts += 1
+                else:
+                    breaker_open += 1
+    return ServingAvailability(
+        incidents=incidents,
+        scout_calls=scout_calls,
+        ok=ok,
+        errors=errors,
+        timeouts=timeouts,
+        breaker_open=breaker_open,
+        model_abstains=model_abstains,
+        fault_abstains=fault_abstains,
+        degraded_incidents=degraded,
+        suggestions=suggestions,
+    )
+
+
+def per_team_outcomes(
+    log: Iterable[ServingDecision],
+) -> dict[str, dict[str, int]]:
+    """Per-team ``{status: count}`` over a decision log."""
+    counts: dict[str, Counter] = {}
+    for decision in log:
+        for outcome in decision.outcomes:
+            counts.setdefault(outcome.team, Counter())[
+                outcome.status.value
+            ] += 1
+    return {
+        team: dict(counter) for team, counter in sorted(counts.items())
+    }

@@ -1,16 +1,20 @@
 """Command-line interface for the Scouts reproduction.
 
-Four subcommands cover the operator workflow end to end::
+Five subcommands cover the operator workflow end to end::
 
     repro-scouts simulate --seed 7 --incidents 500 --out incidents.json
     repro-scouts train    --seed 7 --incidents 500 --out phynet.scout
     repro-scouts evaluate --seed 7 --incidents 500 --model phynet.scout
     repro-scouts route    --seed 7 --model phynet.scout --text "..." [--time T]
+    repro-scouts serve    --seed 7 --incidents 200 --model phynet.scout
 
 ``simulate`` writes an incident dataset (JSON) for inspection; ``train``
 builds and persists a PhyNet Scout; ``evaluate`` reports §7-style
 accuracy; ``route`` runs one ad-hoc incident through a saved Scout and
-prints the operator report.
+prints the operator report; ``serve`` replays a simulated incident
+stream through the §6 incident manager in suggestion mode, with the
+serving resilience knobs (``--scout-deadline``, circuit breakers,
+retry) and optional monitoring fault injection exposed.
 
 Because the monitoring plane is deterministic in the seed, a Scout
 trained with ``--seed 7`` can be reloaded against a fresh ``--seed 7``
@@ -23,10 +27,13 @@ import argparse
 import sys
 
 from . import __version__
+from .analysis import availability_report
 from .config import phynet_config, team_scout_configs
 from .core import ScoutFramework, TrainingOptions, load_scout, save_scout
 from .incidents import Incident, IncidentSource, Severity
 from .ml import imbalance_aware_split
+from .monitoring import FaultPlan, FaultyStore
+from .serving import BreakerPolicy, IncidentManager, RetryPolicy
 from .simulation import CloudSimulation, SimulationConfig
 
 __all__ = ["main", "build_parser"]
@@ -86,6 +93,62 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="incident timestamp in seconds (default: end of history)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="replay incidents through the §6 incident manager"
+    )
+    common(p_serve)
+    p_serve.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        help="saved Scout path (repeat to register several teams)",
+    )
+    p_serve.add_argument(
+        "--scout-deadline",
+        type=float,
+        default=None,
+        help="per-Scout call budget in seconds (over-budget answers "
+        "degrade to abstains; default: no deadline)",
+    )
+    p_serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive failures before a Scout's circuit breaker "
+        "opens (0 disables breakers)",
+    )
+    p_serve.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before a half-open probe",
+    )
+    p_serve.add_argument(
+        "--retry-attempts",
+        type=int,
+        default=1,
+        help="attempts per monitoring pull (1 = no retry)",
+    )
+    p_serve.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.05,
+        help="base backoff seconds between retry attempts",
+    )
+    p_serve.add_argument(
+        "--inject-error-rate",
+        type=float,
+        default=0.0,
+        help="fault-injection: deterministic per-query monitoring "
+        "failure probability",
+    )
+    p_serve.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        help="seed for the injected-fault schedule",
     )
     return parser
 
@@ -175,11 +238,82 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    sim = _simulation(args)
+    incidents = sim.generate(args.incidents)
+    store = sim.store
+    if args.inject_error_rate > 0.0:
+        store = FaultyStore(
+            store,
+            FaultPlan(
+                seed=args.inject_seed, error_rate=args.inject_error_rate
+            ),
+        )
+    breaker = (
+        BreakerPolicy(
+            failure_threshold=args.breaker_threshold,
+            cooldown_seconds=args.breaker_cooldown,
+        )
+        if args.breaker_threshold > 0
+        else None
+    )
+    retry = (
+        RetryPolicy(
+            max_attempts=args.retry_attempts,
+            backoff_seconds=args.retry_backoff,
+        )
+        if args.retry_attempts > 1
+        else None
+    )
+    manager = IncidentManager(
+        sim.registry,
+        suggestion_mode=True,
+        n_jobs=args.jobs,
+        scout_deadline=args.scout_deadline,
+        breaker=breaker,
+        retry=retry,
+    )
+    for path in args.model:
+        manager.register(load_scout(path, sim.topology, store))
+    print(
+        f"serving {len(incidents)} incidents through "
+        f"{len(manager.registered_teams)} Scout(s): "
+        f"{', '.join(manager.registered_teams)}"
+    )
+    decisions = manager.handle_batch(list(incidents))
+    for incident in incidents:
+        manager.resolve(incident.incident_id, incident.responsible_team)
+    print()
+    print(availability_report(decisions).render())
+    print()
+    for team in manager.registered_teams:
+        stats = manager.stats(team)
+        print(
+            f"{team}: calls={stats.calls} yes={stats.said_yes} "
+            f"no={stats.said_no} abstain={stats.abstained} "
+            f"errors={stats.errors} timeouts={stats.timeouts} "
+            f"breaker_skips={stats.breaker_open_skips} "
+            f"breaker={stats.breaker_state} "
+            f"availability={stats.availability:.3f} "
+            f"mean_latency={stats.mean_latency * 1000.0:.1f}ms"
+        )
+    if manager.degraded_teams:
+        print(f"degraded teams: {', '.join(manager.degraded_teams)}")
+    truth = {i.incident_id: i.responsible_team for i in incidents}
+    summary = manager.whatif_accuracy(truth)
+    print(
+        f"what-if: correct={summary['correct']:.3f} "
+        f"wrong={summary['wrong']:.3f} abstained={summary['abstained']:.3f}"
+    )
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "route": _cmd_route,
+    "serve": _cmd_serve,
 }
 
 

@@ -16,6 +16,7 @@ The answer carries an independent confidence score and an explanation
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, TypeVar
 
 import numpy as np
 
@@ -30,7 +31,12 @@ from .extraction import ComponentExtractor, ExtractedComponents
 from .features import FeatureBuilder
 from .selector import ModelSelector, Route
 
+if TYPE_CHECKING:  # avoids a core ↔ serving import cycle at runtime
+    from ..serving.retry import RetryPolicy
+
 __all__ = ["ScoutPrediction", "Scout"]
+
+_T = TypeVar("_T")
 
 
 @dataclass
@@ -65,6 +71,7 @@ class Scout:
         forest: RandomForestClassifier,
         imputer: MeanImputer,
         cpd: CPDPlus,
+        retry_policy: "RetryPolicy | None" = None,
     ) -> None:
         self.config = config
         self.extractor = extractor
@@ -73,6 +80,9 @@ class Scout:
         self.forest = forest
         self.imputer = imputer
         self.cpd = cpd
+        # Retry for transient monitoring-pull failures during live
+        # prediction; the incident manager threads its policy in here.
+        self.retry_policy = retry_policy
 
     @property
     def team(self) -> str:
@@ -102,9 +112,23 @@ class Scout:
                 explanation=Explanation(notes=[decision.reason]),
             )
         if decision.route is Route.UNSUPERVISED:
-            return self._predict_cpd(incident, extracted, decision.novelty)
-        features = self.builder.features(extracted, incident.created_at)
+            return self._pull(
+                lambda: self._predict_cpd(incident, extracted, decision.novelty)
+            )
+        features = self._pull(
+            lambda: self.builder.features(extracted, incident.created_at)
+        )
         return self._predict_forest(incident, extracted, features, decision.novelty)
+
+    def _pull(self, fn: Callable[[], _T]) -> _T:
+        """Run a monitoring-pull stage under the retry policy (if any).
+
+        Successful pulls stay memoized in the builder between attempts,
+        so a retry only re-issues the query that actually failed.
+        """
+        if self.retry_policy is None:
+            return fn()
+        return self.retry_policy.call(fn)
 
     # -- cached prediction ------------------------------------------------------
 

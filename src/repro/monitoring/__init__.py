@@ -10,6 +10,13 @@ from .base import (
     TimeSeries,
 )
 from .datasets import PHYNET_DATASET_NAMES, phynet_datasets
+from .faults import (
+    FakeClock,
+    FaultPlan,
+    FaultyStore,
+    FlakyScout,
+    TransientMonitoringError,
+)
 from .generators import normal_at, poisson_counts, series_seed, uniform_at
 from .store import MonitoringStore
 from .team_datasets import TEAM_DATASET_NAMES, team_datasets
@@ -21,9 +28,14 @@ __all__ = [
     "EventSeries",
     "EventSpec",
     "FailureEffect",
+    "FakeClock",
+    "FaultPlan",
+    "FaultyStore",
+    "FlakyScout",
     "MonitoringStore",
     "PHYNET_DATASET_NAMES",
     "TimeSeries",
+    "TransientMonitoringError",
     "normal_at",
     "phynet_datasets",
     "poisson_counts",

@@ -1,5 +1,29 @@
-"""Online serving substrate: the incident manager of §6."""
+"""Online serving substrate: the incident manager of §6.
 
-from .manager import IncidentManager, ScoutServiceStats, ServingDecision
+Beyond the fan-out/composition loop, this package carries the serving
+resilience layer: per-Scout circuit breakers (:mod:`.breaker`),
+deterministic retry for transient monitoring faults (:mod:`.retry`),
+and the failure-isolated call path in :class:`.manager.IncidentManager`.
+"""
 
-__all__ = ["IncidentManager", "ScoutServiceStats", "ServingDecision"]
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .manager import (
+    CallStatus,
+    IncidentManager,
+    ScoutCallOutcome,
+    ScoutServiceStats,
+    ServingDecision,
+)
+from .retry import RetryPolicy
+
+__all__ = [
+    "BreakerPolicy",
+    "BreakerState",
+    "CallStatus",
+    "CircuitBreaker",
+    "IncidentManager",
+    "RetryPolicy",
+    "ScoutCallOutcome",
+    "ScoutServiceStats",
+    "ServingDecision",
+]

@@ -1,0 +1,132 @@
+"""Per-Scout circuit breakers for the online serving path.
+
+A deployed Scout is a gate-keeper in front of a human process: when it
+misbehaves, the incident manager must degrade to the legacy routing
+process rather than keep burning the fan-out deadline on a Scout that is
+down (§6 runs in suggestion mode precisely because routing must never
+get *worse*).  The breaker implements the classic three-state machine:
+
+* **closed** — calls flow; consecutive failures are counted.
+* **open** — after ``failure_threshold`` consecutive failures the
+  breaker trips and calls are skipped outright (the Scout abstains
+  without being invoked) until ``cooldown_seconds`` have elapsed.
+* **half-open** — after the cool-down one probe call is allowed
+  through; success re-closes the breaker, failure re-opens it and
+  restarts the cool-down.
+
+Time comes from an injectable ``clock`` so tests drive transitions
+deterministically with a fake clock.  One breaker guards one Scout, and
+the incident manager serializes calls per team, so no locking is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["BreakerState", "BreakerPolicy", "CircuitBreaker"]
+
+
+class BreakerState(str, Enum):
+    """The three classic circuit-breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Knobs for one :class:`CircuitBreaker`.
+
+    ``failure_threshold`` consecutive failures trip the breaker;
+    ``cooldown_seconds`` later a half-open probe is allowed.
+    """
+
+    failure_threshold: int = 5
+    cooldown_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_seconds < 0:
+            raise ValueError("cooldown_seconds must be >= 0")
+
+
+class CircuitBreaker:
+    """Closed → open → half-open failure gate for one Scout."""
+
+    def __init__(
+        self,
+        policy: BreakerPolicy | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.policy = policy or BreakerPolicy()
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self.times_opened = 0
+        self.probes = 0
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        """The current state, accounting for an elapsed cool-down.
+
+        Reading the state never mutates it: an open breaker whose
+        cool-down has elapsed reports ``HALF_OPEN`` but only
+        :meth:`allow` commits the transition.
+        """
+        if (
+            self._state is BreakerState.OPEN
+            and self._cooldown_elapsed()
+        ):
+            return BreakerState.HALF_OPEN
+        return self._state
+
+    @property
+    def consecutive_failures(self) -> int:
+        return self._consecutive_failures
+
+    def _cooldown_elapsed(self) -> bool:
+        return (
+            self._clock() - self._opened_at >= self.policy.cooldown_seconds
+        )
+
+    # -- the gate ----------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May the next call proceed?  Commits open → half-open."""
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.OPEN:
+            if not self._cooldown_elapsed():
+                return False
+            self._state = BreakerState.HALF_OPEN
+        # Half-open: let the probe through; record_* decides what's next.
+        self.probes += 1
+        return True
+
+    def record_success(self) -> None:
+        """A call completed healthily; re-close after a probe."""
+        self._consecutive_failures = 0
+        self._state = BreakerState.CLOSED
+
+    def record_failure(self) -> None:
+        """A call failed (error or deadline overrun)."""
+        self._consecutive_failures += 1
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()
+        elif (
+            self._state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self.times_opened += 1

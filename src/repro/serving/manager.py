@@ -14,21 +14,62 @@ them, answers compose through a Scout Master, and every decision —
 acted on or merely suggested — lands in an auditable log.  A
 :class:`~repro.core.drift.DriftMonitor` per Scout watches accuracy as
 incidents resolve.
+
+Because a Scout must never make routing *worse* than the legacy
+process, the fan-out is failure-isolated: a Scout that raises, blows
+its deadline, or sits behind an open circuit breaker degrades to an
+*abstain* answer with the cause recorded in a :class:`ScoutCallOutcome`
+— one bad gate-keeper can neither take down ``handle()`` nor block the
+other teams' verdicts.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from enum import Enum
 
 from ..core.drift import DriftMonitor
+from ..core.explain import Explanation
 from ..core.scout import Scout, ScoutPrediction
+from ..core.selector import Route
 from ..incidents.incident import Incident
 from ..ml.base import resolve_n_jobs
 from ..simulation.scout_master import ScoutAnswer, ScoutMaster
 from ..simulation.teams import TeamRegistry
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .retry import RetryPolicy
 
-__all__ = ["ServingDecision", "ScoutServiceStats", "IncidentManager"]
+__all__ = [
+    "CallStatus",
+    "ScoutCallOutcome",
+    "ServingDecision",
+    "ScoutServiceStats",
+    "IncidentManager",
+]
+
+
+class CallStatus(str, Enum):
+    """How one per-Scout call ended."""
+
+    OK = "ok"
+    ERROR = "error"
+    TIMEOUT = "timeout"
+    BREAKER_OPEN = "breaker_open"
+
+
+@dataclass(frozen=True)
+class ScoutCallOutcome:
+    """The serving-layer verdict on one per-Scout call."""
+
+    team: str
+    status: CallStatus
+    latency_seconds: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status is CallStatus.OK
 
 
 @dataclass(frozen=True)
@@ -41,6 +82,12 @@ class ServingDecision:
     predictions: tuple[ScoutPrediction, ...]
     latency_seconds: float
     acted: bool
+    outcomes: tuple[ScoutCallOutcome, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Did any Scout fail to answer healthily for this incident?"""
+        return any(not outcome.ok for outcome in self.outcomes)
 
 
 @dataclass
@@ -52,11 +99,39 @@ class ScoutServiceStats:
     said_yes: int = 0
     said_no: int = 0
     abstained: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    breaker_open_skips: int = 0
     total_latency: float = 0.0
+    breaker_state: str = BreakerState.CLOSED.value
+
+    @property
+    def invoked(self) -> int:
+        """Calls that actually reached the Scout (breaker skips don't)."""
+        return self.calls - self.breaker_open_skips
 
     @property
     def mean_latency(self) -> float:
-        return self.total_latency / self.calls if self.calls else 0.0
+        return self.total_latency / self.invoked if self.invoked else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of fan-outs this Scout answered healthily."""
+        if not self.calls:
+            return 1.0
+        faulted = self.errors + self.timeouts + self.breaker_open_skips
+        return (self.calls - faulted) / self.calls
+
+
+def _abstain(incident_id: int, note: str) -> ScoutPrediction:
+    """The degraded answer: fall back to the legacy routing process."""
+    return ScoutPrediction(
+        incident_id,
+        responsible=None,
+        confidence=0.0,
+        route=Route.FALLBACK,
+        explanation=Explanation(notes=[note]),
+    )
 
 
 class IncidentManager:
@@ -71,6 +146,20 @@ class IncidentManager:
         ``acted`` is False — what-if analysis without routing risk.
     confidence_floor:
         Minimum confidence for a "yes" to count in composition.
+    scout_deadline:
+        Per-Scout wall-clock budget in seconds (measured on ``clock``).
+        A call that finishes over budget is recorded as a ``timeout``
+        and its answer degrades to an abstain — a stalled Scout cannot
+        poison the composition.  None disables the deadline.
+    breaker:
+        Circuit-breaker policy applied per Scout (None disables
+        breakers).  After ``failure_threshold`` consecutive
+        errors/timeouts the Scout is skipped outright until a cool-down
+        elapses, then probed half-open.
+    retry:
+        When set, threaded to each registered :class:`Scout` (via its
+        ``retry_policy`` attribute) so transient monitoring-pull
+        failures inside ``predict`` retry with deterministic backoff.
     """
 
     def __init__(
@@ -80,15 +169,24 @@ class IncidentManager:
         confidence_floor: float = 0.5,
         clock=time.perf_counter,
         n_jobs: int | None = 1,
+        scout_deadline: float | None = None,
+        breaker: BreakerPolicy | None = BreakerPolicy(),
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.registry = registry
         self.suggestion_mode = suggestion_mode
         self.n_jobs = n_jobs
+        self.scout_deadline = scout_deadline
+        self.breaker_policy = breaker
+        self.retry_policy = retry
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
         self._stats: dict[str, ScoutServiceStats] = {}
         self._monitors: dict[str, DriftMonitor] = {}
+        self._breakers: dict[str, CircuitBreaker] = {}
         self._log: list[ServingDecision] = []
+        self._served_ids: set[int] = set()
+        self._resolved_indices: set[int] = set()
         self._clock = clock
 
     # -- registration ------------------------------------------------------
@@ -99,12 +197,33 @@ class IncidentManager:
             raise ValueError(f"unknown team: {scout.team!r}")
         if scout.team in self._scouts:
             raise ValueError(f"{scout.team} already has a registered Scout")
+        if (
+            self.retry_policy is not None
+            and getattr(scout, "retry_policy", False) is None
+        ):
+            # Thread the manager's retry policy into the Scout's
+            # monitoring pulls unless the Scout brought its own.
+            scout.retry_policy = self.retry_policy
         self._scouts[scout.team] = scout
         self._stats[scout.team] = ScoutServiceStats(team=scout.team)
         self._monitors[scout.team] = DriftMonitor()
+        if self.breaker_policy is not None:
+            self._breakers[scout.team] = CircuitBreaker(
+                self.breaker_policy, clock=self._clock
+            )
 
     def unregister(self, team: str) -> None:
+        """Remove a team's Scout and all of its serving state.
+
+        Stats, drift history, and breaker state go with the Scout: a
+        later ``register`` for the same team starts from a clean slate
+        explicitly rather than serving stale counters for a gate-keeper
+        that no longer exists.
+        """
         self._scouts.pop(team, None)
+        self._stats.pop(team, None)
+        self._monitors.pop(team, None)
+        self._breakers.pop(team, None)
 
     @property
     def registered_teams(self) -> list[str]:
@@ -112,23 +231,73 @@ class IncidentManager:
 
     # -- serving -----------------------------------------------------------------
 
+    def _call_one(
+        self, incident: Incident, team: str
+    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+        """One failure-isolated Scout call: never raises."""
+        breaker = self._breakers.get(team)
+        if breaker is not None and not breaker.allow():
+            prediction = _abstain(
+                incident.incident_id, f"{team} circuit breaker open"
+            )
+            outcome = ScoutCallOutcome(team, CallStatus.BREAKER_OPEN, 0.0)
+            return team, prediction, outcome
+        start = self._clock()
+        try:
+            prediction = self._scouts[team].predict(incident)
+        except Exception as exc:  # noqa: BLE001 — the isolation boundary
+            elapsed = self._clock() - start
+            if breaker is not None:
+                breaker.record_failure()
+            prediction = _abstain(
+                incident.incident_id, f"{team} scout error: {exc}"
+            )
+            outcome = ScoutCallOutcome(
+                team,
+                CallStatus.ERROR,
+                elapsed,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            return team, prediction, outcome
+        elapsed = self._clock() - start
+        if self.scout_deadline is not None and elapsed > self.scout_deadline:
+            # Cooperative deadline: the answer arrived too late to be
+            # trusted inside the fan-out budget, so it degrades to an
+            # abstain (and counts against the breaker).
+            if breaker is not None:
+                breaker.record_failure()
+            prediction = _abstain(
+                incident.incident_id,
+                f"{team} deadline overrun ({elapsed:.3f}s"
+                f" > {self.scout_deadline:.3f}s)",
+            )
+            outcome = ScoutCallOutcome(
+                team,
+                CallStatus.TIMEOUT,
+                elapsed,
+                error=f"exceeded {self.scout_deadline:.3f}s deadline",
+            )
+            return team, prediction, outcome
+        if breaker is not None:
+            breaker.record_success()
+        return team, prediction, ScoutCallOutcome(team, CallStatus.OK, elapsed)
+
     def _call_scouts(
         self, incident: Incident
-    ) -> list[tuple[str, ScoutPrediction, float]]:
+    ) -> list[tuple[str, ScoutPrediction, ScoutCallOutcome]]:
         """Run every registered Scout on one incident.
 
-        Returns ``(team, prediction, latency)`` in sorted team order —
+        Returns ``(team, prediction, outcome)`` in sorted team order —
         the composition input is deterministic regardless of ``n_jobs``.
         Each Scout owns its feature builder (and caches), so concurrent
         per-team predictions never share mutable state; the thread pool
-        overlaps their monitoring pulls.
+        overlaps their monitoring pulls.  Failures never propagate:
+        each call is isolated by :meth:`_call_one`.
         """
         teams = sorted(self._scouts)
 
-        def call(team: str) -> tuple[str, ScoutPrediction, float]:
-            call_start = self._clock()
-            prediction = self._scouts[team].predict(incident)
-            return team, prediction, self._clock() - call_start
+        def call(team: str):
+            return self._call_one(incident, team)
 
         n_workers = min(resolve_n_jobs(self.n_jobs), max(1, len(teams)))
         if n_workers > 1 and len(teams) > 1:
@@ -143,17 +312,29 @@ class IncidentManager:
         started = self._clock()
         answers: list[ScoutAnswer] = []
         predictions: list[ScoutPrediction] = []
-        for team, prediction, elapsed in self._call_scouts(incident):
+        outcomes: list[ScoutCallOutcome] = []
+        for team, prediction, outcome in self._call_scouts(incident):
             stats = self._stats[team]
             stats.calls += 1
-            stats.total_latency += elapsed
+            if outcome.status is CallStatus.BREAKER_OPEN:
+                stats.breaker_open_skips += 1
+            else:
+                stats.total_latency += outcome.latency_seconds
+            if outcome.status is CallStatus.ERROR:
+                stats.errors += 1
+            elif outcome.status is CallStatus.TIMEOUT:
+                stats.timeouts += 1
             if prediction.responsible is None:
                 stats.abstained += 1
             elif prediction.responsible:
                 stats.said_yes += 1
             else:
                 stats.said_no += 1
+            breaker = self._breakers.get(team)
+            if breaker is not None:
+                stats.breaker_state = breaker.state.value
             predictions.append(prediction)
+            outcomes.append(outcome)
             answers.append(
                 ScoutAnswer(team, prediction.responsible, prediction.confidence)
             )
@@ -165,8 +346,10 @@ class IncidentManager:
             predictions=tuple(predictions),
             latency_seconds=self._clock() - started,
             acted=not self.suggestion_mode and suggested is not None,
+            outcomes=tuple(outcomes),
         )
         self._log.append(decision)
+        self._served_ids.add(incident.incident_id)
         return decision
 
     def handle_batch(self, incidents: list[Incident]) -> list[ServingDecision]:
@@ -180,20 +363,35 @@ class IncidentManager:
     # -- feedback ------------------------------------------------------------------
 
     def resolve(self, incident_id: int, responsible_team: str) -> None:
-        """Report an incident's resolution; feeds the drift monitors."""
-        decision = next(
-            (d for d in reversed(self._log) if d.incident_id == incident_id),
-            None,
-        )
-        if decision is None:
+        """Report an incident's resolution; feeds the drift monitors.
+
+        The latest *unresolved* decision for the incident is scored and
+        every decision for the incident is marked resolved — a repeated
+        resolution (or a stale decision from a re-served incident) can
+        never double-count drift observations.  Teams unregistered
+        since the decision was served are skipped.  Raises ``KeyError``
+        only if the incident was never served.
+        """
+        indices = [
+            i
+            for i in range(len(self._log))
+            if self._log[i].incident_id == incident_id
+            and i not in self._resolved_indices
+        ]
+        if not indices:
+            if incident_id in self._served_ids:
+                return  # already resolved — idempotent
             raise KeyError(f"no served decision for incident {incident_id}")
+        decision = self._log[indices[-1]]
+        self._resolved_indices.update(indices)
         for answer in decision.answers:
             truth = answer.team == responsible_team
             if answer.responsible is None:
                 continue
-            self._monitors[answer.team].record(
-                correct=(answer.responsible == truth)
-            )
+            monitor = self._monitors.get(answer.team)
+            if monitor is None:
+                continue  # unregistered since the decision was served
+            monitor.record(correct=(answer.responsible == truth))
 
     # -- introspection ---------------------------------------------------------------
 
@@ -206,6 +404,21 @@ class IncidentManager:
 
     def drift_monitor(self, team: str) -> DriftMonitor:
         return self._monitors[team]
+
+    def breaker(self, team: str) -> CircuitBreaker | None:
+        """The team's circuit breaker (None when breakers are disabled)."""
+        if team not in self._scouts:
+            raise KeyError(f"no registered Scout for {team!r}")
+        return self._breakers.get(team)
+
+    @property
+    def degraded_teams(self) -> list[str]:
+        """Teams whose breaker is not closed (open or half-open probe)."""
+        return sorted(
+            team
+            for team, breaker in self._breakers.items()
+            if breaker.state is not BreakerState.CLOSED
+        )
 
     def whatif_accuracy(self, truth: dict[int, str]) -> dict[str, float]:
         """What-if analysis over the decision log.

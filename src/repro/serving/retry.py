@@ -1,0 +1,66 @@
+"""Deterministic retry with backoff for transient monitoring failures.
+
+The Scout's live pulls go to monitoring systems that can themselves be
+degraded during an incident (§6).  A missed pull is usually transient —
+the paper's answer for a *dead* monitor is imputation, but a flaky one
+deserves a bounded, deterministic retry before the Scout gives up and
+the serving layer records a fault.
+
+``RetryPolicy`` is a frozen value object: ``max_attempts`` total tries,
+a geometric backoff schedule (``backoff_seconds * multiplier**k``), and
+no jitter — the delays are a pure function of the policy so tests and
+replays are reproducible.  The sleeper is injectable; tests pass a fake
+clock's ``advance`` and never actually wait.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, TypeVar
+
+from ..monitoring.faults import TransientMonitoringError
+
+__all__ = ["RetryPolicy"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry for transient monitoring-store failures."""
+
+    max_attempts: int = 3
+    backoff_seconds: float = 0.05
+    backoff_multiplier: float = 2.0
+    retryable: tuple[type[BaseException], ...] = (TransientMonitoringError,)
+    sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_seconds < 0:
+            raise ValueError("backoff_seconds must be >= 0")
+
+    def delays(self) -> list[float]:
+        """The deterministic backoff schedule between attempts."""
+        return [
+            self.backoff_seconds * self.backoff_multiplier**k
+            for k in range(self.max_attempts - 1)
+        ]
+
+    def call(self, fn: Callable[[], T]) -> T:
+        """Run ``fn``, retrying retryable exceptions per the schedule.
+
+        The final attempt's exception propagates unchanged; exceptions
+        outside ``retryable`` never retry.
+        """
+        delays = self.delays()
+        for attempt in range(self.max_attempts):
+            try:
+                return fn()
+            except self.retryable:
+                if attempt == self.max_attempts - 1:
+                    raise
+                self.sleep(delays[attempt])
+        raise AssertionError("unreachable")  # pragma: no cover

@@ -52,6 +52,40 @@ def test_train_other_team(tmp_path, small_args, capsys):
     assert "Storage Scout" in capsys.readouterr().out
 
 
+def test_serve_replays_incidents_with_faults(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    main(["train", *small_args, "--trees", "20", "--out", str(model)])
+    capsys.readouterr()
+    code = main([
+        "serve", "--seed", "3", "--days", "45", "--incidents", "40",
+        "--model", str(model),
+        "--scout-deadline", "30",
+        "--breaker-threshold", "3", "--breaker-cooldown", "60",
+        "--retry-attempts", "2", "--retry-backoff", "0.01",
+        "--inject-error-rate", "0.3", "--inject-seed", "1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "availability" in out
+    assert "abstain causes:" in out
+    assert "what-if:" in out
+    assert "PhyNet: calls=40" in out
+
+
+def test_serve_healthy_path(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    main(["train", *small_args, "--trees", "20", "--out", str(model)])
+    capsys.readouterr()
+    code = main([
+        "serve", "--seed", "3", "--days", "45", "--incidents", "25",
+        "--model", str(model),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "availability            1.000" in out
+    assert "errors=0" in out
+
+
 def test_route_without_components_falls_back(tmp_path, small_args, capsys):
     model = tmp_path / "phynet.scout"
     main(["train", *small_args, "--trees", "20", "--out", str(model)])
