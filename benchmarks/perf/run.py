@@ -46,6 +46,7 @@ import numpy as np
 from repro.config import phynet_config
 from repro.core import ScoutFramework, TrainingOptions
 from repro.ml import RandomForestClassifier, imbalance_aware_split
+from repro.obs import Observability
 from repro.simulation import CloudSimulation, SimulationConfig
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent.parent
@@ -74,6 +75,10 @@ def run_bench(
         sim.topology,
         sim.store,
         TrainingOptions(n_estimators=120, cv_folds=3, rng=0, n_jobs=n_jobs),
+        # Instrumentation stays on for the bench: the timed numbers must
+        # include the metrics/tracing overhead the serving path pays, so
+        # an observability regression trips the tolerance gate too.
+        obs=Observability(),
     )
     start = time.perf_counter()
     data = framework.dataset(incidents)

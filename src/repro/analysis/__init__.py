@@ -2,6 +2,7 @@
 
 from .availability import (
     ServingAvailability,
+    availability_from_registry,
     availability_report,
     per_team_outcomes,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "GainOverheadResult",
     "ReliabilityBucket",
     "ServingAvailability",
+    "availability_from_registry",
     "availability_report",
     "per_team_outcomes",
     "accuracy_above_threshold",

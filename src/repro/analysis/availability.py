@@ -15,9 +15,15 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Iterable
 
+from ..obs import MetricsRegistry
 from ..serving.manager import CallStatus, ServingDecision
 
-__all__ = ["ServingAvailability", "availability_report", "per_team_outcomes"]
+__all__ = [
+    "ServingAvailability",
+    "availability_from_registry",
+    "availability_report",
+    "per_team_outcomes",
+]
 
 
 @dataclass(frozen=True)
@@ -114,6 +120,41 @@ def availability_report(
         fault_abstains=fault_abstains,
         degraded_incidents=degraded,
         suggestions=suggestions,
+    )
+
+
+def availability_from_registry(metrics: MetricsRegistry) -> ServingAvailability:
+    """Build the availability report from live serving metrics.
+
+    Reads the counters an instrumented :class:`IncidentManager` emits
+    (``scout_calls_total``, ``serving_*``), so a running service's
+    exposition endpoint and this report always agree — no decision log
+    required.  Counters that have not fired yet read as zero.
+    """
+
+    def total(name: str) -> int:
+        counter = metrics.get(name)
+        return int(counter.total()) if counter is not None else 0
+
+    by_status = Counter()
+    calls = metrics.get("scout_calls_total")
+    if calls is not None:
+        for labels, value in calls.samples():
+            by_status[labels["status"]] += int(value)
+    errors = by_status[CallStatus.ERROR.value]
+    timeouts = by_status[CallStatus.TIMEOUT.value]
+    breaker_open = by_status[CallStatus.BREAKER_OPEN.value]
+    return ServingAvailability(
+        incidents=total("serving_incidents_total"),
+        scout_calls=sum(by_status.values()),
+        ok=by_status[CallStatus.OK.value],
+        errors=errors,
+        timeouts=timeouts,
+        breaker_open=breaker_open,
+        model_abstains=total("serving_model_abstains_total"),
+        fault_abstains=errors + timeouts + breaker_open,
+        degraded_incidents=total("serving_degraded_incidents_total"),
+        suggestions=total("serving_suggestions_total"),
     )
 
 

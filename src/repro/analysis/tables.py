@@ -58,8 +58,12 @@ def render_series(x, y, label: str) -> str:
 
 
 def percentile_row(values, quantiles=(0.5, 0.9, 0.95, 0.99)) -> list[float]:
-    """Quantile values as a table row fragment."""
+    """Quantile values as a table row fragment.
+
+    Empty input has no quantiles: every slot is NaN, so a "no data"
+    row can never be confused with a genuinely-zero latency row.
+    """
     values = np.asarray(values, dtype=float)
     if values.size == 0:
-        return [0.0 for _ in quantiles]
+        return [float("nan") for _ in quantiles]
     return [float(np.quantile(values, q)) for q in quantiles]

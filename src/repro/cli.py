@@ -14,7 +14,9 @@ accuracy; ``route`` runs one ad-hoc incident through a saved Scout and
 prints the operator report; ``serve`` replays a simulated incident
 stream through the §6 incident manager in suggestion mode, with the
 serving resilience knobs (``--scout-deadline``, circuit breakers,
-retry) and optional monitoring fault injection exposed.
+retry) and optional monitoring fault injection exposed.  ``simulate``
+and ``serve`` accept ``--metrics`` / ``--metrics-out PATH`` to emit a
+Prometheus-style exposition of everything the run counted.
 
 Because the monitoring plane is deterministic in the seed, a Scout
 trained with ``--seed 7`` can be reloaded against a fresh ``--seed 7``
@@ -27,12 +29,13 @@ import argparse
 import sys
 
 from . import __version__
-from .analysis import availability_report
+from .analysis import availability_from_registry
 from .config import phynet_config, team_scout_configs
 from .core import ScoutFramework, TrainingOptions, load_scout, save_scout
 from .incidents import Incident, IncidentSource, Severity
 from .ml import imbalance_aware_split
 from .monitoring import FaultPlan, FaultyStore
+from .obs import Observability
 from .serving import BreakerPolicy, IncidentManager, RetryPolicy
 from .simulation import CloudSimulation, SimulationConfig
 
@@ -64,9 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for featurization/training (-1 = all cores)",
         )
 
+    def metrics_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="print Prometheus-style metrics exposition on exit",
+        )
+        p.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="also write the metrics exposition to this file",
+        )
+
     p_sim = sub.add_parser("simulate", help="generate an incident dataset")
     common(p_sim)
     p_sim.add_argument("--out", required=True, help="output JSON path")
+    metrics_flags(p_sim)
 
     p_train = sub.add_parser("train", help="train and save the PhyNet Scout")
     common(p_train)
@@ -150,7 +167,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the injected-fault schedule",
     )
+    metrics_flags(p_serve)
     return parser
+
+
+def _emit_metrics(args, obs: Observability) -> None:
+    """Honor ``--metrics`` / ``--metrics-out`` for an instrumented run."""
+    text = obs.render()
+    if args.metrics:
+        print()
+        print(text, end="")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            handle.write(text)
+        print(f"wrote metrics exposition to {args.metrics_out}")
 
 
 def _simulation(args) -> CloudSimulation:
@@ -174,6 +204,19 @@ def _cmd_simulate(args) -> int:
     print(
         f"wrote {len(incidents)} incidents ({mis} mis-routed) to {args.out}"
     )
+    obs = Observability()
+    by_team = obs.metrics.counter(
+        "incidents_generated_total",
+        "Simulated incidents by responsible team.",
+        labels=("team",),
+    )
+    for incident in incidents:
+        by_team.inc(1, team=incident.responsible_team)
+    obs.metrics.counter(
+        "incidents_misrouted_total",
+        "Simulated incidents whose legacy routing took a wrong hop.",
+    ).inc(mis)
+    _emit_metrics(args, obs)
     return 0
 
 
@@ -280,11 +323,11 @@ def _cmd_serve(args) -> int:
         f"{len(manager.registered_teams)} Scout(s): "
         f"{', '.join(manager.registered_teams)}"
     )
-    decisions = manager.handle_batch(list(incidents))
+    manager.handle_batch(list(incidents))
     for incident in incidents:
         manager.resolve(incident.incident_id, incident.responsible_team)
     print()
-    print(availability_report(decisions).render())
+    print(availability_from_registry(manager.obs.metrics).render())
     print()
     for team in manager.registered_teams:
         stats = manager.stats(team)
@@ -305,6 +348,7 @@ def _cmd_serve(args) -> int:
         f"what-if: correct={summary['correct']:.3f} "
         f"wrong={summary['wrong']:.3f} abstained={summary['abstained']:.3f}"
     )
+    _emit_metrics(args, manager.obs)
     return 0
 
 

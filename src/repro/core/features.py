@@ -128,11 +128,25 @@ def _covers(dataset_kinds: frozenset[ComponentKind], kind: ComponentKind) -> boo
 
 
 def _stats(pooled: np.ndarray) -> np.ndarray:
-    out = np.empty(len(STAT_NAMES))
+    """The eleven §5.2 statistics over one pooled window.
+
+    Degenerate windows are zero-filled deterministically rather than
+    letting numpy warn-and-NaN its way into the RF: an empty window is
+    all zeros, and a single-sample window keeps its mean/min/max but
+    zero-fills the std and percentile slots (one observation carries
+    no distributional information — a spread of 0 is the honest
+    answer, and NaN here would be imputed with unrelated training
+    means downstream).
+    """
+    out = np.zeros(len(STAT_NAMES))
+    if pooled.size == 0:
+        return out
     out[0] = pooled.mean()
-    out[1] = pooled.std()
     out[2] = pooled.min()
     out[3] = pooled.max()
+    if pooled.size < 2:
+        return out  # std and percentile slots stay zero-filled
+    out[1] = pooled.std()
     out[4:] = np.percentile(pooled, _PERCENTILES)
     return out
 
@@ -165,6 +179,43 @@ class FeatureBuilder:
         self._norm_memo: dict = {}
         self._events_memo: dict = {}
         self._observables_memo: dict = {}
+        # Observability sink (None = un-instrumented): counts store
+        # queries vs. memo hits.  Threaded in by the incident manager
+        # at Scout registration or by an instrumented framework; the
+        # obs objects pickle cleanly, so parallel dataset builds that
+        # ship builders to workers keep working.
+        self._obs = None
+        self._bound_counters: dict = {}
+
+    @property
+    def obs(self):
+        return self._obs
+
+    @obs.setter
+    def obs(self, value) -> None:
+        self._obs = value
+        self._bound_counters = {}  # handles belong to the old registry
+
+    def _count(self, metric: str, kind: str) -> None:
+        """One counter tick on the hot query path.
+
+        A dataset build issues tens of thousands of pulls, so the
+        (metric, kind) handle is bound once — validation and registry
+        lookup happen on first use, later ticks are just an increment.
+        """
+        if self._obs is None:
+            return
+        bound = self._bound_counters.get((metric, kind))
+        if bound is None:
+            bound = self._obs.metrics.counter(
+                metric,
+                "Monitoring-store pulls by query kind."
+                if metric == "monitoring_queries_total"
+                else "Feature-builder memo hits by query kind.",
+                labels=("kind",),
+            ).bind(kind=kind)
+            self._bound_counters[(metric, kind)] = bound
+        bound.inc()
 
     def clear_cache(self) -> None:
         """Reset the per-incident query memos (call between incidents).
@@ -180,7 +231,10 @@ class FeatureBuilder:
         """Memoized MonitoringStore.query_series."""
         key = (locator, device.name, t0, t1)
         if key not in self._series_memo:
+            self._count("monitoring_queries_total", "series")
             self._series_memo[key] = self.store.query_series(locator, device, t0, t1)
+        else:
+            self._count("monitoring_cache_hits_total", "series")
         return self._series_memo[key]
 
     def prefetch_series(
@@ -202,6 +256,7 @@ class FeatureBuilder:
                 missing.append(device)
         if len(missing) < 2:
             return
+        self._count("monitoring_queries_total", "series_batch")
         batch = self.store.query_series_batch(locator, missing, t0, t1)
         for device, series in zip(missing, batch):
             self._series_memo[(locator, device.name, t0, t1)] = series
@@ -210,7 +265,10 @@ class FeatureBuilder:
         """Memoized MonitoringStore.query_events."""
         key = (locator, device.name, t0, t1)
         if key not in self._events_memo:
+            self._count("monitoring_queries_total", "events")
             self._events_memo[key] = self.store.query_events(locator, device, t0, t1)
+        else:
+            self._count("monitoring_cache_hits_total", "events")
         return self._events_memo[key]
 
     def prefetch_events(
@@ -227,6 +285,7 @@ class FeatureBuilder:
                 missing.append(device)
         if len(missing) < 2:
             return
+        self._count("monitoring_queries_total", "events_batch")
         batch = self.store.query_events_batch(locator, missing, t0, t1)
         for device, series in zip(missing, batch):
             self._events_memo[(locator, device.name, t0, t1)] = series

@@ -23,6 +23,7 @@ from ..ml.forest import RandomForestClassifier
 from ..ml.metrics import BinaryReport, classification_report
 from ..ml.preprocessing import MeanImputer
 from ..monitoring.store import MonitoringStore
+from ..obs import Observability, maybe_span
 from .cpd_plus import CPDPlus
 from .dataset import ScoutDataset
 from .extraction import ComponentExtractor
@@ -88,6 +89,38 @@ class EvaluationReport:
         )
 
 
+class _TrainingPhase:
+    """Context manager: one traced, gauge-timed training phase.
+
+    No-op when ``obs`` is None.  Durations are measured on the
+    observability clock, so fake-clocked tests see exact values.
+    """
+
+    def __init__(self, obs: Observability | None, name: str) -> None:
+        self._obs = obs
+        self._name = name
+        self._span = None
+        self._started = 0.0
+
+    def __enter__(self) -> "_TrainingPhase":
+        if self._obs is not None:
+            self._started = self._obs.clock()
+            self._span = self._obs.trace.start_span(f"train.{self._name}")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._obs is None:
+            return
+        if exc_type is not None and self._span is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._obs.trace.finish(self._span)
+        self._obs.metrics.gauge(
+            "training_phase_seconds",
+            "Wall-clock duration of the latest run of each training phase.",
+            labels=("phase",),
+        ).set(self._obs.clock() - self._started, phase=self._name)
+
+
 class ScoutFramework:
     """Builds a team's Scout from its config and incident history."""
 
@@ -97,6 +130,7 @@ class ScoutFramework:
         topology: Topology,
         store: MonitoringStore,
         options: TrainingOptions | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config
         self.topology = topology
@@ -104,6 +138,16 @@ class ScoutFramework:
         self.options = options or TrainingOptions()
         self.extractor = ComponentExtractor(config, topology)
         self.builder = FeatureBuilder(config, topology, store)
+        # Observability sink (None = un-instrumented): per-phase
+        # training spans/durations, threaded into the builder's query
+        # counters and every Scout this framework trains.
+        self.obs = obs
+        if obs is not None and self.builder.obs is None:
+            self.builder.obs = obs
+
+    def _phase(self, name: str):
+        """A traced training phase whose duration lands in a gauge."""
+        return _TrainingPhase(self.obs, name)
 
     # -- dataset construction ------------------------------------------------
 
@@ -119,14 +163,15 @@ class ScoutFramework:
         build (pass -1 for all cores); results are identical either way.
         """
         cpd = CPDPlus(self.builder)
-        return ScoutDataset.build(
-            self.builder,
-            self.extractor,
-            cpd,
-            incidents,
-            compute_signals,
-            n_jobs=self.options.n_jobs if n_jobs is None else n_jobs,
-        )
+        with self._phase("dataset_build"):
+            return ScoutDataset.build(
+                self.builder,
+                self.extractor,
+                cpd,
+                incidents,
+                compute_signals,
+                n_jobs=self.options.n_jobs if n_jobs is None else n_jobs,
+            )
 
     # -- training ----------------------------------------------------------------
 
@@ -176,40 +221,60 @@ class ScoutFramework:
         return hard
 
     def train(self, train_data: ScoutDataset | IncidentStore) -> Scout:
-        """Build a fitted Scout from training incidents."""
+        """Build a fitted Scout from training incidents.
+
+        When an observability sink is attached, each phase (imputation,
+        cross-validation, forest fit, selector fit, CPD+ fit) runs in a
+        ``train.*`` span and records its duration in the
+        ``training_phase_seconds`` gauge.
+        """
         if isinstance(train_data, IncidentStore):
             train_data = self.dataset(train_data)
+        with maybe_span(self.obs, "train", team=self.config.team):
+            scout = self._train_traced(train_data)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "training_runs_total", "Completed framework training runs."
+            ).inc()
+        return scout
+
+    def _train_traced(self, train_data: ScoutDataset) -> Scout:
         opts = self.options
         rng = np.random.default_rng(opts.rng)
         usable = train_data.usable()
         if len(usable) == 0:
             raise ValueError("no usable training incidents (all excluded/fallback)")
 
-        imputer = MeanImputer().fit(usable.X)
-        X = imputer.transform(usable.X)
+        with self._phase("impute"):
+            imputer = MeanImputer().fit(usable.X)
+            X = imputer.transform(usable.X)
         y = usable.y
 
-        hard = self._cross_val_hard_labels(X, y, rng)
-        weights = self._sample_weights(usable, hard)
+        with self._phase("cross_validate"):
+            hard = self._cross_val_hard_labels(X, y, rng)
+            weights = self._sample_weights(usable, hard)
 
-        forest = RandomForestClassifier(
-            n_estimators=opts.n_estimators,
-            max_depth=opts.max_depth,
-            rng=np.random.default_rng(opts.rng + 1),
-            n_jobs=opts.n_jobs,
-        )
-        forest.fit(X, y, sample_weight=weights)
+        with self._phase("forest_fit"):
+            forest = RandomForestClassifier(
+                n_estimators=opts.n_estimators,
+                max_depth=opts.max_depth,
+                rng=np.random.default_rng(opts.rng + 1),
+                n_jobs=opts.n_jobs,
+            )
+            forest.fit(X, y, sample_weight=weights)
 
-        selector = ModelSelector(
-            self.config,
-            decider=opts.decider,
-            novelty_threshold=opts.novelty_threshold,
-            rng=opts.rng + 2,
-        )
-        selector.fit(usable.texts, y, hard)
+        with self._phase("selector_fit"):
+            selector = ModelSelector(
+                self.config,
+                decider=opts.decider,
+                novelty_threshold=opts.novelty_threshold,
+                rng=opts.rng + 2,
+            )
+            selector.fit(usable.texts, y, hard)
 
-        cpd = CPDPlus(self.builder)
-        cpd.fit_cluster_model(usable.signals_matrix, y, rng=opts.rng + 3)
+        with self._phase("cpd_fit"):
+            cpd = CPDPlus(self.builder)
+            cpd.fit_cluster_model(usable.signals_matrix, y, rng=opts.rng + 3)
 
         return Scout(
             config=self.config,
@@ -219,6 +284,7 @@ class ScoutFramework:
             forest=forest,
             imputer=imputer,
             cpd=cpd,
+            obs=self.obs,
         )
 
     def retrain(self, scout: Scout, train_data: ScoutDataset | IncidentStore) -> Scout:

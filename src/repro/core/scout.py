@@ -24,6 +24,7 @@ from ..config.spec import ScoutConfig
 from ..incidents.incident import Incident
 from ..ml.forest import RandomForestClassifier
 from ..ml.preprocessing import MeanImputer
+from ..obs import Observability, maybe_span
 from .cpd_plus import CPDPlus
 from .dataset import ScoutExample
 from .explain import Explanation, explain_forest, render_report
@@ -72,6 +73,7 @@ class Scout:
         imputer: MeanImputer,
         cpd: CPDPlus,
         retry_policy: "RetryPolicy | None" = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config
         self.extractor = extractor
@@ -83,6 +85,10 @@ class Scout:
         # Retry for transient monitoring-pull failures during live
         # prediction; the incident manager threads its policy in here.
         self.retry_policy = retry_policy
+        # Observability sink for per-stage spans and verdict counters;
+        # None (the default) keeps the pipeline un-instrumented.  The
+        # incident manager threads its own sink in at registration.
+        self.obs = obs
 
     @property
     def team(self) -> str:
@@ -91,10 +97,31 @@ class Scout:
     # -- live prediction -----------------------------------------------------
 
     def predict(self, incident: Incident) -> ScoutPrediction:
-        """Run the full pipeline, pulling monitoring data live."""
+        """Run the full pipeline, pulling monitoring data live.
+
+        Every stage opens a span when an observability sink is
+        attached (nested under the caller's ``scout.call`` span when
+        the incident manager drives the call): component extraction,
+        model-selector choice, feature build, and RF vs. CPD+
+        inference each show up with their own timing.
+        """
         self.builder.clear_cache()
-        extracted = self.extractor.extract(incident.text)
-        decision = self.selector.decide(incident.title, incident.body, extracted)
+        prediction = self._predict_traced(incident)
+        if self.obs is not None:
+            self.obs.metrics.counter(
+                "scout_predictions_total",
+                "Scout verdicts by pipeline route.",
+                labels=("team", "route"),
+            ).inc(1, team=self.team, route=prediction.route.value)
+        return prediction
+
+    def _predict_traced(self, incident: Incident) -> ScoutPrediction:
+        with maybe_span(self.obs, "scout.extract"):
+            extracted = self.extractor.extract(incident.text)
+        with maybe_span(self.obs, "scout.select"):
+            decision = self.selector.decide(
+                incident.title, incident.body, extracted
+            )
         if decision.route is Route.EXCLUDED:
             return ScoutPrediction(
                 incident.incident_id,
@@ -112,23 +139,49 @@ class Scout:
                 explanation=Explanation(notes=[decision.reason]),
             )
         if decision.route is Route.UNSUPERVISED:
-            return self._pull(
-                lambda: self._predict_cpd(incident, extracted, decision.novelty)
+            with maybe_span(self.obs, "scout.infer_cpd"):
+                return self._pull(
+                    lambda: self._predict_cpd(
+                        incident, extracted, decision.novelty
+                    )
+                )
+        with maybe_span(self.obs, "scout.features"):
+            features = self._pull(
+                lambda: self.builder.features(extracted, incident.created_at)
             )
-        features = self._pull(
-            lambda: self.builder.features(extracted, incident.created_at)
-        )
-        return self._predict_forest(incident, extracted, features, decision.novelty)
+        with maybe_span(self.obs, "scout.infer_rf"):
+            return self._predict_forest(
+                incident, extracted, features, decision.novelty
+            )
 
     def _pull(self, fn: Callable[[], _T]) -> _T:
         """Run a monitoring-pull stage under the retry policy (if any).
 
         Successful pulls stay memoized in the builder between attempts,
         so a retry only re-issues the query that actually failed.
+        Extra attempts beyond the first are counted per team in
+        ``scout_retry_attempts_total`` when observability is attached.
         """
         if self.retry_policy is None:
             return fn()
-        return self.retry_policy.call(fn)
+        if self.obs is None:
+            return self.retry_policy.call(fn)
+        attempts = 0
+
+        def counted() -> _T:
+            nonlocal attempts
+            attempts += 1
+            return fn()
+
+        try:
+            return self.retry_policy.call(counted)
+        finally:
+            if attempts > 1:
+                self.obs.metrics.counter(
+                    "scout_retry_attempts_total",
+                    "Retried monitoring-pull attempts beyond the first.",
+                    labels=("team",),
+                ).inc(attempts - 1, team=self.team)
 
     # -- cached prediction ------------------------------------------------------
 

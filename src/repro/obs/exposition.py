@@ -1,0 +1,149 @@
+"""Prometheus-style text exposition of a :class:`MetricsRegistry`.
+
+``render_exposition`` produces the classic ``text/plain; version=0.0.4``
+shape — ``# HELP`` / ``# TYPE`` headers, one ``name{labels} value``
+sample per line, histograms expanded into ``_bucket``/``_sum``/
+``_count`` series with a cumulative ``le`` label — with one extra
+guarantee the reproduction needs: **byte-determinism**.  Families sort
+by name, label sets sort by value tuple, and numbers format through a
+single pure function, so two runs over identical workloads (under a
+fake clock) render identical bytes.  CI diffs the snapshot artifact on
+exactly this property.
+
+``parse_exposition`` is the inverse used by tests and the CI gate: it
+reads the text back into ``{family: {((label, value), ...): number}}``
+and fails loudly on malformed lines, so an uploaded snapshot is proven
+well-formed, not just present.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = ["render_exposition", "parse_exposition"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$"
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _fmt_value(value: float) -> str:
+    """One canonical rendering per float — the determinism lynchpin."""
+    if isinstance(value, bool):  # pragma: no cover — defensive
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        math.isfinite(value) and float(value).is_integer()
+    ):
+        return str(int(value))
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _label_str(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(str(labels[name]))}"' for name in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text format (sorted, deterministic)."""
+    lines: list[str] = []
+    for family in registry.families():
+        if not _NAME_RE.match(family.name):
+            raise ValueError(f"invalid metric name: {family.name!r}")
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if isinstance(family, Histogram):
+            for labels, series in family.samples():
+                cumulative = 0
+                for bound, count in zip(
+                    family.buckets, series.bucket_counts
+                ):
+                    cumulative += count
+                    bucket_labels = dict(labels, le=_fmt_value(bound))
+                    lines.append(
+                        f"{family.name}_bucket{_label_str(bucket_labels)}"
+                        f" {cumulative}"
+                    )
+                inf_labels = dict(labels, le="+Inf")
+                lines.append(
+                    f"{family.name}_bucket{_label_str(inf_labels)}"
+                    f" {series.count}"
+                )
+                lines.append(
+                    f"{family.name}_sum{_label_str(labels)}"
+                    f" {_fmt_value(series.sum)}"
+                )
+                lines.append(
+                    f"{family.name}_count{_label_str(labels)} {series.count}"
+                )
+        else:
+            for labels, value in family.samples():
+                lines.append(
+                    f"{family.name}{_label_str(labels)} {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_exposition(
+    text: str,
+) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse exposition text back into ``{family: {labels: value}}``.
+
+    Histogram sub-series come back under their suffixed names
+    (``*_bucket``, ``*_sum``, ``*_count``) — the parser validates
+    shape, it does not reconstruct instrument objects.  Raises
+    ``ValueError`` on any line that is neither a comment nor a
+    well-formed sample.
+    """
+    out: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        labels_text = match.group("labels") or ""
+        labels: list[tuple[str, str]] = []
+        consumed = 0
+        for label_match in _LABEL_RE.finditer(labels_text):
+            raw = label_match.group(2)
+            unescaped = (
+                raw.replace(r"\n", "\n").replace(r"\"", '"').replace(r"\\", "\\")
+            )
+            labels.append((label_match.group(1), unescaped))
+            consumed = label_match.end()
+        remainder = labels_text[consumed:].strip().strip(",")
+        if remainder:
+            raise ValueError(
+                f"line {lineno}: malformed labels: {labels_text!r}"
+            )
+        raw_value = match.group("value")
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(
+                f"line {lineno}: malformed value: {raw_value!r}"
+            ) from exc
+        out.setdefault(match.group("name"), {})[tuple(sorted(labels))] = value
+    return out

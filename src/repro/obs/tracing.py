@@ -1,0 +1,202 @@
+"""Span-based tracing for the Scout pipeline.
+
+One routing decision touches many stages — component extraction,
+feature pulls, model selection, RF or CPD+ inference, composition —
+and the serving layer needs to see where the time went per incident
+(the Dapper lesson: aggregate counters cannot explain one slow
+decision).  A :class:`Tracer` hands out :class:`Span`s:
+
+* ``with tracer.span("features.build"):`` opens a span that nests
+  under the caller's current span automatically (a ``contextvars``
+  context variable carries the active span within a thread);
+* cross-thread fan-out passes ``parent=`` explicitly — the incident
+  manager opens the root span, and each pooled Scout call attaches its
+  own child to it;
+* span and trace ids are small sequential integers formatted as
+  strings, **never** random: two identical runs produce identical ids,
+  which is what lets tests byte-compare trace output.
+
+Timestamps come from the injectable ``clock``.  Finished spans land in
+a bounded in-memory exporter (a deque): a long-lived serving process
+keeps the most recent ``max_spans`` spans and silently drops the
+oldest, so tracing can stay always-on without growing without bound.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "Tracer"]
+
+# The active span of the *current thread of execution*.  Module-level on
+# purpose: context variables cannot be pickled with their owner.
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One timed, named stage of a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    start: float
+    end: float | None = None
+    attributes: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+
+class _ActiveSpan:
+    """Context manager binding a span to the current execution context."""
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._token: contextvars.Token | None = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        if exc_type is not None:
+            self._span.attributes.setdefault("error", exc_type.__name__)
+        self._tracer.finish(self._span)
+
+
+class Tracer:
+    """Creates spans and keeps a bounded buffer of finished ones."""
+
+    def __init__(self, clock=time.perf_counter, max_spans: int = 2048) -> None:
+        if max_spans < 1:
+            raise ValueError("max_spans must be >= 1")
+        self.clock = clock
+        self.max_spans = max_spans
+        self._lock = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=max_spans)
+        self._trace_seq = 0
+        self._span_seq = 0
+        self.dropped = 0  # finished spans evicted by the bound
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start_span(
+        self, name: str, parent: Span | None = None, **attributes
+    ) -> Span:
+        """Open a span; ``parent=None`` nests under the context span.
+
+        A span with no parent (explicit or contextual) roots a new
+        trace.  Ids are sequential, so a fixed workload always yields
+        the same ids — randomness would break exposition diffing.
+        """
+        if parent is None:
+            parent = _CURRENT_SPAN.get()
+        with self._lock:
+            self._span_seq += 1
+            span_id = f"{self._span_seq:08d}"
+            if parent is None:
+                self._trace_seq += 1
+                trace_id = f"trace-{self._trace_seq:08d}"
+            else:
+                trace_id = parent.trace_id
+        return Span(
+            name=name,
+            trace_id=trace_id,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock(),
+            attributes=dict(attributes),
+        )
+
+    def finish(self, span: Span) -> None:
+        """Stamp the end time and export the span (idempotent)."""
+        if span.finished:
+            return
+        span.end = self.clock()
+        with self._lock:
+            if len(self._finished) == self._finished.maxlen:
+                self.dropped += 1
+            self._finished.append(span)
+
+    def span(self, name: str, parent: Span | None = None, **attributes):
+        """``with tracer.span("stage") as span:`` — the common entry."""
+        return _ActiveSpan(self, self.start_span(name, parent, **attributes))
+
+    @staticmethod
+    def current() -> Span | None:
+        """The active span of this thread of execution, if any."""
+        return _CURRENT_SPAN.get()
+
+    # -- export ------------------------------------------------------------
+
+    @property
+    def finished_spans(self) -> list[Span]:
+        """Finished spans, oldest first (bounded by ``max_spans``)."""
+        with self._lock:
+            return list(self._finished)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """All finished spans of one trace, in span-id (creation) order."""
+        return sorted(
+            (s for s in self.finished_spans if s.trace_id == trace_id),
+            key=lambda s: s.span_id,
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        return [
+            s for s in self.trace(span.trace_id) if s.parent_id == span.span_id
+        ]
+
+    def render_trace(self, trace_id: str) -> str:
+        """An indented text rendering of one trace (for logs/debugging)."""
+        spans = self.trace(trace_id)
+        by_parent: dict[str | None, list[Span]] = {}
+        for span in spans:
+            by_parent.setdefault(span.parent_id, []).append(span)
+        known = {span.span_id for span in spans}
+        lines: list[str] = []
+
+        def walk(span: Span, depth: int) -> None:
+            attrs = "".join(
+                f" {k}={v}" for k, v in sorted(span.attributes.items())
+            )
+            lines.append(
+                f"{'  ' * depth}{span.name} "
+                f"({span.duration * 1000.0:.3f}ms){attrs}"
+            )
+            for child in by_parent.get(span.span_id, []):
+                walk(child, depth + 1)
+
+        # Roots: no parent, or a parent already evicted from the buffer.
+        for span in spans:
+            if span.parent_id is None or span.parent_id not in known:
+                walk(span, 0)
+        return "\n".join(lines)
+
+    # -- pickling ----------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()

@@ -21,6 +21,15 @@ its deadline, or sits behind an open circuit breaker degrades to an
 *abstain* answer with the cause recorded in a :class:`ScoutCallOutcome`
 — one bad gate-keeper can neither take down ``handle()`` nor block the
 other teams' verdicts.
+
+The manager is also the pipeline's observability root: it owns an
+:class:`~repro.obs.Observability` (driven by the same injectable
+clock), opens a ``serve.handle`` span per incident with one
+``scout.call`` child per team, counts every :class:`CallStatus`,
+records call latencies in a histogram, and emits an event for every
+circuit-breaker transition.  Registered Scouts (and their feature
+builders) inherit the manager's observability, so one
+``manager.obs.render()`` exposes the whole pipeline.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from ..core.scout import Scout, ScoutPrediction
 from ..core.selector import Route
 from ..incidents.incident import Incident
 from ..ml.base import resolve_n_jobs
+from ..obs import Observability
 from ..simulation.scout_master import ScoutAnswer, ScoutMaster
 from ..simulation.teams import TeamRegistry
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
@@ -60,21 +70,40 @@ class CallStatus(str, Enum):
 
 @dataclass(frozen=True)
 class ScoutCallOutcome:
-    """The serving-layer verdict on one per-Scout call."""
+    """The serving-layer verdict on one per-Scout call.
+
+    ``latency_seconds`` is None when the Scout was never invoked (a
+    breaker-open skip): a skipped call has *no* latency, and recording
+    ``0.0`` would be indistinguishable from an instant answer in any
+    downstream aggregation.
+    """
 
     team: str
     status: CallStatus
-    latency_seconds: float
+    latency_seconds: float | None
     error: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.status is CallStatus.OK
 
+    @property
+    def invoked(self) -> bool:
+        """Did this call actually reach the Scout?"""
+        return self.status is not CallStatus.BREAKER_OPEN
+
 
 @dataclass(frozen=True)
 class ServingDecision:
-    """One logged routing decision."""
+    """One logged routing decision.
+
+    ``trace_id`` keys into the manager's trace exporter
+    (``manager.obs.trace.trace(decision.trace_id)``) and
+    ``stage_latencies`` is the per-stage breakdown of
+    ``latency_seconds``: one ``("scout.<team>", seconds)`` entry per
+    invoked Scout plus a ``("compose", seconds)`` entry for the Scout
+    Master composition.
+    """
 
     incident_id: int
     suggested_team: str | None
@@ -83,6 +112,8 @@ class ServingDecision:
     latency_seconds: float
     acted: bool
     outcomes: tuple[ScoutCallOutcome, ...] = ()
+    trace_id: str | None = None
+    stage_latencies: tuple[tuple[str, float], ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -112,6 +143,13 @@ class ScoutServiceStats:
 
     @property
     def mean_latency(self) -> float:
+        """Mean latency over invoked calls only.
+
+        ``total_latency`` accumulates exactly the outcomes that reached
+        the Scout (OK, ERROR, TIMEOUT — the same set
+        ``scout_call_latency_seconds`` observes), so the numerator and
+        the ``invoked`` denominator always agree.
+        """
         return self.total_latency / self.invoked if self.invoked else 0.0
 
     @property
@@ -160,6 +198,11 @@ class IncidentManager:
         When set, threaded to each registered :class:`Scout` (via its
         ``retry_policy`` attribute) so transient monitoring-pull
         failures inside ``predict`` retry with deterministic backoff.
+    obs:
+        The observability sink (metrics registry + tracer).  Defaults
+        to a fresh :class:`~repro.obs.Observability` on the manager's
+        ``clock``, so instrumentation is always on and — under a fake
+        clock — bit-exact.
     """
 
     def __init__(
@@ -172,6 +215,7 @@ class IncidentManager:
         scout_deadline: float | None = None,
         breaker: BreakerPolicy | None = BreakerPolicy(),
         retry: RetryPolicy | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.registry = registry
         self.suggestion_mode = suggestion_mode
@@ -179,15 +223,58 @@ class IncidentManager:
         self.scout_deadline = scout_deadline
         self.breaker_policy = breaker
         self.retry_policy = retry
+        self.obs = obs if obs is not None else Observability(clock=clock)
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
         self._stats: dict[str, ScoutServiceStats] = {}
         self._monitors: dict[str, DriftMonitor] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_seen: dict[str, str] = {}
         self._log: list[ServingDecision] = []
         self._served_ids: set[int] = set()
         self._resolved_indices: set[int] = set()
         self._clock = clock
+        metrics = self.obs.metrics
+        self._m_calls = metrics.counter(
+            "scout_calls_total",
+            "Per-Scout call outcomes by CallStatus.",
+            labels=("team", "status"),
+        )
+        self._m_latency = metrics.histogram(
+            "scout_call_latency_seconds",
+            "Latency of calls that reached the Scout (OK/ERROR/TIMEOUT).",
+            labels=("team",),
+        )
+        self._m_incidents = metrics.counter(
+            "serving_incidents_total", "Incidents handled by the manager."
+        )
+        self._m_suggestions = metrics.counter(
+            "serving_suggestions_total",
+            "Decisions that suggested a responsible team.",
+        )
+        self._m_model_abstains = metrics.counter(
+            "serving_model_abstains_total",
+            "Healthy calls whose Scout abstained (model fallback).",
+            labels=("team",),
+        )
+        self._m_degraded = metrics.counter(
+            "serving_degraded_incidents_total",
+            "Incidents with at least one unhealthy Scout call.",
+        )
+        self._m_handle_latency = metrics.histogram(
+            "serving_handle_latency_seconds",
+            "End-to-end fan-out + composition latency per incident.",
+        )
+        self._m_transitions = metrics.counter(
+            "scout_breaker_transitions_total",
+            "Circuit-breaker state transitions observed around calls.",
+            labels=("team", "from_state", "to_state"),
+        )
+        self._m_breaker_state = metrics.gauge(
+            "scout_breaker_state",
+            "Breaker state per team (0=closed, 1=half_open, 2=open).",
+            labels=("team",),
+        )
 
     # -- registration ------------------------------------------------------
 
@@ -204,6 +291,14 @@ class IncidentManager:
             # Thread the manager's retry policy into the Scout's
             # monitoring pulls unless the Scout brought its own.
             scout.retry_policy = self.retry_policy
+        if getattr(scout, "obs", False) is None:
+            # Same pattern for observability: the Scout's stage spans
+            # and counters land in the manager's registry unless the
+            # Scout brought its own sink.
+            scout.obs = self.obs
+        builder = getattr(scout, "builder", None)
+        if builder is not None and getattr(builder, "obs", False) is None:
+            builder.obs = self.obs
         self._scouts[scout.team] = scout
         self._stats[scout.team] = ScoutServiceStats(team=scout.team)
         self._monitors[scout.team] = DriftMonitor()
@@ -211,6 +306,8 @@ class IncidentManager:
             self._breakers[scout.team] = CircuitBreaker(
                 self.breaker_policy, clock=self._clock
             )
+            self._breaker_seen[scout.team] = BreakerState.CLOSED.value
+            self._m_breaker_state.set(0, team=scout.team)
 
     def unregister(self, team: str) -> None:
         """Remove a team's Scout and all of its serving state.
@@ -224,6 +321,7 @@ class IncidentManager:
         self._stats.pop(team, None)
         self._monitors.pop(team, None)
         self._breakers.pop(team, None)
+        self._breaker_seen.pop(team, None)
 
     @property
     def registered_teams(self) -> list[str]:
@@ -231,16 +329,55 @@ class IncidentManager:
 
     # -- serving -----------------------------------------------------------------
 
+    _BREAKER_STATE_LEVELS = {
+        BreakerState.CLOSED.value: 0,
+        BreakerState.HALF_OPEN.value: 1,
+        BreakerState.OPEN.value: 2,
+    }
+
+    def _note_breaker(self, team: str, state: BreakerState) -> None:
+        """Emit a transition event when a breaker's state changes.
+
+        Called before each call (where an elapsed cool-down reads as
+        HALF_OPEN — the only chance to observe the probe state) and
+        after it (catching trips and re-closes), so the metrics stream
+        sees the full CLOSED→OPEN→HALF_OPEN→CLOSED cycle even though a
+        stats snapshot only ever shows the latest state.
+        """
+        last = self._breaker_seen.get(team, BreakerState.CLOSED.value)
+        if state.value == last:
+            return
+        self._breaker_seen[team] = state.value
+        self._m_transitions.inc(
+            1, team=team, from_state=last, to_state=state.value
+        )
+        self._m_breaker_state.set(
+            self._BREAKER_STATE_LEVELS[state.value], team=team
+        )
+
     def _call_one(
-        self, incident: Incident, team: str
+        self, incident: Incident, team: str, parent=None
     ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
-        """One failure-isolated Scout call: never raises."""
+        """One failure-isolated, traced Scout call: never raises."""
         breaker = self._breakers.get(team)
+        if breaker is not None:
+            self._note_breaker(team, breaker.state)
+        with self.obs.trace.span("scout.call", parent=parent, team=team) as span:
+            result = self._invoke_scout(incident, team, breaker)
+            span.attributes["status"] = result[2].status.value
+        if breaker is not None:
+            self._note_breaker(team, breaker.state)
+        return result
+
+    def _invoke_scout(
+        self, incident: Incident, team: str, breaker: CircuitBreaker | None
+    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
         if breaker is not None and not breaker.allow():
             prediction = _abstain(
                 incident.incident_id, f"{team} circuit breaker open"
             )
-            outcome = ScoutCallOutcome(team, CallStatus.BREAKER_OPEN, 0.0)
+            # A skipped Scout has no latency: None, not a fake 0.0.
+            outcome = ScoutCallOutcome(team, CallStatus.BREAKER_OPEN, None)
             return team, prediction, outcome
         start = self._clock()
         try:
@@ -283,7 +420,7 @@ class IncidentManager:
         return team, prediction, ScoutCallOutcome(team, CallStatus.OK, elapsed)
 
     def _call_scouts(
-        self, incident: Incident
+        self, incident: Incident, parent=None
     ) -> list[tuple[str, ScoutPrediction, ScoutCallOutcome]]:
         """Run every registered Scout on one incident.
 
@@ -292,12 +429,15 @@ class IncidentManager:
         Each Scout owns its feature builder (and caches), so concurrent
         per-team predictions never share mutable state; the thread pool
         overlaps their monitoring pulls.  Failures never propagate:
-        each call is isolated by :meth:`_call_one`.
+        each call is isolated by :meth:`_call_one`.  ``parent`` is the
+        incident's root span: pool threads cannot inherit it from
+        context, so it is passed explicitly and each call attaches its
+        ``scout.call`` child to it.
         """
         teams = sorted(self._scouts)
 
         def call(team: str):
-            return self._call_one(incident, team)
+            return self._call_one(incident, team, parent)
 
         n_workers = min(resolve_n_jobs(self.n_jobs), max(1, len(teams)))
         if n_workers > 1 and len(teams) > 1:
@@ -309,23 +449,47 @@ class IncidentManager:
 
     def handle(self, incident: Incident) -> ServingDecision:
         """Fan an incident out to every registered Scout and compose."""
+        with self.obs.trace.span(
+            "serve.handle", incident_id=incident.incident_id
+        ) as root:
+            decision = self._handle_traced(incident, root)
+        return decision
+
+    def _handle_traced(self, incident: Incident, root) -> ServingDecision:
         started = self._clock()
         answers: list[ScoutAnswer] = []
         predictions: list[ScoutPrediction] = []
         outcomes: list[ScoutCallOutcome] = []
-        for team, prediction, outcome in self._call_scouts(incident):
+        stage_latencies: list[tuple[str, float]] = []
+        for team, prediction, outcome in self._call_scouts(incident, root):
             stats = self._stats[team]
             stats.calls += 1
+            self._m_calls.inc(1, team=team, status=outcome.status.value)
+            # Latency accounting, explicit per status: OK, ERROR and
+            # TIMEOUT all reached the Scout and carry a measured
+            # latency; a BREAKER_OPEN skip never invoked it and carries
+            # None.  The stats totals and the latency histogram count
+            # exactly the same outcomes, so `mean_latency`, histogram
+            # count/sum, and `invoked` can never drift apart.
             if outcome.status is CallStatus.BREAKER_OPEN:
                 stats.breaker_open_skips += 1
-            else:
-                stats.total_latency += outcome.latency_seconds
-            if outcome.status is CallStatus.ERROR:
+            elif outcome.status is CallStatus.ERROR:
                 stats.errors += 1
+                stats.total_latency += outcome.latency_seconds
             elif outcome.status is CallStatus.TIMEOUT:
                 stats.timeouts += 1
+                stats.total_latency += outcome.latency_seconds
+            else:
+                stats.total_latency += outcome.latency_seconds
+            if outcome.latency_seconds is not None:
+                self._m_latency.observe(outcome.latency_seconds, team=team)
+                stage_latencies.append(
+                    (f"scout.{team}", outcome.latency_seconds)
+                )
             if prediction.responsible is None:
                 stats.abstained += 1
+                if outcome.ok:
+                    self._m_model_abstains.inc(1, team=team)
             elif prediction.responsible:
                 stats.said_yes += 1
             else:
@@ -338,7 +502,11 @@ class IncidentManager:
             answers.append(
                 ScoutAnswer(team, prediction.responsible, prediction.confidence)
             )
-        suggested = self._master.route(answers)
+        compose_started = self._clock()
+        with self.obs.trace.span("serve.compose"):
+            suggested = self._master.route(answers)
+        stage_latencies.append(("compose", self._clock() - compose_started))
+        root.attributes["suggested_team"] = suggested
         decision = ServingDecision(
             incident_id=incident.incident_id,
             suggested_team=suggested,
@@ -347,7 +515,15 @@ class IncidentManager:
             latency_seconds=self._clock() - started,
             acted=not self.suggestion_mode and suggested is not None,
             outcomes=tuple(outcomes),
+            trace_id=root.trace_id,
+            stage_latencies=tuple(stage_latencies),
         )
+        self._m_incidents.inc()
+        if suggested is not None:
+            self._m_suggestions.inc()
+        if decision.degraded:
+            self._m_degraded.inc()
+        self._m_handle_latency.observe(decision.latency_seconds)
         self._log.append(decision)
         self._served_ids.add(incident.incident_id)
         return decision
@@ -357,8 +533,13 @@ class IncidentManager:
 
         Decisions (and the audit log) are ordered exactly as the input;
         per-incident Scout fan-out still parallelizes under ``n_jobs``.
+        The per-incident ``serve.handle`` spans nest under one
+        ``serve.handle_batch`` span, so the whole burst shares a trace.
         """
-        return [self.handle(incident) for incident in incidents]
+        with self.obs.trace.span(
+            "serve.handle_batch", n_incidents=len(incidents)
+        ):
+            return [self.handle(incident) for incident in incidents]
 
     # -- feedback ------------------------------------------------------------------
 

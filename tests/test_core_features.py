@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core import ComponentExtractor, FeatureBuilder, STAT_NAMES
+from repro.core.features import _stats
 from repro.datacenter import ComponentKind
-from repro.monitoring import FailureEffect
+from repro.monitoring import FailureEffect, FakeClock
+from repro.obs import Observability
 
 _T = 86400.0 * 320  # beyond the workload horizon: guaranteed-healthy signals
 
@@ -173,6 +175,67 @@ class TestVector:
         builder.clear_cache()
         b = builder.features(extracted, _T)
         assert np.array_equal(a, b)
+
+
+class TestDegenerateWindows:
+    """Regression: <2-sample windows must zero-fill, never NaN.
+
+    ``np.std``/``np.percentile`` warn-and-NaN on degenerate input, and a
+    NaN here would be silently imputed with unrelated training means
+    downstream — the features must stay deterministic and finite.
+    """
+
+    def test_empty_window_is_all_zeros(self):
+        out = _stats(np.empty(0))
+        assert out.shape == (len(STAT_NAMES),)
+        assert np.array_equal(out, np.zeros(len(STAT_NAMES)))
+
+    def test_single_sample_window_zero_fills_spread_slots(self):
+        with np.errstate(all="raise"):  # any NaN-producing warning fails
+            out = _stats(np.array([3.5]))
+        by_name = dict(zip(STAT_NAMES, out))
+        assert by_name["mean"] == 3.5
+        assert by_name["min"] == 3.5
+        assert by_name["max"] == 3.5
+        # One observation carries no distributional information.
+        assert by_name["std"] == 0.0
+        assert all(by_name[f"p{p}"] == 0.0 for p in (1, 10, 25, 50, 75, 90, 99))
+        assert np.all(np.isfinite(out))
+
+    def test_two_samples_compute_full_stats(self):
+        out = _stats(np.array([1.0, 3.0]))
+        by_name = dict(zip(STAT_NAMES, out))
+        assert by_name["mean"] == 2.0
+        assert by_name["std"] == 1.0
+        assert by_name["p50"] == 2.0
+        assert np.all(np.isfinite(out))
+
+    def test_degenerate_stats_are_deterministic(self):
+        assert np.array_equal(_stats(np.array([7.25])), _stats(np.array([7.25])))
+
+
+class TestBuilderInstrumentation:
+    def test_query_and_cache_hit_counters(self, sim, builder):
+        builder.obs = Observability(clock=FakeClock())
+        switch = sim.topology.components(ComponentKind.SWITCH)[0]
+        builder.series("cpu_usage", switch, _T - 3600, _T)  # miss
+        builder.series("cpu_usage", switch, _T - 3600, _T)  # memo hit
+        queries = builder.obs.metrics.get("monitoring_queries_total")
+        hits = builder.obs.metrics.get("monitoring_cache_hits_total")
+        assert queries.value(kind="series") == 1
+        assert hits.value(kind="series") == 1
+
+    def test_batched_prefetch_counts_one_query(self, sim, builder):
+        builder.obs = Observability(clock=FakeClock())
+        switches = sim.topology.components(ComponentKind.SWITCH)[:4]
+        builder.prefetch_series("cpu_usage", switches, _T - 3600, _T)
+        queries = builder.obs.metrics.get("monitoring_queries_total")
+        assert queries.value(kind="series_batch") == 1
+        assert queries.value(kind="series") == 0
+        # The warmed memo serves later scalar pulls as cache hits.
+        builder.series("cpu_usage", switches[0], _T - 3600, _T)
+        hits = builder.obs.metrics.get("monitoring_cache_hits_total")
+        assert hits.value(kind="series") == 1
 
 
 class TestMemo:

@@ -1,5 +1,7 @@
 """Explanation rendering and analysis-metric tests."""
 
+import math
+
 import numpy as np
 import pytest
 
@@ -223,4 +225,7 @@ class TestTables:
         assert len(row) == 4
 
     def test_percentile_row_empty(self):
-        assert percentile_row([]) == [0.0, 0.0, 0.0, 0.0]
+        # No data has no quantiles: NaN, never a fake 0.0 latency.
+        row = percentile_row([])
+        assert len(row) == 4
+        assert all(math.isnan(v) for v in row)
