@@ -32,6 +32,13 @@ Metrics (all wall-clock seconds):
 * ``scout_predict_seconds_mean`` — mean live ``Scout.predict`` per incident
 * ``eval_f1``                 — held-out F1, guarding against silent
   accuracy loss from a "fast but wrong" change
+* ``serve_serial_ips`` / ``serve_batch_ips`` / ``serve_batch_speedup`` /
+  ``serve_cache_hit_rate`` — the serve-throughput bench (an outage-storm
+  burst through a serial ``handle`` loop vs the concurrent
+  ``handle_batch`` pipeline with the TTL monitoring cache; see
+  ``serve_throughput.py``).  Throughput metrics are higher-is-better:
+  the ``--check-against`` gate flags them when they fall *below* the
+  committed numbers by more than the tolerance.
 """
 
 from __future__ import annotations
@@ -49,6 +56,8 @@ from repro.ml import RandomForestClassifier, imbalance_aware_split
 from repro.obs import Observability
 from repro.simulation import CloudSimulation, SimulationConfig
 
+from .serve_throughput import run_serve_bench
+
 _REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 _BASELINE = Path(__file__).resolve().parent / "baseline_seed.json"
 
@@ -64,6 +73,8 @@ def run_bench(
     n_incidents: int = N_INCIDENTS,
     n_jobs: int | None = None,
     predict_samples: int = 20,
+    serve_distinct: int = 6,
+    serve_repeats: int = 5,
 ) -> dict:
     """Time every stage once and return the metric dict."""
     out: dict = {}
@@ -113,6 +124,10 @@ def run_bench(
 
     report = framework.evaluate(scout, test)
     out["eval_f1"] = report.f1
+
+    storm = [example.incident for example in test.examples[:serve_distinct]]
+    out.update(run_serve_bench(scout, sim.registry, storm, repeats=serve_repeats))
+
     out["workload"] = {
         "seed": seed,
         "duration_days": duration_days,
@@ -130,6 +145,10 @@ _SPEEDUP_KEYS = {
     "batch_predict": "batch_predict_seconds",
     "scout_predict": "scout_predict_seconds_mean",
 }
+
+# Higher-is-better serve-throughput metrics: the tolerance gate flags
+# these when they fall *below* the committed numbers.
+_THROUGHPUT_KEYS = ("serve_serial_ips", "serve_batch_ips")
 
 
 def check_tolerance(
@@ -152,6 +171,16 @@ def check_tolerance(
             violations.append(
                 f"{key}: {after[key]:.3f}s exceeds committed "
                 f"{ref:.3f}s by more than {tolerance:.0%}"
+            )
+    for key in _THROUGHPUT_KEYS:
+        ref = committed.get(key)
+        if not ref or not after.get(key):
+            continue
+        floor = ref * (1.0 - tolerance)
+        if after[key] < floor:
+            violations.append(
+                f"{key}: {after[key]:.1f} incidents/s fell below committed "
+                f"{ref:.1f} by more than {tolerance:.0%}"
             )
     ref_f1 = committed.get("eval_f1")
     if ref_f1 is not None and after.get("eval_f1") is not None:
@@ -213,7 +242,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.quick:
         after = run_bench(
             duration_days=60.0, n_incidents=80, n_jobs=args.jobs,
-            predict_samples=5,
+            predict_samples=5, serve_distinct=4, serve_repeats=3,
         )
     else:
         after = run_bench(n_jobs=args.jobs)

@@ -1,0 +1,111 @@
+"""Serve-path throughput bench: serial ``handle`` vs batch pipeline.
+
+The workload models an outage storm — the situation the serving layer
+actually has to survive: a burst of near-duplicate incident reports
+landing at the same timestamp (DeepTriage reports exactly this shape in
+Microsoft's production traffic).  The *serial* reference is the seed
+serving behavior — a ``handle()`` loop with one batch worker and the
+monitoring cache cleared per incident.  The *batch* measurement runs
+the same burst through ``handle_batch`` with ``batch_workers > 1`` and
+a TTL-window monitoring cache, so repeated pulls for the same
+``(dataset, device, window)`` keys are served from memory.
+
+Reported metrics (merged into ``BENCH_scout.json``'s ``after`` dict):
+
+* ``serve_serial_ips``     — incidents/sec through the serial loop
+* ``serve_batch_ips``      — incidents/sec through the batch pipeline
+* ``serve_batch_speedup``  — batch over serial (the ≥ 2x target)
+* ``serve_cache_hit_rate`` — memo hits / (hits + store pulls) during
+  the batch run (batched pulls count as one store query each)
+* ``serve_burst_incidents`` — burst size, for context
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro.serving import IncidentManager
+
+__all__ = ["run_serve_bench"]
+
+
+def _reset_serving_state(scout) -> None:
+    """Return a Scout to its un-instrumented, cache-cold default.
+
+    The bench registers one Scout with two managers in sequence;
+    registration only injects obs/cache policy into *unset* attributes,
+    so each manager must see the Scout as a clean slate (and the second
+    run must not start with the first run's warm memos).
+    """
+    scout.obs = None
+    builder = scout.builder
+    builder.obs = None
+    builder.cache_ttl = None
+    builder.clock = None
+    builder.clear_cache()
+
+
+def _counter_total(metrics, name: str) -> float:
+    family = metrics.get(name)
+    return family.total() if family is not None else 0.0
+
+
+def run_serve_bench(
+    scout,
+    registry,
+    incidents,
+    repeats: int = 5,
+    batch_workers: int = 4,
+    cache_ttl: float = 3600.0,
+) -> dict:
+    """Time the storm burst through both serving paths.
+
+    ``incidents`` are the distinct storm members; each is replicated
+    ``repeats`` times (fresh ids, one shared timestamp) and the copies
+    are interleaved round-robin, the arrival order a real burst has.
+    """
+    burst_at = max(incident.created_at for incident in incidents)
+    next_id = max(incident.incident_id for incident in incidents) + 1
+    burst = []
+    for _ in range(repeats):
+        for incident in incidents:
+            burst.append(
+                replace(incident, incident_id=next_id, created_at=burst_at)
+            )
+            next_id += 1
+
+    out: dict = {"serve_burst_incidents": len(burst)}
+
+    _reset_serving_state(scout)
+    serial = IncidentManager(registry, n_jobs=1)
+    serial.register(scout)
+    start = time.perf_counter()
+    for incident in burst:
+        serial.handle(incident)
+    serial_seconds = time.perf_counter() - start
+    out["serve_serial_ips"] = len(burst) / serial_seconds
+
+    _reset_serving_state(scout)
+    with IncidentManager(
+        registry,
+        n_jobs=1,
+        batch_workers=batch_workers,
+        cache_ttl=cache_ttl,
+    ) as manager:
+        manager.register(scout)
+        start = time.perf_counter()
+        manager.handle_batch(burst)
+        batch_seconds = time.perf_counter() - start
+        metrics = manager.obs.metrics
+        queries = _counter_total(metrics, "monitoring_queries_total")
+        hits = _counter_total(metrics, "monitoring_cache_hits_total")
+        cross = _counter_total(metrics, "monitoring_cache_cross_hits_total")
+    out["serve_batch_ips"] = len(burst) / batch_seconds
+    out["serve_batch_speedup"] = round(serial_seconds / batch_seconds, 3)
+    lookups = queries + hits
+    out["serve_cache_hit_rate"] = round(hits / lookups, 4) if lookups else 0.0
+    out["serve_cache_cross_hits"] = int(cross)
+
+    _reset_serving_state(scout)
+    return out

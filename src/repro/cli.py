@@ -67,6 +67,23 @@ def build_parser() -> argparse.ArgumentParser:
             help="worker processes for featurization/training (-1 = all cores)",
         )
 
+    def batch_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--batch-workers",
+            type=int,
+            default=1,
+            help="incidents served concurrently by handle_batch "
+            "(1 = serial, -1 = all cores)",
+        )
+        p.add_argument(
+            "--cache-ttl",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="cross-incident monitoring-cache TTL in seconds "
+            "(default: cache cleared per incident)",
+        )
+
     def metrics_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--metrics",
@@ -83,6 +100,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim = sub.add_parser("simulate", help="generate an incident dataset")
     common(p_sim)
     p_sim.add_argument("--out", required=True, help="output JSON path")
+    batch_flags(p_sim)  # interface parity with serve (like --jobs)
     metrics_flags(p_sim)
 
     p_train = sub.add_parser("train", help="train and save the PhyNet Scout")
@@ -167,6 +185,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="seed for the injected-fault schedule",
     )
+    batch_flags(p_serve)
     metrics_flags(p_serve)
     return parser
 
@@ -315,6 +334,8 @@ def _cmd_serve(args) -> int:
         scout_deadline=args.scout_deadline,
         breaker=breaker,
         retry=retry,
+        batch_workers=args.batch_workers,
+        cache_ttl=args.cache_ttl,
     )
     for path in args.model:
         manager.register(load_scout(path, sim.topology, store))
@@ -322,10 +343,29 @@ def _cmd_serve(args) -> int:
         f"serving {len(incidents)} incidents through "
         f"{len(manager.registered_teams)} Scout(s): "
         f"{', '.join(manager.registered_teams)}"
+        + (f" with {args.batch_workers} batch workers"
+           if args.batch_workers != 1 else "")
     )
-    manager.handle_batch(list(incidents))
+    with manager:
+        manager.handle_batch(list(incidents))
     for incident in incidents:
         manager.resolve(incident.incident_id, incident.responsible_team)
+    if args.cache_ttl is not None:
+        metrics = manager.obs.metrics
+
+        def counter_total(name: str) -> float:
+            family = metrics.get(name)
+            return family.total() if family is not None else 0.0
+
+        queries = counter_total("monitoring_queries_total")
+        hits = counter_total("monitoring_cache_hits_total")
+        cross = counter_total("monitoring_cache_cross_hits_total")
+        lookups = queries + hits
+        rate = hits / lookups if lookups else 0.0
+        print(
+            f"monitoring cache: {int(queries)} pulls, {int(hits)} hits "
+            f"({int(cross)} cross-incident), hit-rate={rate:.3f}"
+        )
     print()
     print(availability_from_registry(manager.obs.metrics).render())
     print()

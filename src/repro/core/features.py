@@ -164,13 +164,23 @@ class FeatureBuilder:
         self.topology = topology
         self.store = store
         self.schema = FeatureSchema(config, store)
-        # Two cache lifetimes, all initialized here so clear_cache() and
-        # pickling (parallel dataset builds ship builders to workers)
-        # always see every memo:
+        # Three cache lifetimes, all initialized here so clear_cache()
+        # and pickling (parallel dataset builds ship builders to
+        # workers) always see every memo:
         #
         # * per-incident — cluster/DC/leaf feature groups and CPD+ all
         #   re-query the same (dataset, device, window) series/events;
-        #   callers reset these between incidents via clear_cache();
+        #   with no TTL configured (the default), callers reset these
+        #   between incidents via clear_cache()/begin_incident();
+        # * TTL-window — when ``cache_ttl`` and ``clock`` are set (the
+        #   incident manager threads its own injectable clock in at
+        #   registration), the same memos survive *across* incidents:
+        #   keys already carry the exact query window
+        #   ``(locator, device, t0, t1)``, so a burst of correlated
+        #   incidents at the same timestamps shares pulls instead of
+        #   re-issuing them N times.  Entries are stamped with their
+        #   insertion time and evicted once older than ``cache_ttl``
+        #   (on the injectable clock, so fake-clock tests are exact);
         # * topology-lifetime — ``_observables_memo`` maps a container
         #   component to its observable leaf devices, which depends only
         #   on the (immutable) topology and config, so clear_cache()
@@ -179,6 +189,16 @@ class FeatureBuilder:
         self._norm_memo: dict = {}
         self._events_memo: dict = {}
         self._observables_memo: dict = {}
+        # TTL-window cache state: ``cache_ttl=None`` keeps the seed
+        # behavior (per-incident memos).  ``_epoch`` counts live
+        # predictions so a memo hit can tell "same incident re-query"
+        # from a genuine cross-incident hit.
+        self.cache_ttl: float | None = None
+        self.clock = None
+        self._epoch = 0
+        self._series_stamps: dict = {}
+        self._norm_stamps: dict = {}
+        self._events_stamps: dict = {}
         # Observability sink (None = un-instrumented): counts store
         # queries vs. memo hits.  Threaded in by the incident manager
         # at Scout registration or by an instrumented framework; the
@@ -196,6 +216,15 @@ class FeatureBuilder:
         self._obs = value
         self._bound_counters = {}  # handles belong to the old registry
 
+    _COUNTER_HELP = {
+        "monitoring_queries_total": "Monitoring-store pulls by query kind.",
+        "monitoring_cache_hits_total": "Feature-builder memo hits by query kind.",
+        "monitoring_cache_cross_hits_total": (
+            "Memo hits served from an earlier incident's pulls "
+            "(TTL-window cache only)."
+        ),
+    }
+
     def _count(self, metric: str, kind: str) -> None:
         """One counter tick on the hot query path.
 
@@ -208,11 +237,7 @@ class FeatureBuilder:
         bound = self._bound_counters.get((metric, kind))
         if bound is None:
             bound = self._obs.metrics.counter(
-                metric,
-                "Monitoring-store pulls by query kind."
-                if metric == "monitoring_queries_total"
-                else "Feature-builder memo hits by query kind.",
-                labels=("kind",),
+                metric, self._COUNTER_HELP[metric], labels=("kind",)
             ).bind(kind=kind)
             self._bound_counters[(metric, kind)] = bound
         bound.inc()
@@ -226,6 +251,55 @@ class FeatureBuilder:
         self._series_memo.clear()
         self._norm_memo.clear()
         self._events_memo.clear()
+        self._series_stamps.clear()
+        self._norm_stamps.clear()
+        self._events_stamps.clear()
+
+    # -- cache lifecycle ----------------------------------------------------
+
+    @property
+    def ttl_enabled(self) -> bool:
+        """Is the cross-incident TTL-window cache active?"""
+        return self.cache_ttl is not None and self.clock is not None
+
+    def begin_incident(self) -> None:
+        """Open one live prediction's cache scope.
+
+        Without a TTL this is exactly the seed behavior — the
+        per-incident memos reset.  With ``cache_ttl`` and ``clock`` set,
+        the memos survive across incidents: only entries older than the
+        TTL are evicted, and the epoch bump lets hits on surviving
+        entries be counted as cross-incident.
+        """
+        if not self.ttl_enabled:
+            self.clear_cache()
+            return
+        self._epoch += 1
+        self.evict_expired()
+
+    def evict_expired(self) -> None:
+        """Drop TTL-window entries whose age reached ``cache_ttl``."""
+        if not self.ttl_enabled:
+            return
+        cutoff = self.clock() - self.cache_ttl
+        for memo, stamps in (
+            (self._series_memo, self._series_stamps),
+            (self._norm_memo, self._norm_stamps),
+            (self._events_memo, self._events_stamps),
+        ):
+            expired = [key for key, (at, _) in stamps.items() if at <= cutoff]
+            for key in expired:
+                del stamps[key]
+                memo.pop(key, None)
+
+    def _note_hit(self, kind: str, stamps: dict, key) -> None:
+        """Count a memo hit; cross-incident hits get their own counter."""
+        self._count("monitoring_cache_hits_total", kind)
+        if self.cache_ttl is None:
+            return
+        stamp = stamps.get(key)
+        if stamp is not None and stamp[1] != self._epoch:
+            self._count("monitoring_cache_cross_hits_total", kind)
 
     def series(self, locator: str, device: Component, t0: float, t1: float):
         """Memoized MonitoringStore.query_series."""
@@ -233,8 +307,10 @@ class FeatureBuilder:
         if key not in self._series_memo:
             self._count("monitoring_queries_total", "series")
             self._series_memo[key] = self.store.query_series(locator, device, t0, t1)
+            if self.ttl_enabled:
+                self._series_stamps[key] = (self.clock(), self._epoch)
         else:
-            self._count("monitoring_cache_hits_total", "series")
+            self._note_hit("series", self._series_stamps, key)
         return self._series_memo[key]
 
     def prefetch_series(
@@ -258,8 +334,12 @@ class FeatureBuilder:
             return
         self._count("monitoring_queries_total", "series_batch")
         batch = self.store.query_series_batch(locator, missing, t0, t1)
+        stamp = (self.clock(), self._epoch) if self.ttl_enabled else None
         for device, series in zip(missing, batch):
-            self._series_memo[(locator, device.name, t0, t1)] = series
+            key = (locator, device.name, t0, t1)
+            self._series_memo[key] = series
+            if stamp is not None:
+                self._series_stamps[key] = stamp
 
     def events(self, locator: str, device: Component, t0: float, t1: float):
         """Memoized MonitoringStore.query_events."""
@@ -267,8 +347,10 @@ class FeatureBuilder:
         if key not in self._events_memo:
             self._count("monitoring_queries_total", "events")
             self._events_memo[key] = self.store.query_events(locator, device, t0, t1)
+            if self.ttl_enabled:
+                self._events_stamps[key] = (self.clock(), self._epoch)
         else:
-            self._count("monitoring_cache_hits_total", "events")
+            self._note_hit("events", self._events_stamps, key)
         return self._events_memo[key]
 
     def prefetch_events(
@@ -287,8 +369,12 @@ class FeatureBuilder:
             return
         self._count("monitoring_queries_total", "events_batch")
         batch = self.store.query_events_batch(locator, missing, t0, t1)
+        stamp = (self.clock(), self._epoch) if self.ttl_enabled else None
         for device, series in zip(missing, batch):
-            self._events_memo[(locator, device.name, t0, t1)] = series
+            key = (locator, device.name, t0, t1)
+            self._events_memo[key] = series
+            if stamp is not None:
+                self._events_stamps[key] = stamp
 
     # -- component resolution ----------------------------------------------
 
@@ -327,6 +413,8 @@ class FeatureBuilder:
             return self._norm_memo[key]
         normalized = self._compute_normalized_window(locator, device, t)
         self._norm_memo[key] = normalized
+        if self.ttl_enabled:
+            self._norm_stamps[key] = (self.clock(), self._epoch)
         return normalized
 
     def _compute_normalized_window(
@@ -370,13 +458,21 @@ class FeatureBuilder:
             return
         T = self.config.lookback
         ref_span = self.config.reference_multiple * T
+        stamp = (self.clock(), self._epoch) if self.ttl_enabled else None
+
+        def memoize(device: Component, value) -> None:
+            key = (locator, device.name, t)
+            self._norm_memo[key] = value
+            if stamp is not None:
+                self._norm_stamps[key] = stamp
+
         usable: list[tuple[Component, np.ndarray]] = []
         for device in missing:
             window = self.series(locator, device, t - T, t)
             if window is None:
-                self._norm_memo[(locator, device.name, t)] = None
+                memoize(device, None)
             elif len(window) == 0:
-                self._norm_memo[(locator, device.name, t)] = np.empty(0)
+                memoize(device, np.empty(0))
             else:
                 usable.append((device, window.values))
         if not usable:
@@ -396,7 +492,7 @@ class FeatureBuilder:
         stds = np.where(stds == 0.0, 1.0, stds)
         normalized = (windows - means[:, np.newaxis]) / stds[:, np.newaxis]
         for row, (device, _) in enumerate(usable):
-            self._norm_memo[(locator, device.name, t)] = normalized[row]
+            memoize(device, normalized[row])
 
     def pull_group(
         self,

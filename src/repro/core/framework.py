@@ -324,8 +324,19 @@ class ScoutFramework:
                 continue
             y_true.append(example.label)
             y_pred.append(int(prediction.responsible))
+        if y_true:
+            report = classification_report(np.array(y_true), np.array(y_pred))
+        else:
+            # Every prediction abstained (and abstentions are not
+            # scored): there is nothing to classify, so return an
+            # explicit all-zero report instead of handing empty arrays
+            # to the metric math.  Route counts below still describe
+            # the dataset.
+            report = BinaryReport(
+                precision=0.0, recall=0.0, f1=0.0, support=0
+            )
         return EvaluationReport(
-            report=classification_report(np.array(y_true), np.array(y_pred)),
+            report=report,
             n_total=len(data),
             n_fallback=counts[Route.FALLBACK],
             n_excluded=counts[Route.EXCLUDED],

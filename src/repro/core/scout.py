@@ -104,8 +104,14 @@ class Scout:
         the incident manager drives the call): component extraction,
         model-selector choice, feature build, and RF vs. CPD+
         inference each show up with their own timing.
+
+        Monitoring memos follow the builder's cache policy: with no TTL
+        configured the memos reset here (the seed behavior); with a
+        TTL-window cache (threaded in by the incident manager) pulls
+        survive across incidents and only expired entries are evicted —
+        a burst of correlated incidents shares its monitoring queries.
         """
-        self.builder.clear_cache()
+        self.builder.begin_incident()
         prediction = self._predict_traced(incident)
         if self.obs is not None:
             self.obs.metrics.counter(
@@ -186,15 +192,29 @@ class Scout:
     # -- cached prediction ------------------------------------------------------
 
     def predict_example(self, example: ScoutExample) -> ScoutPrediction:
-        """Predict from a pre-computed :class:`ScoutExample`."""
+        """Predict from a pre-computed :class:`ScoutExample`.
+
+        The cached path must produce exactly what live serving would
+        log — §7's evaluation artifacts are audited against serving
+        decisions.  Static routes therefore re-derive the selector's
+        reason (cheap: ``decide`` short-circuits before any model work
+        for EXCLUDED/FALLBACK) instead of returning an empty
+        explanation.
+        """
         incident = example.incident
-        if example.static_route is Route.EXCLUDED:
-            return ScoutPrediction(
-                incident.incident_id, False, 1.0, Route.EXCLUDED
+        if example.static_route in (Route.EXCLUDED, Route.FALLBACK):
+            decision = self.selector.decide(
+                incident.title, incident.body, example.extracted
             )
-        if example.static_route is Route.FALLBACK:
+            explanation = Explanation(notes=[decision.reason])
+            if example.static_route is Route.EXCLUDED:
+                return ScoutPrediction(
+                    incident.incident_id, False, 1.0, Route.EXCLUDED,
+                    explanation=explanation,
+                )
             return ScoutPrediction(
-                incident.incident_id, None, 0.0, Route.FALLBACK
+                incident.incident_id, None, 0.0, Route.FALLBACK,
+                explanation=explanation,
             )
         novelty = self.selector.novelty(incident.text)
         if novelty > self.selector.novelty_threshold:
@@ -266,7 +286,10 @@ class Scout:
             route=Route.UNSUPERVISED,
             explanation=Explanation(
                 components=[c.name for c in example.extracted.mentioned],
-                triggers=list(verdict.triggers[:5]),
+                # No extra truncation: verdict_from_signals already
+                # applies the live path's trigger policy, so cached and
+                # live explanations carry identical trigger lists.
+                triggers=list(verdict.triggers),
             ),
             novelty=novelty,
         )

@@ -34,7 +34,9 @@ builders) inherit the manager's observability, so one
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from enum import Enum
 
@@ -172,6 +174,28 @@ def _abstain(incident_id: int, note: str) -> ScoutPrediction:
     )
 
 
+@dataclass
+class _StagedDecision:
+    """One incident's computed (but not yet committed) decision.
+
+    The concurrent batch pipeline splits serving in two: the *compute*
+    phase (Scout fan-out + composition — everything expensive) runs on
+    pool workers, while the *commit* phase (stats accounting, metric
+    increments, the audit-log append) runs on the calling thread in
+    arrival order.  That split is what keeps the decision log, stats,
+    and rendered exposition byte-identical to the serial path no matter
+    how the workers interleave.
+    """
+
+    incident: Incident
+    root: object  # the incident's ``serve.handle`` span
+    results: list[tuple[str, ScoutPrediction, ScoutCallOutcome]]
+    answers: list[ScoutAnswer]
+    suggested: str | None
+    compose_seconds: float
+    latency_seconds: float
+
+
 class IncidentManager:
     """Registers Scouts and serves routing suggestions for incidents.
 
@@ -198,6 +222,21 @@ class IncidentManager:
         When set, threaded to each registered :class:`Scout` (via its
         ``retry_policy`` attribute) so transient monitoring-pull
         failures inside ``predict`` retry with deterministic backoff.
+    batch_workers:
+        Default concurrency for :meth:`handle_batch`: how many
+        incidents are in flight at once.  ``1`` (the default) serves
+        the batch serially; ``None`` or ``< 1`` uses all cores.  The
+        workers come from a persistent, lazily created pool — call
+        :meth:`close` (or use the manager as a context manager) to
+        shut it down.
+    cache_ttl:
+        When set, threaded into each registered Scout's feature
+        builder (together with the manager's clock) as a TTL-window
+        monitoring cache: pulls survive across incidents for
+        ``cache_ttl`` clock-seconds, so a burst of correlated
+        incidents shares its monitoring queries instead of re-issuing
+        them per incident.  None (the default) keeps the seed
+        per-incident cache lifetime.
     obs:
         The observability sink (metrics registry + tracer).  Defaults
         to a fresh :class:`~repro.obs.Observability` on the manager's
@@ -215,6 +254,8 @@ class IncidentManager:
         scout_deadline: float | None = None,
         breaker: BreakerPolicy | None = BreakerPolicy(),
         retry: RetryPolicy | None = None,
+        batch_workers: int | None = 1,
+        cache_ttl: float | None = None,
         obs: Observability | None = None,
     ) -> None:
         self.registry = registry
@@ -223,6 +264,8 @@ class IncidentManager:
         self.scout_deadline = scout_deadline
         self.breaker_policy = breaker
         self.retry_policy = retry
+        self.batch_workers = batch_workers
+        self.cache_ttl = cache_ttl
         self.obs = obs if obs is not None else Observability(clock=clock)
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
@@ -234,6 +277,23 @@ class IncidentManager:
         self._served_ids: set[int] = set()
         self._resolved_indices: set[int] = set()
         self._clock = clock
+        # The persistent worker pool (lazily created, grown on demand,
+        # shut down by close()).  It runs per-Scout fan-out calls in
+        # serial handle() *and* per-incident _decide() tasks in batch
+        # mode — batch workers call their Scouts inline rather than
+        # re-submitting to the pool, so the two uses can never deadlock
+        # against each other.
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_size = 0
+        self._pool_lock = threading.Lock()
+        # Serializes the commit phase (stats, metrics, log append) so
+        # concurrent batch serving produces the same accounting as the
+        # serial path.
+        self._commit_lock = threading.Lock()
+        # One lock per registered Scout: a Scout's predict() (and its
+        # builder memos, and its breaker) is single-threaded even when
+        # several in-flight incidents fan out to the same team.
+        self._team_locks: dict[str, threading.Lock] = {}
         metrics = self.obs.metrics
         self._m_calls = metrics.counter(
             "scout_calls_total",
@@ -299,7 +359,19 @@ class IncidentManager:
         builder = getattr(scout, "builder", None)
         if builder is not None and getattr(builder, "obs", False) is None:
             builder.obs = self.obs
+        if (
+            self.cache_ttl is not None
+            and builder is not None
+            and getattr(builder, "cache_ttl", False) is None
+        ):
+            # Thread the TTL-window cache policy into the builder
+            # unless it brought its own — together with the manager's
+            # clock, so fake-clock eviction tests are exact.
+            builder.cache_ttl = self.cache_ttl
+            if getattr(builder, "clock", False) is None:
+                builder.clock = self._clock
         self._scouts[scout.team] = scout
+        self._team_locks[scout.team] = threading.Lock()
         self._stats[scout.team] = ScoutServiceStats(team=scout.team)
         self._monitors[scout.team] = DriftMonitor()
         if self.breaker_policy is not None:
@@ -322,10 +394,51 @@ class IncidentManager:
         self._monitors.pop(team, None)
         self._breakers.pop(team, None)
         self._breaker_seen.pop(team, None)
+        self._team_locks.pop(team, None)
 
     @property
     def registered_teams(self) -> list[str]:
         return sorted(self._scouts)
+
+    # -- worker pool -------------------------------------------------------
+
+    def _ensure_pool(self, workers: int) -> ThreadPoolExecutor:
+        """The persistent pool, created lazily and grown on demand.
+
+        A pool that is already at least ``workers`` wide is reused
+        as-is; a narrower one is drained and replaced.  It never
+        shrinks on its own — only :meth:`close` tears it down.
+        """
+        with self._pool_lock:
+            if self._pool is not None and self._pool_size >= workers:
+                return self._pool
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="scout-serve"
+            )
+            self._pool_size = workers
+            return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent).
+
+        The manager stays usable afterwards — the next parallel call
+        lazily recreates the pool — but a long-lived deployment should
+        close it (or use the manager as a context manager) so worker
+        threads don't outlive the serving loop.
+        """
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_size = 0
+
+    def __enter__(self) -> "IncidentManager":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- serving -----------------------------------------------------------------
 
@@ -370,6 +483,18 @@ class IncidentManager:
         return result
 
     def _invoke_scout(
+        self, incident: Incident, team: str, breaker: CircuitBreaker | None
+    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+        # One incident at a time per Scout: concurrent batch incidents
+        # fanning out to the same team would otherwise race on the
+        # Scout's builder memos and its breaker (neither is internally
+        # locked).  Serializing here also makes the cross-incident
+        # cache hit/miss counts deterministic — each unique monitoring
+        # key is exactly one miss, no matter how incidents interleave.
+        with self._team_locks[team]:
+            return self._invoke_scout_locked(incident, team, breaker)
+
+    def _invoke_scout_locked(
         self, incident: Incident, team: str, breaker: CircuitBreaker | None
     ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
         if breaker is not None and not breaker.allow():
@@ -420,19 +545,22 @@ class IncidentManager:
         return team, prediction, ScoutCallOutcome(team, CallStatus.OK, elapsed)
 
     def _call_scouts(
-        self, incident: Incident, parent=None
+        self, incident: Incident, parent=None, inline: bool = False
     ) -> list[tuple[str, ScoutPrediction, ScoutCallOutcome]]:
         """Run every registered Scout on one incident.
 
         Returns ``(team, prediction, outcome)`` in sorted team order —
         the composition input is deterministic regardless of ``n_jobs``.
         Each Scout owns its feature builder (and caches), so concurrent
-        per-team predictions never share mutable state; the thread pool
-        overlaps their monitoring pulls.  Failures never propagate:
-        each call is isolated by :meth:`_call_one`.  ``parent`` is the
-        incident's root span: pool threads cannot inherit it from
-        context, so it is passed explicitly and each call attaches its
-        ``scout.call`` child to it.
+        per-team predictions never share mutable state; the persistent
+        pool overlaps their monitoring pulls.  Failures never
+        propagate: each call is isolated by :meth:`_call_one`.
+        ``parent`` is the incident's root span: pool threads cannot
+        inherit it from context, so it is passed explicitly and each
+        call attaches its ``scout.call`` child to it.  ``inline`` is
+        set by batch-mode workers, which already *run on* the pool and
+        must not submit to it (tasks waiting on tasks in one
+        fixed-size pool can deadlock).
         """
         teams = sorted(self._scouts)
 
@@ -440,106 +568,180 @@ class IncidentManager:
             return self._call_one(incident, team, parent)
 
         n_workers = min(resolve_n_jobs(self.n_jobs), max(1, len(teams)))
-        if n_workers > 1 and len(teams) > 1:
-            from concurrent.futures import ThreadPoolExecutor
-
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                return list(pool.map(call, teams))
+        if not inline and n_workers > 1 and len(teams) > 1:
+            pool = self._ensure_pool(n_workers)
+            futures = [pool.submit(call, team) for team in teams]
+            return [future.result() for future in futures]
         return [call(team) for team in teams]
 
     def handle(self, incident: Incident) -> ServingDecision:
         """Fan an incident out to every registered Scout and compose."""
-        with self.obs.trace.span(
+        root = self.obs.trace.start_span(
             "serve.handle", incident_id=incident.incident_id
-        ) as root:
-            decision = self._handle_traced(incident, root)
-        return decision
-
-    def _handle_traced(self, incident: Incident, root) -> ServingDecision:
-        started = self._clock()
-        answers: list[ScoutAnswer] = []
-        predictions: list[ScoutPrediction] = []
-        outcomes: list[ScoutCallOutcome] = []
-        stage_latencies: list[tuple[str, float]] = []
-        for team, prediction, outcome in self._call_scouts(incident, root):
-            stats = self._stats[team]
-            stats.calls += 1
-            self._m_calls.inc(1, team=team, status=outcome.status.value)
-            # Latency accounting, explicit per status: OK, ERROR and
-            # TIMEOUT all reached the Scout and carry a measured
-            # latency; a BREAKER_OPEN skip never invoked it and carries
-            # None.  The stats totals and the latency histogram count
-            # exactly the same outcomes, so `mean_latency`, histogram
-            # count/sum, and `invoked` can never drift apart.
-            if outcome.status is CallStatus.BREAKER_OPEN:
-                stats.breaker_open_skips += 1
-            elif outcome.status is CallStatus.ERROR:
-                stats.errors += 1
-                stats.total_latency += outcome.latency_seconds
-            elif outcome.status is CallStatus.TIMEOUT:
-                stats.timeouts += 1
-                stats.total_latency += outcome.latency_seconds
-            else:
-                stats.total_latency += outcome.latency_seconds
-            if outcome.latency_seconds is not None:
-                self._m_latency.observe(outcome.latency_seconds, team=team)
-                stage_latencies.append(
-                    (f"scout.{team}", outcome.latency_seconds)
-                )
-            if prediction.responsible is None:
-                stats.abstained += 1
-                if outcome.ok:
-                    self._m_model_abstains.inc(1, team=team)
-            elif prediction.responsible:
-                stats.said_yes += 1
-            else:
-                stats.said_no += 1
-            breaker = self._breakers.get(team)
-            if breaker is not None:
-                stats.breaker_state = breaker.state.value
-            predictions.append(prediction)
-            outcomes.append(outcome)
-            answers.append(
-                ScoutAnswer(team, prediction.responsible, prediction.confidence)
-            )
-        compose_started = self._clock()
-        with self.obs.trace.span("serve.compose"):
-            suggested = self._master.route(answers)
-        stage_latencies.append(("compose", self._clock() - compose_started))
-        root.attributes["suggested_team"] = suggested
-        decision = ServingDecision(
-            incident_id=incident.incident_id,
-            suggested_team=suggested,
-            answers=tuple(answers),
-            predictions=tuple(predictions),
-            latency_seconds=self._clock() - started,
-            acted=not self.suggestion_mode and suggested is not None,
-            outcomes=tuple(outcomes),
-            trace_id=root.trace_id,
-            stage_latencies=tuple(stage_latencies),
         )
-        self._m_incidents.inc()
-        if suggested is not None:
-            self._m_suggestions.inc()
-        if decision.degraded:
-            self._m_degraded.inc()
-        self._m_handle_latency.observe(decision.latency_seconds)
-        self._log.append(decision)
-        self._served_ids.add(incident.incident_id)
+        try:
+            staged = self._decide(incident, root)
+        except BaseException:
+            self.obs.trace.finish(root)
+            raise
+        return self._commit(staged)
+
+    def _decide(
+        self, incident: Incident, root, inline_scouts: bool = False
+    ) -> _StagedDecision:
+        """The compute phase: fan out, collect answers, compose.
+
+        Safe to run on a pool worker — it touches no shared accounting
+        state (stats, metrics, log); that is :meth:`_commit`'s job.
+        ``root`` is the incident's ``serve.handle`` span, passed
+        explicitly because a worker thread can't inherit it from
+        context.
+        """
+        started = self._clock()
+        results = self._call_scouts(incident, root, inline=inline_scouts)
+        answers = [
+            ScoutAnswer(team, prediction.responsible, prediction.confidence)
+            for team, prediction, _ in results
+        ]
+        compose_started = self._clock()
+        with self.obs.trace.span("serve.compose", parent=root):
+            suggested = self._master.route(answers)
+        compose_seconds = self._clock() - compose_started
+        root.attributes["suggested_team"] = suggested
+        return _StagedDecision(
+            incident=incident,
+            root=root,
+            results=results,
+            answers=answers,
+            suggested=suggested,
+            compose_seconds=compose_seconds,
+            latency_seconds=self._clock() - started,
+        )
+
+    def _commit(self, staged: _StagedDecision) -> ServingDecision:
+        """The commit phase: accounting, logging, and the root finish.
+
+        Runs on the caller's thread, one staged decision at a time
+        (the commit lock guards against a concurrent ``handle`` call),
+        in arrival order — so stats, metric increments, and the audit
+        log are identical to what a serial loop would have produced.
+        """
+        incident = staged.incident
+        root = staged.root
+        with self._commit_lock:
+            predictions: list[ScoutPrediction] = []
+            outcomes: list[ScoutCallOutcome] = []
+            stage_latencies: list[tuple[str, float]] = []
+            for team, prediction, outcome in staged.results:
+                stats = self._stats[team]
+                stats.calls += 1
+                self._m_calls.inc(1, team=team, status=outcome.status.value)
+                # Latency accounting, explicit per status: OK, ERROR and
+                # TIMEOUT all reached the Scout and carry a measured
+                # latency; a BREAKER_OPEN skip never invoked it and
+                # carries None.  The stats totals and the latency
+                # histogram count exactly the same outcomes, so
+                # `mean_latency`, histogram count/sum, and `invoked`
+                # can never drift apart.
+                if outcome.status is CallStatus.BREAKER_OPEN:
+                    stats.breaker_open_skips += 1
+                elif outcome.status is CallStatus.ERROR:
+                    stats.errors += 1
+                    stats.total_latency += outcome.latency_seconds
+                elif outcome.status is CallStatus.TIMEOUT:
+                    stats.timeouts += 1
+                    stats.total_latency += outcome.latency_seconds
+                else:
+                    stats.total_latency += outcome.latency_seconds
+                if outcome.latency_seconds is not None:
+                    self._m_latency.observe(outcome.latency_seconds, team=team)
+                    stage_latencies.append(
+                        (f"scout.{team}", outcome.latency_seconds)
+                    )
+                if prediction.responsible is None:
+                    stats.abstained += 1
+                    if outcome.ok:
+                        self._m_model_abstains.inc(1, team=team)
+                elif prediction.responsible:
+                    stats.said_yes += 1
+                else:
+                    stats.said_no += 1
+                breaker = self._breakers.get(team)
+                if breaker is not None:
+                    stats.breaker_state = breaker.state.value
+                predictions.append(prediction)
+                outcomes.append(outcome)
+            stage_latencies.append(("compose", staged.compose_seconds))
+            decision = ServingDecision(
+                incident_id=incident.incident_id,
+                suggested_team=staged.suggested,
+                answers=tuple(staged.answers),
+                predictions=tuple(predictions),
+                latency_seconds=staged.latency_seconds,
+                acted=not self.suggestion_mode and staged.suggested is not None,
+                outcomes=tuple(outcomes),
+                trace_id=root.trace_id,
+                stage_latencies=tuple(stage_latencies),
+            )
+            self._m_incidents.inc()
+            if staged.suggested is not None:
+                self._m_suggestions.inc()
+            if decision.degraded:
+                self._m_degraded.inc()
+            self._m_handle_latency.observe(decision.latency_seconds)
+            self._log.append(decision)
+            self._served_ids.add(incident.incident_id)
+        self.obs.trace.finish(root)
         return decision
 
-    def handle_batch(self, incidents: list[Incident]) -> list[ServingDecision]:
-        """Serve a burst of incidents in arrival order.
+    def handle_batch(
+        self,
+        incidents: list[Incident],
+        workers: int | None = None,
+    ) -> list[ServingDecision]:
+        """Serve a burst of incidents, concurrently, in arrival order.
 
-        Decisions (and the audit log) are ordered exactly as the input;
-        per-incident Scout fan-out still parallelizes under ``n_jobs``.
-        The per-incident ``serve.handle`` spans nest under one
-        ``serve.handle_batch`` span, so the whole burst shares a trace.
+        ``workers`` overrides the manager's ``batch_workers`` for this
+        call; with one worker (the default manager setting) the batch
+        degenerates to a serial ``handle`` loop.  With more, incidents
+        fan out across the persistent pool — compute runs concurrently,
+        but each incident's accounting *commits* on this thread in
+        input order, so the decision list, the audit log, the per-team
+        stats, and the rendered metrics exposition are byte-identical
+        to the serial path (under a fake clock; with a real clock only
+        the measured latencies differ).  Per-incident ``serve.handle``
+        root spans are pre-created in input order, so trace ids also
+        match the serial loop; there is deliberately no batch-level
+        span or counter, for the same reason.  Breaker bookkeeping is
+        only order-deterministic for healthy runs — injected faults
+        under concurrency may trip breakers at different points than a
+        serial run would.
         """
-        with self.obs.trace.span(
-            "serve.handle_batch", n_incidents=len(incidents)
-        ):
+        incidents = list(incidents)
+        n_workers = resolve_n_jobs(
+            self.batch_workers if workers is None else workers
+        )
+        n_workers = min(n_workers, max(1, len(incidents)))
+        if n_workers <= 1 or len(incidents) <= 1:
             return [self.handle(incident) for incident in incidents]
+        roots = [
+            self.obs.trace.start_span(
+                "serve.handle", incident_id=incident.incident_id
+            )
+            for incident in incidents
+        ]
+        pool = self._ensure_pool(n_workers)
+        futures = [
+            pool.submit(self._decide, incident, root, True)
+            for incident, root in zip(incidents, roots)
+        ]
+        try:
+            return [self._commit(future.result()) for future in futures]
+        finally:
+            for future in futures:
+                future.cancel()
+            for root in roots:
+                self.obs.trace.finish(root)  # idempotent — no-op if committed
 
     # -- feedback ------------------------------------------------------------------
 
@@ -605,11 +807,17 @@ class IncidentManager:
         """What-if analysis over the decision log.
 
         ``truth`` maps incident id → responsible team.  Returns the
-        fraction of logged decisions that suggested correctly, the
-        fraction that abstained, and the mis-suggestion rate.
+        fraction of served incidents suggested correctly, the fraction
+        that abstained, and the mis-suggestion rate.  A re-served
+        incident is scored once, on its *latest* decision — the same
+        dedupe semantics :meth:`resolve` guarantees — so repeats can't
+        double-weight the accuracy figures.
         """
-        suggested_right = suggested_wrong = abstained = 0
+        latest: dict[int, ServingDecision] = {}
         for decision in self._log:
+            latest[decision.incident_id] = decision
+        suggested_right = suggested_wrong = abstained = 0
+        for decision in latest.values():
             responsible = truth.get(decision.incident_id)
             if responsible is None:
                 continue

@@ -1,0 +1,395 @@
+"""The batch-serving pipeline and cached-vs-live parity contract.
+
+Tentpole acceptance: the same incidents through a serial ``handle``
+loop and through a concurrent ``handle_batch`` (under a fake clock)
+must produce identical decision logs, identical per-team stats, and a
+byte-identical metrics exposition — concurrency is a throughput knob,
+never a semantics knob.  Satellites: the cached prediction path must
+return exactly what live serving would log, what-if accounting must
+score a re-served incident once, and an all-abstain evaluation must
+yield a well-defined zero report.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import FeatureBuilder
+from repro.core.cpd_plus import CPDVerdict
+from repro.core.scout import ScoutPrediction
+from repro.core.selector import Route
+from repro.datacenter import ComponentKind
+from repro.monitoring import FakeClock, FlakyScout
+from repro.obs import Observability
+from repro.serving import IncidentManager
+from repro.simulation import default_teams
+from repro.simulation.teams import DNS, PHYNET, STORAGE
+
+
+def _mixed_manager(clock, **kwargs):
+    """Three healthy Scouts whose answers don't depend on call order."""
+    manager = IncidentManager(default_teams(), clock=clock, **kwargs)
+    manager.register(FlakyScout(PHYNET, responsible=True))
+    manager.register(FlakyScout(STORAGE, responsible=False))
+    manager.register(FlakyScout(DNS, responsible=None))
+    return manager
+
+
+def _reset_scout(scout) -> None:
+    """Return the session-scoped Scout to its un-instrumented default."""
+    scout.obs = None
+    scout.builder.obs = None
+    scout.builder.cache_ttl = None
+    scout.builder.clock = None
+    scout.builder.clear_cache()
+
+
+# -- tentpole: batch == serial, byte for byte --------------------------------
+
+
+class TestBatchDeterminism:
+    def test_batch_matches_serial_loop_byte_identically(self, incidents):
+        stream = list(incidents)[:8]
+
+        serial = _mixed_manager(FakeClock())
+        serial_decisions = [serial.handle(i) for i in stream]
+        serial_exposition = serial.obs.render()
+
+        for workers in (1, 4):
+            with _mixed_manager(FakeClock(), batch_workers=workers) as manager:
+                decisions = manager.handle_batch(stream)
+                assert decisions == serial_decisions
+                assert manager.log == serial.log
+                for team in manager.registered_teams:
+                    assert manager.stats(team) == serial.stats(team)
+                assert manager.obs.render() == serial_exposition
+
+    def test_batch_decisions_come_back_in_input_order(self, incidents):
+        stream = list(incidents)[:10]
+        with _mixed_manager(FakeClock(), batch_workers=4) as manager:
+            decisions = manager.handle_batch(stream)
+        assert [d.incident_id for d in decisions] == [
+            i.incident_id for i in stream
+        ]
+        assert [d.incident_id for d in manager.log] == [
+            i.incident_id for i in stream
+        ]
+
+    def test_workers_override_beats_manager_default(self, incidents):
+        manager = _mixed_manager(FakeClock())  # batch_workers defaults to 1
+        try:
+            manager.handle_batch(list(incidents)[:4], workers=4)
+            assert manager._pool is not None  # the override went parallel
+        finally:
+            manager.close()
+
+    def test_real_scout_batch_with_cache_matches_serial(
+        self, incidents, scout, dataset
+    ):
+        """The full pipeline (real Scout, TTL cache) stays deterministic.
+
+        An outage-storm burst (shared timestamp, so monitoring keys
+        collide across incidents) through serial ``handle`` vs
+        concurrent ``handle_batch``, both with the cross-incident
+        cache: identical logs and exposition bytes, and the burst
+        actually exercises the cache (cross-incident hits observed).
+        """
+        usable = dataset.usable()
+        burst_at = max(ex.incident.created_at for ex in usable.examples[:6])
+        burst = [
+            replace(ex.incident, created_at=burst_at)
+            for ex in usable.examples[:6]
+        ]
+        try:
+            _reset_scout(scout)
+            serial = IncidentManager(
+                default_teams(), clock=FakeClock(), cache_ttl=3600.0
+            )
+            serial.register(scout)
+            serial_decisions = [serial.handle(i) for i in burst]
+            serial_exposition = serial.obs.render()
+
+            _reset_scout(scout)
+            with IncidentManager(
+                default_teams(),
+                clock=FakeClock(),
+                batch_workers=4,
+                cache_ttl=3600.0,
+            ) as manager:
+                manager.register(scout)
+                decisions = manager.handle_batch(burst)
+                assert decisions == serial_decisions
+                assert manager.obs.render() == serial_exposition
+                cross = manager.obs.metrics.get(
+                    "monitoring_cache_cross_hits_total"
+                )
+                assert cross is not None and cross.total() > 0
+        finally:
+            _reset_scout(scout)
+
+
+# -- tentpole: pool lifecycle ------------------------------------------------
+
+
+class TestPoolLifecycle:
+    def test_pool_is_persistent_across_batches(self, incidents):
+        manager = _mixed_manager(FakeClock(), batch_workers=2)
+        try:
+            manager.handle_batch(list(incidents)[:3])
+            first_pool = manager._pool
+            assert first_pool is not None
+            manager.handle_batch(list(incidents)[3:6])
+            assert manager._pool is first_pool  # reused, not rebuilt
+        finally:
+            manager.close()
+
+    def test_close_is_idempotent_and_pool_recreates_lazily(self, incidents):
+        manager = _mixed_manager(FakeClock(), batch_workers=2)
+        manager.handle_batch(list(incidents)[:2])
+        manager.close()
+        assert manager._pool is None
+        manager.close()  # second close is a no-op
+        decisions = manager.handle_batch(list(incidents)[:2])
+        assert len(decisions) == 2 and manager._pool is not None
+        manager.close()
+
+    def test_context_manager_shuts_the_pool_down(self, incidents):
+        with _mixed_manager(FakeClock(), batch_workers=2) as manager:
+            manager.handle_batch(list(incidents)[:2])
+            assert manager._pool is not None
+        assert manager._pool is None
+
+    def test_scout_fanout_uses_the_persistent_pool(self, incidents):
+        manager = _mixed_manager(FakeClock(), n_jobs=3)
+        try:
+            manager.handle(incidents[0])
+            pool = manager._pool
+            assert pool is not None
+            manager.handle(incidents[1])
+            assert manager._pool is pool  # no per-handle executor churn
+        finally:
+            manager.close()
+
+    def test_serial_manager_never_creates_a_pool(self, incidents):
+        manager = _mixed_manager(FakeClock())  # n_jobs=1, batch_workers=1
+        manager.handle_batch(list(incidents)[:3])
+        assert manager._pool is None
+
+
+# -- tentpole: the TTL-window monitoring cache -------------------------------
+
+
+class TestTTLCache:
+    @pytest.fixture()
+    def builder(self, sim, framework):
+        b = FeatureBuilder(framework.config, sim.topology, sim.store)
+        b.obs = Observability()
+        return b
+
+    @staticmethod
+    def _query(builder, sim):
+        device = sim.topology.components(ComponentKind.SWITCH)[0]
+        locator = builder.config.monitoring[0].locator
+        t = 86400.0 * 320
+        return builder.series(locator, device, t - 3600.0, t)
+
+    @staticmethod
+    def _total(builder, name):
+        family = builder.obs.metrics.get(name)
+        return family.total() if family is not None else 0.0
+
+    def test_begin_incident_without_ttl_keeps_seed_behavior(
+        self, builder, sim
+    ):
+        self._query(builder, sim)
+        assert builder._series_memo
+        builder.begin_incident()  # no TTL configured: clears, as before
+        assert not builder._series_memo
+
+    def test_cache_survives_incidents_and_counts_cross_hits(
+        self, builder, sim
+    ):
+        builder.cache_ttl = 100.0
+        builder.clock = FakeClock()
+        self._query(builder, sim)  # miss: one store pull
+        self._query(builder, sim)  # same-incident hit: not cross
+        assert self._total(builder, "monitoring_queries_total") == 1
+        assert self._total(builder, "monitoring_cache_hits_total") == 1
+        assert self._total(builder, "monitoring_cache_cross_hits_total") == 0
+
+        builder.begin_incident()  # next incident: memo survives
+        self._query(builder, sim)  # cross-incident hit
+        assert self._total(builder, "monitoring_queries_total") == 1
+        assert self._total(builder, "monitoring_cache_cross_hits_total") == 1
+
+    def test_expired_entries_are_evicted_on_the_injected_clock(
+        self, builder, sim
+    ):
+        clock = FakeClock()
+        builder.cache_ttl = 100.0
+        builder.clock = clock
+        self._query(builder, sim)
+        clock.advance(100.0)  # age == TTL: expired
+        builder.begin_incident()
+        assert not builder._series_memo
+        self._query(builder, sim)  # a fresh pull, not a stale hit
+        assert self._total(builder, "monitoring_queries_total") == 2
+
+    def test_entries_within_ttl_survive_eviction(self, builder, sim):
+        clock = FakeClock()
+        builder.cache_ttl = 100.0
+        builder.clock = clock
+        self._query(builder, sim)
+        clock.advance(99.0)
+        builder.begin_incident()
+        assert builder._series_memo  # still fresh
+        self._query(builder, sim)
+        assert self._total(builder, "monitoring_queries_total") == 1
+
+    def test_manager_threads_cache_policy_into_builder(self, scout):
+        clock = FakeClock()
+        try:
+            _reset_scout(scout)
+            manager = IncidentManager(
+                default_teams(), clock=clock, cache_ttl=50.0
+            )
+            manager.register(scout)
+            assert scout.builder.cache_ttl == 50.0
+            assert scout.builder.clock is clock
+            assert scout.builder.ttl_enabled
+        finally:
+            _reset_scout(scout)
+
+    def test_manager_without_ttl_leaves_builder_alone(self, scout):
+        try:
+            _reset_scout(scout)
+            manager = IncidentManager(default_teams(), clock=FakeClock())
+            manager.register(scout)
+            assert scout.builder.cache_ttl is None
+            assert not scout.builder.ttl_enabled
+        finally:
+            _reset_scout(scout)
+
+
+# -- satellite: cached path == live path -------------------------------------
+
+
+class TestCachedVsLiveParity:
+    def test_fallback_explanation_matches_live(self, scout, dataset):
+        fallbacks = [
+            ex for ex in dataset if ex.static_route is Route.FALLBACK
+        ]
+        assert fallbacks, "the fixture dataset should contain fallbacks"
+        for example in fallbacks[:3]:
+            cached = scout.predict_example(example)
+            live = scout.predict(example.incident)
+            assert cached.route is Route.FALLBACK
+            # Regression: the cached path used to drop the selector's
+            # reason, leaving evaluation artifacts that don't match
+            # what serving logs.
+            assert cached.explanation.notes
+            assert cached.explanation.notes == live.explanation.notes
+
+    def test_excluded_explanation_matches_live(self, scout, dataset):
+        base = dataset.examples[0]
+        incident = replace(
+            base.incident, title="planned decommission of rack sw-t1-9"
+        )
+        example = replace(
+            base, incident=incident, static_route=Route.EXCLUDED
+        )
+        cached = scout.predict_example(example)
+        live = scout.predict(incident)
+        assert cached.route is live.route is Route.EXCLUDED
+        assert cached.explanation.notes
+        assert cached.explanation.notes == live.explanation.notes
+        assert "EXCLUDE" in cached.explanation.notes[0]
+
+    def test_cached_cpd_triggers_are_not_truncated(
+        self, scout, dataset, monkeypatch
+    ):
+        verdict = CPDVerdict(
+            responsible=True,
+            confidence=0.8,
+            triggers=tuple(f"switch sw-{i}: cpu_usage" for i in range(7)),
+        )
+        monkeypatch.setattr(
+            scout.cpd, "verdict_from_signals", lambda *a, **k: verdict
+        )
+        monkeypatch.setattr(scout.cpd, "predict", lambda *a, **k: verdict)
+        example = dataset.usable().examples[0]
+        cached = scout._cpd_verdict_from_cache(example, novelty=0.9)
+        live = scout._predict_cpd(example.incident, example.extracted, 0.9)
+        # Regression: the cached path truncated to 5 triggers while the
+        # live path carried all of them.
+        assert len(cached.explanation.triggers) == 7
+        assert cached.explanation.triggers == live.explanation.triggers
+
+
+# -- satellite: what-if scoring dedupes re-served incidents ------------------
+
+
+class TestWhatifDedupe:
+    def test_reserved_incident_scores_only_latest_decision(self, incidents):
+        incident = incidents[0]
+        truth = {incident.incident_id: PHYNET}
+        manager = IncidentManager(default_teams(), clock=FakeClock())
+        manager.register(FlakyScout(PHYNET, responsible=True))
+        manager.handle(incident)  # first decision: suggests PhyNet
+
+        manager.unregister(PHYNET)
+        manager.register(FlakyScout(PHYNET, responsible=None))
+        manager.handle(incident)  # re-served: latest decision abstains
+
+        assert len(manager.log) == 2
+        summary = manager.whatif_accuracy(truth)
+        # Regression: the raw log counted this incident twice
+        # (correct=0.5, abstained=0.5); only the latest decision counts.
+        assert summary == {"correct": 0.0, "wrong": 0.0, "abstained": 1.0}
+
+    def test_distinct_incidents_all_count(self, incidents):
+        stream = list(incidents)[:4]
+        truth = {i.incident_id: PHYNET for i in stream}
+        manager = IncidentManager(default_teams(), clock=FakeClock())
+        manager.register(FlakyScout(PHYNET, responsible=True))
+        manager.handle_batch(stream)
+        summary = manager.whatif_accuracy(truth)
+        assert summary == {"correct": 1.0, "wrong": 0.0, "abstained": 0.0}
+
+
+# -- satellite: all-abstain evaluation ---------------------------------------
+
+
+class _AbstainScout:
+    """A stub whose every prediction falls back to legacy routing."""
+
+    def predict_example(self, example):
+        return ScoutPrediction(
+            example.incident.incident_id,
+            responsible=None,
+            confidence=0.0,
+            route=Route.FALLBACK,
+        )
+
+
+class TestEvaluateAllAbstain:
+    def test_zero_report_with_route_counts(self, framework, dataset):
+        subset = dataset.subset(list(range(10)))
+        report = framework.evaluate(_AbstainScout(), subset)
+        # Regression: empty y_true/y_pred used to reach the metric
+        # math; now the report is an explicit, well-defined zero.
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+        assert report.report.support == 0
+        assert report.n_total == 10
+        assert report.n_fallback == 10  # route counts still populated
+
+    def test_included_abstentions_still_score(self, framework, dataset):
+        subset = dataset.subset(list(range(10)))
+        report = framework.evaluate(
+            _AbstainScout(), subset, include_abstentions=True
+        )
+        assert report.report.support == sum(
+            example.label for example in subset
+        )

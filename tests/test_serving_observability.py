@@ -111,18 +111,35 @@ def test_identical_runs_render_identical_exposition_bytes(incidents):
     assert parsed["serving_incidents_total"][()] == 4.0
 
 
-def test_handle_batch_nests_under_one_batch_span(incidents):
-    manager = _manager()
-    manager.register(FlakyScout(PHYNET))
-    decisions = manager.handle_batch(list(incidents)[:3])
-    batch_spans = [
-        s
-        for s in manager.obs.trace.finished_spans
-        if s.name == "serve.handle_batch"
-    ]
-    assert len(batch_spans) == 1
-    assert batch_spans[0].attributes["n_incidents"] == 3
-    assert {d.trace_id for d in decisions} == {batch_spans[0].trace_id}
+def test_handle_batch_traces_match_a_serial_handle_loop(incidents):
+    """Batch serving must be trace-indistinguishable from serial.
+
+    There is deliberately no batch-level span: each incident gets its
+    own ``serve.handle`` root (pre-created in input order), so decision
+    trace ids — and everything keyed on them — are identical whether
+    the burst went through ``handle_batch`` or a ``handle`` loop.
+    """
+    stream = list(incidents)[:3]
+
+    serial = _manager()
+    serial.register(FlakyScout(PHYNET))
+    serial_ids = [serial.handle(i).trace_id for i in stream]
+
+    for workers in (1, 4):
+        with _manager(batch_workers=workers) as manager:
+            manager.register(FlakyScout(PHYNET))
+            decisions = manager.handle_batch(stream)
+            assert [d.trace_id for d in decisions] == serial_ids
+            roots = [
+                s
+                for s in manager.obs.trace.finished_spans
+                if s.name == "serve.handle"
+            ]
+            assert len(roots) == 3
+            assert all(
+                s.name != "serve.handle_batch"
+                for s in manager.obs.trace.finished_spans
+            )
 
 
 # -- satellite: latency accounting ------------------------------------------
