@@ -6,7 +6,6 @@ find them confusing but "the model finds them useful".  This ablation
 measures the accuracy contribution of dropping them.
 """
 
-import numpy as np
 
 from repro.analysis import render_table
 from repro.ml import MeanImputer, RandomForestClassifier, classification_report

@@ -5,9 +5,7 @@ too short a window misses slow-building signals; too long a window
 dilutes the failure inside healthy history.
 """
 
-import dataclasses
 
-import numpy as np
 
 from repro.analysis import render_series
 from repro.config import phynet_config

@@ -7,7 +7,6 @@ Scouts even without ML.
 
 from repro.analysis import render_table
 from repro.core import ComponentExtractor
-from repro.incidents import IncidentSource
 from repro.simulation import StorageRuleScout
 from repro.simulation.teams import STORAGE
 

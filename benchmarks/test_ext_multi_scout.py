@@ -11,9 +11,8 @@ accuracy — the paper's deployment story, composed.
 import numpy as np
 
 from repro.analysis import render_table
-from repro.config import phynet_config, team_scout_configs
+from repro.config import team_scout_configs
 from repro.core import ScoutFramework, TrainingOptions
-from repro.ml import imbalance_aware_split
 from repro.serving import IncidentManager
 
 _FAST = TrainingOptions(n_estimators=50, cv_folds=0, rng=0)

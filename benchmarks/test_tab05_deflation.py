@@ -5,7 +5,6 @@ Paper: switch-only features already reach F1 0.95; server-only 0.73
 feature set wins (0.98).
 """
 
-import numpy as np
 
 from repro.analysis import render_table
 from repro.ml import MeanImputer, RandomForestClassifier, classification_report

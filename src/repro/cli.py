@@ -187,6 +187,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_flags(p_serve)
     metrics_flags(p_serve)
+
+    # The lint subcommand owns its argument surface; main() hands the
+    # remaining argv straight to repro.lint.cli.  The stub keeps the
+    # command visible in --help.
+    sub.add_parser(
+        "lint",
+        help="static analysis for Scout configs and pipeline invariants "
+        "(see `lint --help`)",
+        add_help=False,
+    )
     return parser
 
 
@@ -402,6 +412,12 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        from .lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -1,7 +1,8 @@
-"""Scout configuration DSL: spec objects, parser, PhyNet's config."""
+"""Scout configuration DSL: spec objects, parser, renderer, PhyNet's config."""
 
-from .parser import ConfigSyntaxError, parse_config
+from .parser import ConfigSyntaxError, parse_config, parse_statements
 from .phynet import PHYNET_CONFIG_TEXT, phynet_config
+from .render import render_config
 from .spec import ExcludeRule, MonitoringRef, ScoutConfig
 from .teams import (
     database_config,
@@ -20,7 +21,9 @@ __all__ = [
     "database_config",
     "dns_config",
     "parse_config",
+    "parse_statements",
     "phynet_config",
+    "render_config",
     "slb_config",
     "storage_config",
     "team_scout_configs",

@@ -20,16 +20,36 @@ The surface syntax follows the paper's examples::
 Strings are double-quoted; ``\\"`` escapes a quote and ``\\\\`` escapes
 a backslash (so a pattern may end in a backslash).  ``#`` starts a
 comment.  Statements end with ``;``.
+
+The parser is layered: :func:`parse_statements` tokenizes text into
+statement objects (``LetStmt``, ``MonitoringStmt``, ...) carrying their
+starting line numbers, and :func:`parse_config` assembles them into a
+validated :class:`ScoutConfig`.  The statement layer has a *lenient*
+mode (pass an ``errors`` list) used by ``repro.lint`` so one malformed
+statement surfaces as a finding instead of hiding every later one.
 """
 
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 
 from ..monitoring.base import DataKind
 from .spec import ExcludeRule, MonitoringRef, ScoutConfig, parse_kind
 
-__all__ = ["parse_config", "ConfigSyntaxError"]
+__all__ = [
+    "parse_config",
+    "parse_statements",
+    "ConfigSyntaxError",
+    "LetStmt",
+    "MonitoringStmt",
+    "ExcludeStmt",
+    "SetStmt",
+    "TeamStmt",
+    "KNOWN_OPTIONS",
+]
+
+KNOWN_OPTIONS = ("lookback", "reference_multiple", "max_members_per_container")
 
 
 class ConfigSyntaxError(ValueError):
@@ -39,6 +59,56 @@ class ConfigSyntaxError(ValueError):
         prefix = f"line {line}: " if line is not None else ""
         super().__init__(prefix + message)
         self.line = line
+
+
+@dataclass(frozen=True)
+class LetStmt:
+    """``let <kind> = "<regex>";`` — kind name kept raw for the linter."""
+
+    kind_name: str
+    pattern: str
+    line: int
+
+
+@dataclass(frozen=True)
+class MonitoringStmt:
+    """``MONITORING <name> = CREATE_MONITORING(...);``"""
+
+    name: str
+    locator: str
+    tags: tuple[tuple[str, str], ...]
+    data_type: str
+    class_tag: str | None
+    line: int
+
+
+@dataclass(frozen=True)
+class ExcludeStmt:
+    """``EXCLUDE <field> = "<regex>";``"""
+
+    field: str
+    pattern: str
+    line: int
+
+
+@dataclass(frozen=True)
+class SetStmt:
+    """``SET <key> = <value>;`` — value kept raw for the linter."""
+
+    key: str
+    value: str
+    line: int
+
+
+@dataclass(frozen=True)
+class TeamStmt:
+    """``TEAM <name>;``"""
+
+    name: str
+    line: int
+
+
+Statement = LetStmt | MonitoringStmt | ExcludeStmt | SetStmt | TeamStmt
 
 
 _STRING = r'"((?:[^"\\]|\\.)*)"'
@@ -87,8 +157,16 @@ def _unescape(raw: str) -> str:
     return raw.replace('\\"', '"')
 
 
-def _split_statements(text: str) -> list[tuple[str, int]]:
-    """Split on ``;`` outside strings, tracking starting line numbers."""
+def _split_statements(
+    text: str,
+) -> tuple[list[tuple[str, int]], tuple[str, int] | None]:
+    """Split on ``;`` outside strings, tracking starting line numbers.
+
+    Returns ``(statements, tail)`` where ``tail`` is a trailing
+    fragment with no closing ``;`` (or None) — the caller decides
+    whether that is fatal (:func:`parse_config`) or a finding
+    (lenient linting).
+    """
     statements: list[tuple[str, int]] = []
     current: list[str] = []
     line = 1
@@ -123,70 +201,161 @@ def _split_statements(text: str) -> list[tuple[str, int]]:
             current.append(char)
     tail = "".join(current).strip()
     if tail:
-        raise ConfigSyntaxError(f"missing ';' after: {tail[:50]!r}", start_line)
+        return statements, (tail, start_line)
+    return statements, None
+
+
+def _parse_tags(
+    tags_raw: str | None, line: int
+) -> tuple[tuple[str, str], ...]:
+    tags: list[tuple[str, str]] = []
+    if tags_raw and tags_raw.strip():
+        for item in tags_raw.split(","):
+            if "=" not in item:
+                raise ConfigSyntaxError(
+                    f"bad tag {item.strip()!r} (expected key=value)", line
+                )
+            key, value = item.split("=", 1)
+            tags.append((key.strip(), value.strip()))
+    return tuple(tags)
+
+
+def parse_statements(
+    text: str, errors: list[tuple[int, str]] | None = None
+) -> list[Statement]:
+    """Tokenize DSL text into statement objects with line numbers.
+
+    With ``errors=None`` (the default) the first malformed statement
+    raises :class:`ConfigSyntaxError`.  When an ``errors`` list is
+    given, each ``(line, message)`` problem is appended instead and
+    parsing continues — the lenient mode ``repro.lint`` uses to report
+    every problem in one pass.
+    """
+
+    def problem(message: str, line: int) -> None:
+        if errors is None:
+            raise ConfigSyntaxError(message, line)
+        errors.append((line, message))
+
+    statements: list[Statement] = []
+    raw_statements, tail = _split_statements(_strip_comments(text))
+    if tail is not None:
+        fragment, tail_line = tail
+        problem(f"missing ';' after: {fragment[:50]!r}", tail_line)
+    for statement, line in raw_statements:
+        if match := _LET.match(statement):
+            kind_name, pattern = match.groups()
+            statements.append(LetStmt(kind_name, _unescape(pattern), line))
+        elif match := _MONITORING.match(statement):
+            name, locator, tags_raw, data_type, class_tag = match.groups()
+            try:
+                tags = _parse_tags(tags_raw, line)
+            except ConfigSyntaxError as exc:
+                if errors is None:
+                    raise
+                errors.append((line, str(exc)))
+                continue
+            statements.append(
+                MonitoringStmt(
+                    name, _unescape(locator), tags, data_type, class_tag, line
+                )
+            )
+        elif match := _EXCLUDE.match(statement):
+            stmt_field, pattern = match.groups()
+            statements.append(
+                ExcludeStmt(stmt_field, _unescape(pattern), line)
+            )
+        elif match := _SET.match(statement):
+            key, value = match.groups()
+            statements.append(SetStmt(key, value, line))
+        elif match := _TEAM.match(statement):
+            statements.append(TeamStmt(match.group(1), line))
+        else:
+            problem(f"unrecognized statement: {statement[:60]!r}", line)
     return statements
 
 
-def parse_config(text: str, team: str | None = None) -> ScoutConfig:
+def parse_config(
+    text: str,
+    team: str | None = None,
+    warnings: list[str] | None = None,
+) -> ScoutConfig:
     """Parse DSL text into a :class:`ScoutConfig`.
 
     ``team`` may be given either here or via a ``TEAM <name>;``
     statement in the text (the statement wins).
+
+    A second ``let`` for the same component kind is a hard
+    :class:`ConfigSyntaxError` — a silent overwrite would change the
+    feature layout without any operator-visible signal.  Repeated
+    ``SET``/``TEAM`` statements keep their historical
+    last-one-wins behavior, but when a ``warnings`` list is passed the
+    overwrites are surfaced there (``repro lint`` reports them as
+    ``dup-set``/``dup-team`` findings).
     """
+
+    def warn(message: str) -> None:
+        if warnings is not None:
+            warnings.append(message)
+
     component_patterns = {}
     monitoring: list[MonitoringRef] = []
     excludes: list[ExcludeRule] = []
     options: dict[str, float] = {}
     declared_team = team
+    team_line: int | None = None
 
-    for statement, line in _split_statements(_strip_comments(text)):
-        if match := _LET.match(statement):
-            kind_name, pattern = match.groups()
+    for stmt in parse_statements(text):
+        if isinstance(stmt, LetStmt):
             try:
-                kind = parse_kind(kind_name)
+                kind = parse_kind(stmt.kind_name)
             except ValueError as exc:
-                raise ConfigSyntaxError(str(exc), line) from None
+                raise ConfigSyntaxError(str(exc), stmt.line) from None
             if kind in component_patterns:
-                raise ConfigSyntaxError(f"duplicate let for {kind_name}", line)
-            component_patterns[kind] = _unescape(pattern)
-        elif match := _MONITORING.match(statement):
-            name, locator, tags_raw, data_type, class_tag = match.groups()
-            tags = {}
-            if tags_raw and tags_raw.strip():
-                for item in tags_raw.split(","):
-                    if "=" not in item:
-                        raise ConfigSyntaxError(
-                            f"bad tag {item.strip()!r} (expected key=value)", line
-                        )
-                    key, value = item.split("=", 1)
-                    tags[key.strip()] = value.strip()
+                raise ConfigSyntaxError(
+                    f"duplicate let for {stmt.kind_name}", stmt.line
+                )
+            component_patterns[kind] = stmt.pattern
+        elif isinstance(stmt, MonitoringStmt):
             monitoring.append(
                 MonitoringRef(
-                    name=name,
-                    locator=_unescape(locator),
-                    data_type=DataKind(data_type),
-                    tags=tags,
-                    class_tag=class_tag,
+                    name=stmt.name,
+                    locator=stmt.locator,
+                    data_type=DataKind(stmt.data_type),
+                    tags=dict(stmt.tags),
+                    class_tag=stmt.class_tag,
                 )
             )
-        elif match := _EXCLUDE.match(statement):
-            field, pattern = match.groups()
+        elif isinstance(stmt, ExcludeStmt):
             try:
-                excludes.append(ExcludeRule(field, _unescape(pattern)))
+                excludes.append(ExcludeRule(stmt.field, stmt.pattern))
             except (ValueError, re.error) as exc:
-                raise ConfigSyntaxError(str(exc), line) from None
-        elif match := _SET.match(statement):
-            key, value = match.groups()
-            if key not in ("lookback", "reference_multiple", "max_members_per_container"):
-                raise ConfigSyntaxError(f"unknown option {key!r}", line)
+                raise ConfigSyntaxError(str(exc), stmt.line) from None
+        elif isinstance(stmt, SetStmt):
+            if stmt.key not in KNOWN_OPTIONS:
+                raise ConfigSyntaxError(
+                    f"unknown option {stmt.key!r}", stmt.line
+                )
             try:
-                options[key] = float(value)
+                value = float(stmt.value)
             except ValueError:
-                raise ConfigSyntaxError(f"bad value for {key}: {value!r}", line) from None
-        elif match := _TEAM.match(statement):
-            declared_team = match.group(1)
-        else:
-            raise ConfigSyntaxError(f"unrecognized statement: {statement[:60]!r}", line)
+                raise ConfigSyntaxError(
+                    f"bad value for {stmt.key}: {stmt.value!r}", stmt.line
+                ) from None
+            if stmt.key in options:
+                warn(
+                    f"line {stmt.line}: SET {stmt.key} overrides an "
+                    f"earlier value ({options[stmt.key]!r})"
+                )
+            options[stmt.key] = value
+        elif isinstance(stmt, TeamStmt):
+            if team_line is not None and stmt.name != declared_team:
+                warn(
+                    f"line {stmt.line}: TEAM {stmt.name} overrides an "
+                    f"earlier TEAM {declared_team} (line {team_line})"
+                )
+            declared_team = stmt.name
+            team_line = stmt.line
 
     if not declared_team:
         raise ConfigSyntaxError("no team declared (pass team= or add 'TEAM <name>;')")

@@ -1,0 +1,107 @@
+"""Render a :class:`ScoutConfig` back to canonical DSL text.
+
+``render_config`` is the inverse of :func:`~repro.config.parser.parse_config`:
+``parse_config(render_config(cfg))`` reproduces ``cfg`` exactly for any
+config whose patterns are representable in the DSL's escape scheme.
+
+The one caveat is quoting.  The DSL escapes a double quote as ``\\"``
+and keeps every other backslash literal, so a pattern containing the
+two-character sequence ``\\"`` (a regex-escaped quote) cannot be
+written verbatim — the parser would read it as an escaped quote.  The
+renderer normalizes such sequences to a bare ``"`` first, which is the
+same regular expression (quotes are not special in regex syntax), then
+escapes.  Patterns containing a raw newline are rejected: the DSL's
+comment stripper is line-based and cannot carry them through a
+round-trip.
+"""
+
+from __future__ import annotations
+
+from ..datacenter.components import ComponentKind
+from .spec import ScoutConfig
+
+__all__ = ["render_config"]
+
+# Canonical DSL spelling per component kind (matches the paper's
+# examples: upper-case acronyms, lower-case words).
+KIND_SPELLING = {
+    ComponentKind.VM: "VM",
+    ComponentKind.SERVER: "server",
+    ComponentKind.SWITCH: "switch",
+    ComponentKind.CLUSTER: "cluster",
+    ComponentKind.DC: "DC",
+}
+
+
+def _quote(value: str) -> str:
+    """Render a string literal in the DSL's escape scheme."""
+    if "\n" in value or "\r" in value:
+        raise ValueError(
+            f"cannot render a pattern containing a raw newline: {value!r}"
+        )
+    # Normalize regex-escaped quotes to bare quotes (same regex), then
+    # escape every quote for the DSL.
+    normalized = value.replace('\\"', '"')
+    return '"' + normalized.replace('"', '\\"') + '"'
+
+
+def _word(value: str, what: str) -> str:
+    """Validate a bare-word token (name, tag key/value, class tag)."""
+    if not value or not all(ch.isalnum() or ch == "_" for ch in value):
+        raise ValueError(f"cannot render {what} {value!r} as a DSL bare word")
+    return value
+
+
+def _format_number(value: float) -> str:
+    """A ``SET``-compatible number literal (no sign, no exponent)."""
+    if value == int(value) and abs(value) < 1e16:
+        text = str(int(value))
+    else:
+        text = repr(float(value))
+    if any(ch not in "0123456789." for ch in text):
+        raise ValueError(f"cannot render option value {value!r} in the DSL")
+    return text
+
+
+def render_config(config: ScoutConfig) -> str:
+    """Serialize ``config`` to canonical DSL text.
+
+    Statements come out in a fixed order (TEAM, lets, MONITORING,
+    EXCLUDE, SET) with declaration order preserved inside each block,
+    so rendering is deterministic and the parsed result round-trips.
+    """
+    lines: list[str] = [f"TEAM {config.team};", ""]
+    for kind, pattern in config.component_patterns.items():
+        lines.append(f"let {KIND_SPELLING[kind]} = {_quote(pattern)};")
+    if config.monitoring:
+        lines.append("")
+    for ref in config.monitoring:
+        args = [_quote(ref.locator)]
+        if ref.tags:
+            pairs = ", ".join(
+                f"{_word(k, 'tag key')}={_word(v, 'tag value')}"
+                for k, v in ref.tags.items()
+            )
+            args.append("{" + pairs + "}")
+        args.append(ref.data_type.value)
+        if ref.class_tag is not None:
+            args.append(_word(ref.class_tag, "class tag"))
+        name = _word(ref.name, "monitoring name")
+        lines.append(
+            f"MONITORING {name} = CREATE_MONITORING({', '.join(args)});"
+        )
+    if config.excludes:
+        lines.append("")
+    for rule in config.excludes:
+        field = rule.field
+        lines.append(f"EXCLUDE {field} = {_quote(rule.pattern)};")
+    lines.append("")
+    lines.append(f"SET lookback = {_format_number(config.lookback)};")
+    lines.append(
+        f"SET reference_multiple = {_format_number(config.reference_multiple)};"
+    )
+    lines.append(
+        "SET max_members_per_container = "
+        f"{_format_number(config.max_members_per_container)};"
+    )
+    return "\n".join(lines) + "\n"

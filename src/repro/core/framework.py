@@ -220,14 +220,25 @@ class ScoutFramework:
             hard[fold] = (forest.predict(X[fold]) != y[fold]).astype(int)
         return hard
 
-    def train(self, train_data: ScoutDataset | IncidentStore) -> Scout:
+    def train(
+        self, train_data: ScoutDataset | IncidentStore, *, lint: bool = False
+    ) -> Scout:
         """Build a fitted Scout from training incidents.
 
         When an observability sink is attached, each phase (imputation,
         cross-validation, forest fit, selector fit, CPD+ fit) runs in a
         ``train.*`` span and records its duration in the
         ``training_phase_seconds`` gauge.
+
+        ``lint=True`` runs the config analyzer against this framework's
+        monitoring store first and raises
+        :class:`~repro.lint.LintError` on any ERROR finding — a cheap
+        pre-flight before hours of feature construction.
         """
+        if lint:
+            from ..lint import lint_config, require_clean
+
+            require_clean(lint_config(self.config, self.store))
         if isinstance(train_data, IncidentStore):
             train_data = self.dataset(train_data)
         with maybe_span(self.obs, "train", team=self.config.team):

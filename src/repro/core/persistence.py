@@ -24,7 +24,13 @@ from .extraction import ComponentExtractor
 from .features import FeatureBuilder
 from .scout import Scout
 
-__all__ = ["ScoutBundle", "save_scout", "load_scout", "FORMAT_VERSION"]
+__all__ = [
+    "ScoutBundle",
+    "save_scout",
+    "load_scout",
+    "read_bundle",
+    "FORMAT_VERSION",
+]
 
 FORMAT_VERSION = 1
 _MAGIC = b"SCOUTPKL"
@@ -67,16 +73,12 @@ def save_scout(scout: Scout, path: str | Path) -> None:
     Path(path).write_bytes(buffer.getvalue())
 
 
-def load_scout(
-    path: str | Path,
-    topology: Topology,
-    store: MonitoringStore,
-) -> Scout:
-    """Load a Scout and attach it to a live monitoring environment.
+def read_bundle(path: str | Path) -> ScoutBundle:
+    """Read and validate a Scout bundle without attaching it to a
+    monitoring environment.
 
-    Raises ``ValueError`` for non-Scout files or incompatible format
-    versions — a corrupted model store must fail loudly, not serve
-    garbage predictions.
+    Used by tools that inspect persisted models (``repro lint``'s
+    schema-drift check) where no live topology exists.
     """
     raw = Path(path).read_bytes()
     if not raw.startswith(_MAGIC):
@@ -89,6 +91,21 @@ def load_scout(
             f"{path}: format version {bundle.format_version} "
             f"(this build reads {FORMAT_VERSION})"
         )
+    return bundle
+
+
+def load_scout(
+    path: str | Path,
+    topology: Topology,
+    store: MonitoringStore,
+) -> Scout:
+    """Load a Scout and attach it to a live monitoring environment.
+
+    Raises ``ValueError`` for non-Scout files or incompatible format
+    versions — a corrupted model store must fail loudly, not serve
+    garbage predictions.
+    """
+    bundle = read_bundle(path)
     builder = FeatureBuilder(bundle.config, topology, store)
     cpd = CPDPlus(
         builder,

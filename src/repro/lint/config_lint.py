@@ -1,0 +1,583 @@
+"""Static analysis for Scout configurations (the ``scoutlint`` config pass).
+
+Works on DSL text (via the parser's lenient statement layer, so one
+malformed statement doesn't hide every later finding) or directly on a
+:class:`~repro.config.spec.ScoutConfig` object, optionally against a
+:class:`~repro.monitoring.store.MonitoringStore` for the rules that
+need the monitoring plane (locator existence, data-type agreement,
+coverage, dead lets) and a persisted model for schema-drift.
+
+Rule ids, severities, and examples are cataloged in ``docs/linting.md``.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from dataclasses import dataclass, field
+
+from ..config.parser import (
+    KNOWN_OPTIONS,
+    ExcludeStmt,
+    LetStmt,
+    MonitoringStmt,
+    SetStmt,
+    TeamStmt,
+    parse_statements,
+)
+from ..config.render import KIND_SPELLING
+from ..config.spec import ScoutConfig, parse_kind
+
+# Reuse the framework's own coverage predicate so the linter can never
+# disagree with feature construction about what "covered" means.
+from ..core.features import _covers
+from ..datacenter.components import ComponentKind
+from .findings import Finding, Severity, apply_disables, make_finding, parse_disable_comments
+from .regex_analysis import exemplars, has_catastrophic_backtracking
+
+__all__ = ["lint_config_text", "lint_config", "lint_model", "default_store"]
+
+# Sane look-back bounds: below 5 minutes the window carries almost no
+# points at the datasets' sampling intervals; above 30 days the
+# "recent signals" premise of §5.2 is gone.
+_LOOKBACK_MIN = 300.0
+_LOOKBACK_MAX = 30 * 86400.0
+
+_LEAF_KINDS = frozenset(
+    {ComponentKind.SERVER, ComponentKind.SWITCH, ComponentKind.VM}
+)
+_CONTAINER_KINDS = frozenset({ComponentKind.CLUSTER, ComponentKind.DC})
+
+
+def default_store():
+    """The builtin monitoring plane (PhyNet Table 2 + team datasets)."""
+    from ..monitoring.datasets import phynet_datasets
+    from ..monitoring.store import MonitoringStore
+    from ..monitoring.team_datasets import team_datasets
+
+    return MonitoringStore(phynet_datasets() + team_datasets())
+
+
+@dataclass
+class _Model:
+    """Normalized view of a config, shared by the text and object paths."""
+
+    path: str
+    lets: list[tuple[str, ComponentKind | None, str, int | None]] = field(
+        default_factory=list
+    )  # (raw kind name, resolved kind or None, pattern, line)
+    monitorings: list[MonitoringStmt] = field(default_factory=list)
+    excludes: list[tuple[str, str, int | None]] = field(default_factory=list)
+    sets: list[tuple[str, str, int | None]] = field(default_factory=list)
+    teams: list[tuple[str, int | None]] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, rule: str, message: str, line: int | None = None,
+            hint: str | None = None, severity: Severity | None = None) -> None:
+        self.findings.append(
+            make_finding(rule, message, path=self.path, line=line,
+                         hint=hint, severity=severity)
+        )
+
+
+def _model_from_text(text: str, path: str) -> _Model:
+    model = _Model(path=path)
+    errors: list[tuple[int, str]] = []
+    statements = parse_statements(text, errors=errors)
+    for line, message in errors:
+        model.add("syntax-error", message, line=line,
+                  hint="see docs/config_dsl.md for the statement grammar")
+    for stmt in statements:
+        if isinstance(stmt, LetStmt):
+            try:
+                kind = parse_kind(stmt.kind_name)
+            except ValueError:
+                kind = None
+                model.add(
+                    "unknown-kind",
+                    f"unknown component kind {stmt.kind_name!r} in let",
+                    line=stmt.line,
+                    hint="known kinds: VM, server, switch, cluster, DC",
+                )
+            model.lets.append((stmt.kind_name, kind, stmt.pattern, stmt.line))
+        elif isinstance(stmt, MonitoringStmt):
+            model.monitorings.append(stmt)
+        elif isinstance(stmt, ExcludeStmt):
+            model.excludes.append((stmt.field, stmt.pattern, stmt.line))
+        elif isinstance(stmt, SetStmt):
+            model.sets.append((stmt.key, stmt.value, stmt.line))
+        elif isinstance(stmt, TeamStmt):
+            model.teams.append((stmt.name, stmt.line))
+    return model
+
+
+def _model_from_config(config: ScoutConfig, path: str) -> _Model:
+    model = _Model(path=path)
+    model.teams.append((config.team, None))
+    for kind, pattern in config.component_patterns.items():
+        model.lets.append((KIND_SPELLING[kind], kind, pattern, None))
+    for ref in config.monitoring:
+        model.monitorings.append(
+            MonitoringStmt(
+                name=ref.name,
+                locator=ref.locator,
+                tags=tuple(ref.tags.items()),
+                data_type=ref.data_type.value,
+                class_tag=ref.class_tag,
+                line=0,
+            )
+        )
+    for rule in config.excludes:
+        model.excludes.append((rule.field, rule.pattern, None))
+    model.sets.append(("lookback", repr(config.lookback), None))
+    return model
+
+
+# -- rule passes ------------------------------------------------------------
+
+
+def _check_lets(model: _Model) -> dict[ComponentKind, str]:
+    """dup-let, regex-invalid, regex-backtracking; returns kind->pattern."""
+    patterns: dict[ComponentKind, str] = {}
+    seen_lines: dict[ComponentKind, int | None] = {}
+    for raw_name, kind, pattern, line in model.lets:
+        try:
+            re.compile(pattern)
+        except re.error as exc:
+            model.add(
+                "regex-invalid",
+                f"let {raw_name}: regex does not compile: {exc}",
+                line=line,
+            )
+            continue
+        if has_catastrophic_backtracking(pattern):
+            model.add(
+                "regex-backtracking",
+                f"let {raw_name}: nested unbounded quantifiers can "
+                "backtrack catastrophically",
+                line=line,
+                hint="flatten the nesting, e.g. (a+)+ -> a+",
+            )
+        if kind is None:
+            continue
+        if kind in patterns:
+            first = seen_lines[kind]
+            where = f" (first declared at line {first})" if first else ""
+            model.add(
+                "dup-let",
+                f"duplicate let for {raw_name}{where}",
+                line=line,
+                hint="keep one let per component kind",
+            )
+            continue
+        patterns[kind] = pattern
+        seen_lines[kind] = line
+    return patterns
+
+
+def _check_monitoring(model: _Model, store, declared: set[ComponentKind]) -> None:
+    seen: dict[str, int | None] = {}
+    class_groups: dict[str, tuple[str, int | None]] = {}
+    for stmt in model.monitorings:
+        line = stmt.line if stmt.line != 0 else None
+        if stmt.name in seen:
+            model.add(
+                "dup-monitoring",
+                f"duplicate MONITORING name {stmt.name!r}",
+                line=line,
+            )
+        seen[stmt.name] = line
+
+        schema = None
+        if store is not None:
+            try:
+                schema = store.schema(stmt.locator)
+            except KeyError:
+                close = difflib.get_close_matches(
+                    stmt.locator, store.dataset_names, n=1
+                )
+                hint = f"did you mean {close[0]!r}?" if close else (
+                    "registered datasets: "
+                    + ", ".join(store.dataset_names[:8])
+                )
+                model.add(
+                    "unknown-locator",
+                    f"MONITORING {stmt.name}: locator {stmt.locator!r} is "
+                    "not in the monitoring store",
+                    line=line,
+                    hint=hint,
+                )
+        if schema is not None and schema.kind.value != stmt.data_type:
+            model.add(
+                "datatype-mismatch",
+                f"MONITORING {stmt.name}: declared {stmt.data_type} but "
+                f"the store schema for {stmt.locator!r} is "
+                f"{schema.kind.value}",
+                line=line,
+                hint="feature construction follows the store schema; "
+                "fix the declaration",
+            )
+
+        for key, _value in stmt.tags:
+            try:
+                tag_kind = parse_kind(key)
+            except ValueError:
+                model.add(
+                    "tag-unknown-kind",
+                    f"MONITORING {stmt.name}: tag {key!r} is not a "
+                    "component kind",
+                    line=line,
+                )
+                continue
+            if tag_kind not in declared:
+                model.add(
+                    "tag-unknown-kind",
+                    f"MONITORING {stmt.name}: tag {key!r} has no "
+                    "matching let declaration",
+                    line=line,
+                    hint=f"add: let {KIND_SPELLING[tag_kind]} = \"...\";",
+                )
+            if schema is not None and not _covers(
+                schema.component_kinds, tag_kind
+            ):
+                covered = ", ".join(
+                    sorted(k.value for k in schema.component_kinds)
+                )
+                model.add(
+                    "tag-coverage-mismatch",
+                    f"MONITORING {stmt.name}: tag {key!r} claims "
+                    f"{tag_kind.value} coverage but {stmt.locator!r} "
+                    f"only covers: {covered}",
+                    line=line,
+                    hint="drop the tag or register a covering dataset",
+                )
+
+        if stmt.class_tag is not None:
+            effective = (
+                schema.kind.value if schema is not None else stmt.data_type
+            )
+            previous = class_groups.get(stmt.class_tag)
+            if previous is not None and previous[0] != effective:
+                model.add(
+                    "class-tag-mixed-kind",
+                    f"class_tag {stmt.class_tag!r} merges {previous[0]} "
+                    f"and {effective} datasets — features cannot be "
+                    "pooled across data kinds",
+                    line=line,
+                    hint="use distinct class tags per data kind",
+                )
+            else:
+                class_groups[stmt.class_tag] = (effective, line)
+
+
+def _check_duplicate_scalars(model: _Model) -> None:
+    seen_sets: dict[str, int | None] = {}
+    for key, _value, line in model.sets:
+        if key in seen_sets:
+            model.add(
+                "dup-set",
+                f"SET {key} overrides an earlier value"
+                + (f" (line {seen_sets[key]})" if seen_sets[key] else ""),
+                line=line,
+            )
+        else:
+            seen_sets[key] = line
+    first_team: tuple[str, int | None] | None = None
+    for name, line in model.teams:
+        if first_team is None:
+            first_team = (name, line)
+        elif name != first_team[0]:
+            model.add(
+                "dup-team",
+                f"TEAM {name} overrides TEAM {first_team[0]}"
+                + (f" (line {first_team[1]})" if first_team[1] else ""),
+                line=line,
+            )
+
+
+def _check_options(model: _Model) -> None:
+    for key, value, line in model.sets:
+        if key not in KNOWN_OPTIONS:
+            model.add(
+                "unknown-option",
+                f"unknown option {key!r}",
+                line=line,
+                hint="known options: " + ", ".join(KNOWN_OPTIONS),
+            )
+            continue
+        try:
+            number = float(value)
+        except ValueError:
+            model.add(
+                "bad-option-value",
+                f"bad value for {key}: {value!r}",
+                line=line,
+            )
+            continue
+        if key == "lookback":
+            if number <= 0:
+                model.add(
+                    "lookback-bounds",
+                    f"lookback must be positive (got {value})",
+                    line=line,
+                    severity=Severity.ERROR,
+                )
+            elif not (_LOOKBACK_MIN <= number <= _LOOKBACK_MAX):
+                model.add(
+                    "lookback-bounds",
+                    f"lookback {value}s is outside the sane range "
+                    f"[{_LOOKBACK_MIN:.0f}s, 30d]",
+                    line=line,
+                    hint="the paper's deployment uses 7200 (two hours)",
+                )
+
+
+def _check_let_overlap(
+    model: _Model, patterns: dict[ComponentKind, str]
+) -> None:
+    compiled = {
+        kind: re.compile(pattern) for kind, pattern in patterns.items()
+    }
+    lines = {kind: line for _, kind, _, line in model.lets if kind is not None}
+    samples = {
+        kind: [s for s in exemplars(pattern) if s]
+        for kind, pattern in patterns.items()
+    }
+    for kind_a, samples_a in samples.items():
+        if not samples_a:
+            continue
+        for kind_b, regex_b in compiled.items():
+            if kind_a is kind_b:
+                continue
+            if all(regex_b.search(s) is not None for s in samples_a):
+                model.add(
+                    "let-overlap",
+                    f"every sampled match of let {KIND_SPELLING[kind_a]} "
+                    f"is also matched by let {KIND_SPELLING[kind_b]} — "
+                    "extraction will attribute the same text to both kinds",
+                    line=lines.get(kind_a),
+                    hint="anchor the broader pattern (word boundaries, "
+                    "lookarounds) so the kinds stay disjoint",
+                )
+    return None
+
+
+def _check_excludes(
+    model: _Model, patterns: dict[ComponentKind, str]
+) -> None:
+    for stmt_field, pattern, line in model.excludes:
+        try:
+            exclude_re = re.compile(pattern)
+        except re.error as exc:
+            model.add(
+                "regex-invalid",
+                f"EXCLUDE {stmt_field}: regex does not compile: {exc}",
+                line=line,
+            )
+            continue
+        if has_catastrophic_backtracking(pattern):
+            model.add(
+                "regex-backtracking",
+                f"EXCLUDE {stmt_field}: nested unbounded quantifiers can "
+                "backtrack catastrophically",
+                line=line,
+            )
+        if stmt_field.upper() in ("TITLE", "BODY"):
+            continue
+        try:
+            kind = parse_kind(stmt_field)
+        except ValueError:
+            model.add(
+                "unknown-kind",
+                f"EXCLUDE field {stmt_field!r} is neither TITLE/BODY nor "
+                "a component kind",
+                line=line,
+            )
+            continue
+        let_pattern = patterns.get(kind)
+        if let_pattern is None:
+            model.add(
+                "exclude-unreachable",
+                f"EXCLUDE {stmt_field}: no let declares kind "
+                f"{kind.value}, so no component can ever match",
+                line=line,
+                hint=f"add: let {KIND_SPELLING[kind]} = \"...\";",
+            )
+            continue
+        kind_re = re.compile(let_pattern)
+        kind_samples = [s for s in exemplars(let_pattern) if s]
+        exclude_samples = [s for s in exemplars(pattern) if s]
+        reachable = any(
+            exclude_re.search(s) is not None for s in kind_samples
+        ) or any(kind_re.search(s) is not None for s in exclude_samples)
+        if not reachable and (kind_samples or exclude_samples):
+            model.add(
+                "exclude-unreachable",
+                f"EXCLUDE {stmt_field}: pattern {pattern!r} matches no "
+                f"sampled output of the {kind.value} extractor",
+                line=line,
+                hint="the rule only sees names the let regex extracted",
+            )
+        elif kind_samples and all(
+            exclude_re.search(s) is not None for s in kind_samples
+        ):
+            model.add(
+                "exclude-shadows-kind",
+                f"EXCLUDE {stmt_field}: pattern {pattern!r} matches every "
+                f"sampled {kind.value} name — the Scout can never fire "
+                "on this kind",
+                line=line,
+                hint="narrow the pattern to the components that are "
+                "actually out of scope",
+            )
+
+
+def _check_dead_lets(
+    model: _Model, patterns: dict[ComponentKind, str], store
+) -> None:
+    lines = {kind: line for _, kind, _, line in model.lets if kind is not None}
+    for kind in patterns:
+        covered = False
+        for stmt in model.monitorings:
+            if store is not None:
+                try:
+                    schema = store.schema(stmt.locator)
+                except KeyError:
+                    continue
+                if _covers(schema.component_kinds, kind):
+                    covered = True
+                    break
+            else:
+                # No store: fall back to the declared tags.
+                tag_kinds = set()
+                for key, _value in stmt.tags:
+                    try:
+                        tag_kinds.add(parse_kind(key))
+                    except ValueError:
+                        continue
+                if kind in tag_kinds or (
+                    kind in _CONTAINER_KINDS and tag_kinds & _LEAF_KINDS
+                ):
+                    covered = True
+                    break
+        if not covered:
+            model.add(
+                "dead-let",
+                f"let {KIND_SPELLING[kind]}: no monitoring registration "
+                f"covers kind {kind.value} — it contributes only a "
+                "component-count feature",
+                line=lines.get(kind),
+                hint="register a covering dataset, or silence with "
+                "# scoutlint: disable=dead-let if deliberate (the "
+                "paper's PhyNet/VM case)",
+            )
+
+
+def _run_rules(model: _Model, store) -> list[Finding]:
+    patterns = _check_lets(model)
+    declared = set(patterns)
+    _check_duplicate_scalars(model)
+    _check_options(model)
+    _check_monitoring(model, store, declared)
+    _check_let_overlap(model, patterns)
+    _check_excludes(model, patterns)
+    _check_dead_lets(model, patterns, store)
+    return model.findings
+
+
+# -- public API -------------------------------------------------------------
+
+
+def lint_config_text(
+    text: str, store=None, path: str = "<config>"
+) -> list[Finding]:
+    """Analyze DSL text; ``# scoutlint: disable=RULE`` comments apply."""
+    model = _model_from_text(text, path)
+    findings = _run_rules(model, store)
+    return apply_disables(findings, parse_disable_comments(text))
+
+
+def lint_config(
+    config: ScoutConfig, store=None, path: str | None = None
+) -> list[Finding]:
+    """Analyze an already-constructed :class:`ScoutConfig` object.
+
+    The object path reports the same semantic rules as the text path
+    (minus the purely syntactic ones, which cannot occur in a validated
+    object) without line numbers.
+    """
+    model = _model_from_config(
+        config, path if path is not None else f"<config:{config.team}>"
+    )
+    return _run_rules(model, store)
+
+
+def lint_model(
+    model_path, config: ScoutConfig, store
+) -> list[Finding]:
+    """Schema-drift check: is a persisted Scout still servable?
+
+    Compares the feature schema derivable from the *current* config
+    against the one the bundle was trained with, and the bundle's
+    forest width against its own schema.  Any divergence means the
+    saved model would silently mis-read feature columns.
+    """
+    from ..core.features import FeatureSchema
+    from ..core.persistence import read_bundle
+
+    path = str(model_path)
+    findings: list[Finding] = []
+    try:
+        bundle = read_bundle(model_path)
+    except (ValueError, OSError) as exc:
+        findings.append(
+            make_finding(
+                "schema-drift", f"cannot read model bundle: {exc}", path=path
+            )
+        )
+        return findings
+    try:
+        trained = FeatureSchema(bundle.config, store).names
+        current = FeatureSchema(config, store).names
+    except KeyError as exc:
+        findings.append(
+            make_finding(
+                "schema-drift",
+                "feature schema is not derivable against this store "
+                f"({exc.args[0]})",
+                path=path,
+                hint="run the config analyzer for the unknown-locator detail",
+            )
+        )
+        return findings
+    if trained != current:
+        divergence = next(
+            (
+                f"position {i}: trained={a!r} vs current={b!r}"
+                for i, (a, b) in enumerate(zip(trained, current))
+                if a != b
+            ),
+            f"lengths differ: trained={len(trained)} vs "
+            f"current={len(current)}",
+        )
+        findings.append(
+            make_finding(
+                "schema-drift",
+                "persisted model's feature schema is no longer derivable "
+                f"from the current config ({divergence})",
+                path=path,
+                hint="retrain the Scout against the current config",
+            )
+        )
+    n_features = getattr(bundle.forest, "n_features_", None)
+    if n_features is not None and n_features != len(trained):
+        findings.append(
+            make_finding(
+                "schema-drift",
+                f"bundle forest expects {n_features} features but its own "
+                f"config derives {len(trained)}",
+                path=path,
+                hint="the monitoring store changed since training; retrain",
+            )
+        )
+    return findings

@@ -1,0 +1,207 @@
+"""Regex heuristics for the config analyzer.
+
+Two tools, both built on the stdlib regex parser's AST:
+
+* :func:`exemplars` — generate a handful of strings a pattern matches.
+  General regex-intersection is undecidable, so the overlap/reachability
+  rules work on *sampled* matches instead: every exemplar is verified
+  against the compiled pattern before being returned, which means the
+  rules that consume them can never be wrong about "this string is a
+  match of A" — only incomplete.
+* :func:`has_catastrophic_backtracking` — the classic nested-unbounded-
+  quantifier shape (``(a+)+``, ``(\\d+)*``) that makes Python's
+  backtracking engine exponential on non-matching input.
+"""
+
+from __future__ import annotations
+
+import re
+
+try:  # Python 3.11 renamed sre_parse into re._parser
+    from re import _parser as sre_parse
+except ImportError:  # pragma: no cover - older interpreters
+    import sre_parse  # type: ignore[no-redef]
+
+__all__ = ["exemplars", "has_catastrophic_backtracking"]
+
+# Digit choices per variant give the sampler diversity: an EXCLUDE like
+# "sw-tor9.*" intersects the switch extractor only at digit 9.
+_VARIANT_DIGITS = ("0", "1", "7", "9")
+_MAX_EMIT = 256  # hard cap on exemplar length (runaway repeat guard)
+
+
+def _class_contains(items, char: str) -> bool:
+    """Does a character-class item list match ``char``?"""
+    code = ord(char)
+    negate = False
+    matched = False
+    for op, av in items:
+        name = str(op)
+        if name == "NEGATE":
+            negate = True
+        elif name == "LITERAL":
+            matched |= code == av
+        elif name == "RANGE":
+            matched |= av[0] <= code <= av[1]
+        elif name == "CATEGORY":
+            category = str(av)
+            if category == "CATEGORY_DIGIT":
+                matched |= char.isdigit()
+            elif category == "CATEGORY_NOT_DIGIT":
+                matched |= not char.isdigit()
+            elif category == "CATEGORY_WORD":
+                matched |= char.isalnum() or char == "_"
+            elif category == "CATEGORY_NOT_WORD":
+                matched |= not (char.isalnum() or char == "_")
+            elif category == "CATEGORY_SPACE":
+                matched |= char.isspace()
+            elif category == "CATEGORY_NOT_SPACE":
+                matched |= not char.isspace()
+    return matched != negate
+
+
+def _emit_class(items, variant: int) -> str:
+    probes = (
+        _VARIANT_DIGITS[variant % len(_VARIANT_DIGITS)],
+        "a", "A", "0", "_", "~", " ", ".", "-", "z", "Z", "9",
+    )
+    for probe in probes:
+        if _class_contains(items, probe):
+            return probe
+    # Exhaustive fallback over printable ASCII.
+    for code in range(32, 127):
+        if _class_contains(items, chr(code)):
+            return chr(code)
+    return ""
+
+
+def _emit(tree, variant: int, groups: dict[int, str]) -> str:
+    out: list[str] = []
+    for op, av in tree:
+        if sum(len(part) for part in out) > _MAX_EMIT:
+            break
+        name = str(op)
+        if name == "LITERAL":
+            out.append(chr(av))
+        elif name == "NOT_LITERAL":
+            for probe in ("a", "0", "~"):
+                if ord(probe) != av:
+                    out.append(probe)
+                    break
+        elif name == "ANY":
+            out.append("a")
+        elif name == "IN":
+            out.append(_emit_class(av, variant))
+        elif name == "BRANCH":
+            branches = av[1]
+            out.append(_emit(branches[variant % len(branches)], variant, groups))
+        elif name == "SUBPATTERN":
+            group, _, _, item = av
+            emitted = _emit(item, variant, groups)
+            if group is not None:
+                groups[group] = emitted
+            out.append(emitted)
+        elif name in ("MAX_REPEAT", "MIN_REPEAT", "POSSESSIVE_REPEAT"):
+            lo, hi, item = av
+            count = lo
+            if variant >= 2 and count < hi:
+                count = min(count + 1, lo + 1)
+            piece = _emit(item, variant, groups)
+            out.append(piece * min(count, _MAX_EMIT))
+        elif name == "GROUPREF":
+            out.append(groups.get(av, ""))
+        elif name == "ATOMIC_GROUP":
+            out.append(_emit(av, variant, groups))
+        elif name in ("AT", "ASSERT", "ASSERT_NOT", "GROUPREF_EXISTS"):
+            # Anchors and lookarounds emit nothing; the final
+            # verification step rejects exemplars they invalidate.
+            pass
+    return "".join(out)
+
+
+def exemplars(pattern: str, variants: int = 4) -> list[str]:
+    """Verified sample matches of ``pattern`` (may be empty).
+
+    Every returned string satisfies ``re.search(pattern, s)`` — the
+    sampler is allowed to fail (lookarounds, anchors), never to lie.
+    """
+    try:
+        compiled = re.compile(pattern)
+        tree = sre_parse.parse(pattern)
+    except (re.error, OverflowError):
+        return []
+    samples: list[str] = []
+    seen: set[str] = set()
+    for variant in range(variants):
+        candidate = _emit(tree, variant, {})
+        if candidate in seen:
+            continue
+        seen.add(candidate)
+        try:
+            if compiled.search(candidate) is not None:
+                samples.append(candidate)
+        except re.error:  # pragma: no cover - search on compiled can't fail
+            continue
+    return samples
+
+
+def _contains_unbounded_repeat(tree) -> bool:
+    for op, av in tree:
+        name = str(op)
+        if name in ("MAX_REPEAT", "MIN_REPEAT", "POSSESSIVE_REPEAT"):
+            _, hi, item = av
+            if hi == sre_parse.MAXREPEAT or hi >= 64:
+                return True
+            if _contains_unbounded_repeat(item):
+                return True
+        elif name == "SUBPATTERN":
+            if _contains_unbounded_repeat(av[3]):
+                return True
+        elif name == "BRANCH":
+            if any(_contains_unbounded_repeat(b) for b in av[1]):
+                return True
+        elif name == "ATOMIC_GROUP":
+            if _contains_unbounded_repeat(av):
+                return True
+    return False
+
+
+def _walk_repeats(tree) -> bool:
+    """True when an unbounded repeat nests another unbounded repeat."""
+    for op, av in tree:
+        name = str(op)
+        if name in ("MAX_REPEAT", "MIN_REPEAT"):
+            lo, hi, item = av
+            unbounded = hi == sre_parse.MAXREPEAT or hi >= 64
+            if unbounded and _contains_unbounded_repeat(item):
+                return True
+            if _walk_repeats(item):
+                return True
+        elif name == "POSSESSIVE_REPEAT":
+            # Possessive repeats never backtrack — recurse only.
+            if _walk_repeats(av[2]):
+                return True
+        elif name == "SUBPATTERN":
+            if _walk_repeats(av[3]):
+                return True
+        elif name == "BRANCH":
+            if any(_walk_repeats(b) for b in av[1]):
+                return True
+        elif name == "ATOMIC_GROUP":
+            if _walk_repeats(av):
+                return True
+    return False
+
+
+def has_catastrophic_backtracking(pattern: str) -> bool:
+    """Heuristic: does the pattern nest unbounded quantifiers?
+
+    ``(\\d+)+``, ``(a*)*`` and friends are flagged; sequential repeats
+    (``\\d+\\.\\d+``) are not.  A heuristic, not a proof — severity is
+    WARN for a reason.
+    """
+    try:
+        tree = sre_parse.parse(pattern)
+    except (re.error, OverflowError):
+        return False
+    return _walk_repeats(tree)

@@ -338,12 +338,23 @@ class IncidentManager:
 
     # -- registration ------------------------------------------------------
 
-    def register(self, scout: Scout) -> None:
-        """Register a team's Scout as its gate-keeper."""
+    def register(self, scout: Scout, *, lint: bool = False) -> None:
+        """Register a team's Scout as its gate-keeper.
+
+        ``lint=True`` runs the config analyzer against the Scout's own
+        monitoring store before registration and raises
+        :class:`~repro.lint.LintError` on any ERROR finding, so a
+        misconfigured Scout never goes live.
+        """
         if scout.team not in self.registry:
             raise ValueError(f"unknown team: {scout.team!r}")
         if scout.team in self._scouts:
             raise ValueError(f"{scout.team} already has a registered Scout")
+        if lint:
+            from ..lint import lint_config, require_clean
+
+            store = getattr(getattr(scout, "builder", None), "store", None)
+            require_clean(lint_config(scout.config, store))
         if (
             self.retry_policy is not None
             and getattr(scout, "retry_policy", False) is None

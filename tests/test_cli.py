@@ -96,3 +96,13 @@ def test_route_without_components_falls_back(tmp_path, small_args, capsys):
     ])
     out = capsys.readouterr().out
     assert "falling back" in out
+
+
+def test_lint_subcommand_delegates(capsys):
+    assert main(["lint", "--phynet"]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_listed_in_help():
+    parser = build_parser()
+    assert "lint" in parser.format_help()

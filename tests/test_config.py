@@ -163,6 +163,43 @@ class TestParser:
         else:
             pytest.fail("expected ConfigSyntaxError")
 
+    def test_repeated_set_warns(self):
+        warnings = []
+        cfg = parse_config(
+            'let VM = "x"; SET lookback = 3600; SET lookback = 600;',
+            team="T",
+            warnings=warnings,
+        )
+        assert cfg.lookback == 600.0  # last one wins, but loudly
+        assert any("lookback" in w for w in warnings)
+
+    def test_team_override_warns(self):
+        warnings = []
+        cfg = parse_config(
+            'TEAM A;\nTEAM B;\nlet VM = "x";', warnings=warnings
+        )
+        assert cfg.team == "B"
+        assert any("TEAM" in w for w in warnings)
+
+    def test_clean_config_no_warnings(self):
+        warnings = []
+        parse_config('let VM = "x"; SET lookback = 3600;',
+                     team="T", warnings=warnings)
+        assert warnings == []
+
+    def test_lenient_statement_parse_collects_errors(self):
+        from repro.config import parse_statements
+
+        errors = []
+        statements = parse_statements(
+            'let VM = "x";\nFROBNICATE;\nSET lookback = 10;',
+            errors=errors,
+        )
+        # The bad middle statement is reported, not fatal: both good
+        # statements still come back.
+        assert [line for line, _ in errors] == [2]
+        assert len(statements) == 2
+
 
 class TestPhyNetConfig:
     def test_parses(self):

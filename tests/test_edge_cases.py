@@ -1,6 +1,5 @@
 """Edge-case coverage across subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.config import ConfigSyntaxError, parse_config

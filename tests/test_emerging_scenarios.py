@@ -1,6 +1,5 @@
 """Non-stationary workload tests: emerging failure modes (§7.3's story)."""
 
-import numpy as np
 import pytest
 
 from repro.simulation import (

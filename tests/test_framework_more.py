@@ -1,7 +1,5 @@
 """Additional framework/evaluation behaviors."""
 
-import numpy as np
-import pytest
 
 from repro.analysis.survey import SURVEY_FACTS, TEAM_BUCKETS, USER_BUCKETS
 from repro.core import Route, ScoutFramework, TrainingOptions

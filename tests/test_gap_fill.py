@@ -1,6 +1,5 @@
 """Coverage gap-fill: less-traveled branches across subsystems."""
 
-import numpy as np
 import pytest
 
 from repro.core import Route

@@ -1,6 +1,5 @@
 """Incident model, routing trace, store, and text generation tests."""
 
-import numpy as np
 import pytest
 
 from repro.incidents import (

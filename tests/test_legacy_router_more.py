@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datacenter import ComponentKind, build_topology
+from repro.datacenter import build_topology
 from repro.incidents import IncidentSource, Severity
 from repro.simulation import RoutingModel, default_scenarios, default_teams
 from repro.simulation.teams import CUSTOMER, PHYNET

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datacenter import Component, ComponentKind, build_topology
+from repro.datacenter import Component, ComponentKind
 from repro.monitoring import (
     DataKind,
     FailureEffect,

@@ -1,6 +1,5 @@
 """Feature construction over team-owned datasets (cluster-direct data)."""
 
-import numpy as np
 import pytest
 
 from repro.config import slb_config, storage_config

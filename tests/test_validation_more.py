@@ -1,7 +1,6 @@
 """Additional split-protocol behaviors (warmup, custom fractions)."""
 
 import numpy as np
-import pytest
 
 from repro.incidents import IncidentStore
 from repro.ml import imbalance_aware_split, time_based_windows
