@@ -83,6 +83,26 @@ def build_parser() -> argparse.ArgumentParser:
             help="cross-incident monitoring-cache TTL in seconds "
             "(default: cache cleared per incident)",
         )
+        p.add_argument(
+            "--shards",
+            action="store_true",
+            help="serve monitoring queries from columnar per-(dataset, "
+            "component) shards (byte-identical; repeat pulls become "
+            "array slices)",
+        )
+        p.add_argument(
+            "--shard-memmap",
+            default=None,
+            metavar="DIR",
+            help="back series shard chunks with memmap files in DIR "
+            "(implies nothing unless --shards is set)",
+        )
+        p.add_argument(
+            "--incremental",
+            action="store_true",
+            help="use the incremental sliding-window feature engine "
+            "(O(delta) window advance; byte-identical vectors)",
+        )
 
     def metrics_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -346,6 +366,9 @@ def _cmd_serve(args) -> int:
         retry=retry,
         batch_workers=args.batch_workers,
         cache_ttl=args.cache_ttl,
+        shards=args.shards,
+        shard_memmap_dir=args.shard_memmap,
+        incremental=args.incremental,
     )
     for path in args.model:
         manager.register(load_scout(path, sim.topology, store))

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config.spec import ScoutConfig
-from ..datacenter.components import ComponentKind
+from ..datacenter.components import Component, ComponentKind
 from ..datacenter.topology import Topology
 from ..ml.cpd import CusumDetector
 from ..ml.forest import RandomForestClassifier
@@ -156,26 +156,50 @@ class CPDPlus:
             ]
             abnormal = 0
             devices = 0
+            devs_all: list[Component] = []
             for component in components:
-                for device in self.builder._observables(component, kinds):
-                    devices += 1
-                    events = self.builder.events(feature.locator, device, t - T, t)
+                devs_all.extend(self.builder._observables(component, kinds))
+            if self.builder.incremental:
+                # Usually a no-op: the feature pulls already warmed the
+                # shared count memo for this exact window.
+                self.builder.prefetch_event_counts(
+                    feature.locator, devs_all, t - T, t
+                )
+            for device in devs_all:
+                devices += 1
+                # CPD+ only ever consumes counts, so the incremental
+                # engine serves them from the count-query fast path
+                # (no per-event offset hashing, shared content cache
+                # with the feature pulls).  The default path keeps
+                # the seed's event-series pulls — and with them the
+                # FaultyStore query ordinals.
+                if self.builder.incremental:
+                    counts = self.builder.event_counts(
+                        feature.locator, device, t - T, t
+                    )
+                    if counts is None:
+                        continue
+                    count = counts.get(feature.event_type, 0)
+                else:
+                    events = self.builder.events(
+                        feature.locator, device, t - T, t
+                    )
                     if events is None:
                         continue
                     count = events.count_of(feature.event_type)
-                    expected = rate * T / 3600.0
-                    # Poisson upper-tail test: flag counts beyond the
-                    # ~95% envelope of the healthy rate, and never on a
-                    # single event — background noise produces lone
-                    # events routinely.
-                    threshold = max(expected + 1.64 * np.sqrt(expected) + 0.5, 2.5)
-                    if count > threshold:
-                        abnormal += 1
-                        if feature.kind in _LEAF_KINDS:
-                            triggers.append(
-                                f"{count}x {feature.event_type} events in "
-                                f"{feature.locator} on {device.name}"
-                            )
+                expected = rate * T / 3600.0
+                # Poisson upper-tail test: flag counts beyond the
+                # ~95% envelope of the healthy rate, and never on a
+                # single event — background noise produces lone
+                # events routinely.
+                threshold = max(expected + 1.64 * np.sqrt(expected) + 0.5, 2.5)
+                if count > threshold:
+                    abnormal += 1
+                    if feature.kind in _LEAF_KINDS:
+                        triggers.append(
+                            f"{count}x {feature.event_type} events in "
+                            f"{feature.locator} on {device.name}"
+                        )
             if devices:
                 vector[offset + e] = abnormal / devices
         return vector, triggers

@@ -131,13 +131,23 @@ class ScoutFramework:
         store: MonitoringStore,
         options: TrainingOptions | None = None,
         obs: Observability | None = None,
+        incremental: bool = False,
+        approx_quantiles: bool = False,
     ) -> None:
         self.config = config
         self.topology = topology
         self.store = store
         self.options = options or TrainingOptions()
         self.extractor = ComponentExtractor(config, topology)
-        self.builder = FeatureBuilder(config, topology, store)
+        # ``incremental`` opts the builder into the sliding-window
+        # feature engine (byte-identical vectors; see core.features).
+        self.builder = FeatureBuilder(
+            config,
+            topology,
+            store,
+            incremental=incremental,
+            approx_quantiles=approx_quantiles,
+        )
         # Observability sink (None = un-instrumented): per-phase
         # training spans/durations, threaded into the builder's query
         # counters and every Scout this framework trains.

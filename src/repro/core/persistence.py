@@ -98,15 +98,20 @@ def load_scout(
     path: str | Path,
     topology: Topology,
     store: MonitoringStore,
+    incremental: bool = False,
 ) -> Scout:
     """Load a Scout and attach it to a live monitoring environment.
 
-    Raises ``ValueError`` for non-Scout files or incompatible format
-    versions — a corrupted model store must fail loudly, not serve
-    garbage predictions.
+    ``incremental`` opts the attached builder into the sliding-window
+    feature engine (a serving-time choice, so it is not part of the
+    persisted bundle).  Raises ``ValueError`` for non-Scout files or
+    incompatible format versions — a corrupted model store must fail
+    loudly, not serve garbage predictions.
     """
     bundle = read_bundle(path)
-    builder = FeatureBuilder(bundle.config, topology, store)
+    builder = FeatureBuilder(
+        bundle.config, topology, store, incremental=incremental
+    )
     cpd = CPDPlus(
         builder,
         handful_threshold=bundle.cpd_handful_threshold,

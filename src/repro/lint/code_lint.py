@@ -16,6 +16,12 @@ picklability invariants the pipeline depends on:
   training, model persistence).
 * ``no-print`` — library code reports through return values, logging,
   or the metrics registry; ``print`` is reserved for CLI entry points.
+* ``hot-path-recompute`` — no full-window order statistics
+  (``np.percentile``/``np.quantile``/``np.median``) in the per-incident
+  hot-path modules (``HOT_PATH_FILES``): window statistics there must
+  go through the incremental engine (``core.window_agg``), which
+  advances in O(delta).  The full-recompute parity oracle carries an
+  inline disable — it is the reference the engine is checked against.
 
 Suppression: ``# scoutlint: disable=RULE`` on the offending line, or a
 ``path:rule`` entry in an allowlist file (see ``.scoutlint-allowlist``
@@ -29,7 +35,13 @@ from pathlib import Path
 
 from .findings import Finding, apply_disables, make_finding, parse_disable_comments
 
-__all__ = ["lint_source", "lint_file", "lint_paths", "DEFAULT_EXEMPT_FILES"]
+__all__ = [
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "DEFAULT_EXEMPT_FILES",
+    "HOT_PATH_FILES",
+]
 
 # Wall-clock callables, keyed by their normalized dotted name.
 _CLOCK_CALLS = {
@@ -69,6 +81,24 @@ _LOCK_FACTORIES = {
 DEFAULT_EXEMPT_FILES = {
     "naked-clock": ("clock.py", "faults.py"),
     "no-print": ("cli.py", "__main__.py"),
+}
+
+# Per-incident hot-path modules: code here runs once per served
+# incident, so full-window order statistics belong in the incremental
+# engine (core.window_agg), not inline.  The rule fires *only* in these
+# files — np.percentile is fine in training, analysis, or the engine
+# itself.
+HOT_PATH_FILES = ("features.py", "cpd_plus.py", "scout.py")
+
+# Full-window order statistics: each call re-scans (and re-partitions)
+# the whole window, the exact O(window) work the engine amortizes.
+_HOT_PATH_CALLS = {
+    "numpy.percentile",
+    "numpy.quantile",
+    "numpy.median",
+    "numpy.nanpercentile",
+    "numpy.nanquantile",
+    "numpy.nanmedian",
 }
 
 
@@ -123,6 +153,7 @@ class _Checker(ast.NodeVisitor):
             rule: Path(path).name in names
             for rule, names in DEFAULT_EXEMPT_FILES.items()
         }
+        self._hot_path = Path(path).name in HOT_PATH_FILES
 
     def _add(self, rule: str, message: str, line: int,
              hint: str | None = None) -> None:
@@ -141,6 +172,7 @@ class _Checker(ast.NodeVisitor):
             self._check_clock(node, canonical)
             self._check_random(node, canonical)
             self._check_lock(node, canonical)
+            self._check_hot_path(node, canonical)
         if isinstance(node.func, ast.Name) and node.func.id == "print":
             self._add(
                 "no-print",
@@ -184,6 +216,17 @@ class _Checker(ast.NodeVisitor):
     def _check_lock(self, node: ast.Call, canonical: str) -> None:
         if canonical in _LOCK_FACTORIES and self._class_stack:
             self._class_stack[-1]["locks"].append((canonical, node.lineno))
+
+    def _check_hot_path(self, node: ast.Call, canonical: str) -> None:
+        if self._hot_path and canonical in _HOT_PATH_CALLS:
+            self._add(
+                "hot-path-recompute",
+                f"full-window {canonical}() in a per-incident hot path",
+                node.lineno,
+                hint="serve order statistics from the incremental window "
+                "engine (core.window_agg); the parity oracle may keep an "
+                "inline disable",
+            )
 
     # -- classes -----------------------------------------------------------
 

@@ -120,6 +120,9 @@ RULES: dict[str, Rule] = {
              "code"),
         Rule("no-print", Severity.WARN,
              "print() in library code (CLI modules excepted)", "code"),
+        Rule("hot-path-recompute", Severity.WARN,
+             "full-window order statistic (np.percentile/quantile/median) "
+             "in a per-incident hot-path module", "code"),
     ]
 }
 

@@ -151,6 +151,16 @@ class FaultyStore:
         self._gate(dataset)
         return self.inner.query_events_batch(dataset, components, t0, t1)
 
+    def query_event_type_counts(self, dataset, component, t0, t1):
+        self._gate(dataset)
+        return self.inner.query_event_type_counts(dataset, component, t0, t1)
+
+    def query_event_type_counts_batch(self, dataset, components, t0, t1):
+        self._gate(dataset)
+        return self.inner.query_event_type_counts_batch(
+            dataset, components, t0, t1
+        )
+
     def __getattr__(self, name):
         return getattr(self.inner, name)
 

@@ -22,6 +22,7 @@ __all__ = [
     "normal_grid",
     "uniform_mixed",
     "poisson_counts",
+    "poisson_counts_grid",
 ]
 
 _MASK = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -137,6 +138,27 @@ def poisson_counts(
     if lam == 0.0:
         return np.zeros(len(np.atleast_1d(indices)), dtype=int)
     u = uniform_at(seed, indices, stream)
+    return np.searchsorted(_poisson_cdf(lam), u).astype(int)
+
+
+def poisson_counts_grid(
+    seeds: np.ndarray, indices: np.ndarray, lam: float, stream: int = 0
+) -> np.ndarray:
+    """Poisson(λ) counts for many streams over shared bin indices.
+
+    Returns a ``(len(seeds), len(indices))`` matrix whose row ``d``
+    equals ``poisson_counts(seeds[d], indices, lam, stream)``
+    bit-for-bit: the same inverse-transform lookup, fed by
+    :func:`uniform_grid` so one hash pass covers every (seed, bin)
+    pair.
+    """
+    if lam < 0:
+        raise ValueError("lam must be non-negative")
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    if lam == 0.0:
+        n = len(np.atleast_1d(indices))
+        return np.zeros((len(seeds), n), dtype=int)
+    u = uniform_grid(seeds, indices, stream)
     return np.searchsorted(_poisson_cdf(lam), u).astype(int)
 
 

@@ -1,0 +1,479 @@
+"""Columnar monitoring shards: chunked, materialized signal storage.
+
+The hash-based generators make every query a recompute: each look-back
+pull re-derives its window sample-by-sample (``sin`` + ``ndtri`` per
+point for series, Poisson inversion plus per-event offsets for events).
+That is the right trade for nine months of telemetry nobody reads — and
+the wrong one for serving, where the same (dataset, component) signals
+are pulled for every incident.
+
+A *shard* is the materialized form of one (dataset, component) signal,
+stored as fixed-size chunks of contiguous numpy arrays:
+
+* ``SeriesChunk`` — ``chunk_size`` consecutive samples of the baseline
+  signal, plus the floored copy served to effect-free queries.  The
+  sample index is the time index (``timestamp = index * interval``), so
+  a window lookup is integer arithmetic plus an array slice.
+* ``EventChunk`` — the background events of ``chunk_size`` consecutive
+  one-minute bins, kept in *construction order* (per event type, bins
+  ascending — exactly the order the generator path builds its parts
+  in), plus per-type cumulative bin counts so a window's event count is
+  two subtractions.
+
+Everything a chunk stores is computed with the exact same elementwise
+expressions as the per-query generator path, so a chunk-backed query is
+byte-identical to a generated one — the store's parity tests assert
+this, window by window.
+
+Chunks are materialized lazily on first touch, kept in an LRU cache
+with a configurable cap, and can optionally be memmap-backed (series
+values only) so many processes share one on-disk copy.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .base import BaselineSpec, DatasetSchema
+from .generators import (
+    normal_at,
+    normal_grid,
+    poisson_counts,
+    poisson_counts_grid,
+    uniform_at,
+    uniform_mixed,
+)
+
+__all__ = [
+    "ShardConfig",
+    "ShardStats",
+    "SeriesChunk",
+    "EventChunk",
+    "ShardCache",
+    "baseline_series_values",
+    "baseline_series_values_grid",
+    "background_event_parts",
+    "background_event_parts_batch",
+]
+
+_DAY = 86400.0
+_HOUR = 3600.0
+_EVENT_BIN = 60.0
+
+
+def baseline_series_values(
+    spec: BaselineSpec, seed: int, indices: np.ndarray, timestamps: np.ndarray
+) -> np.ndarray:
+    """Healthy baseline samples at ``indices`` (pre-effect, pre-floor).
+
+    The single source of truth for the series value formula: the
+    store's scalar query path and the chunk materializer both call it,
+    so shard-backed reads cannot drift from generated ones.  Every
+    operation is elementwise, which is what makes a chunk computed over
+    ``[k*C, (k+1)*C)`` bit-identical to a window computed over any
+    sub-range.
+    """
+    return (
+        spec.mean
+        + spec.diurnal_amp * np.sin(2.0 * np.pi * timestamps / _DAY)
+        + spec.std * normal_at(seed, indices)
+    )
+
+
+def baseline_series_values_grid(
+    spec: BaselineSpec,
+    seeds: np.ndarray,
+    indices: np.ndarray,
+    timestamps: np.ndarray,
+) -> np.ndarray:
+    """:func:`baseline_series_values` for many signals at once.
+
+    Row ``d`` is bit-identical to
+    ``baseline_series_values(spec, seeds[d], indices, timestamps)``:
+    :func:`normal_grid` row-matches ``normal_at`` exactly, and the
+    surrounding expression keeps the same evaluation order, broadcast
+    over rows.
+    """
+    return (
+        spec.mean
+        + spec.diurnal_amp * np.sin(2.0 * np.pi * timestamps / _DAY)
+        + spec.std * normal_grid(seeds, indices)
+    )
+
+
+def background_event_parts(
+    schema: DatasetSchema, seed: int, first: int, last: int
+) -> list[tuple[str, np.ndarray, np.ndarray]]:
+    """Background events for bins ``[first, last]``, in generator order.
+
+    Returns one ``(event_type, times, counts)`` triple per event type
+    (types sorted — the generator's iteration order), where ``times``
+    holds the event timestamps in construction order (bins ascending,
+    the j-th event of a bin hashed at index ``bin + j``) and ``counts``
+    the per-bin event counts.  Shared by the scalar query path and the
+    chunk materializer.
+    """
+    parts: list[tuple[str, np.ndarray, np.ndarray]] = []
+    n_bins = last - first + 1
+    indices = np.arange(first, last + 1, dtype=np.uint64)
+    for stream, (event_type, hourly_rate) in enumerate(
+        sorted(schema.events.rates.items())
+    ):
+        lam = hourly_rate * _EVENT_BIN / _HOUR
+        counts = poisson_counts(seed, indices, lam, stream=stream + 1)
+        nonzero = counts > 0
+        if not np.any(nonzero):
+            parts.append((event_type, np.empty(0), np.zeros(n_bins, dtype=int)))
+            continue
+        bins = indices[nonzero]
+        per_bin = counts[nonzero]
+        total = int(per_bin.sum())
+        # Event j of a bin draws its offset at hash index ``bin + j``.
+        rep_bins = np.repeat(bins, per_bin)
+        ends = np.cumsum(per_bin)
+        within = (
+            np.arange(total, dtype=np.uint64)
+            - np.repeat(ends - per_bin, per_bin).astype(np.uint64)
+        )
+        offsets = uniform_at(seed, rep_bins + within, stream=1000 + stream)
+        times = rep_bins.astype(float) * _EVENT_BIN + offsets * _EVENT_BIN
+        parts.append((event_type, times, counts))
+    return parts
+
+
+def background_event_parts_batch(
+    schema: DatasetSchema, seeds: list[int], first: int, last: int
+) -> list[list[tuple[str, np.ndarray, np.ndarray]]]:
+    """:func:`background_event_parts` for many signals at once.
+
+    Entry ``d`` is bit-identical to
+    ``background_event_parts(schema, seeds[d], first, last)``: the bin
+    counts of every signal hash through one :func:`poisson_counts_grid`
+    call per event type, and the per-event time offsets of all signals
+    concatenate into a single :func:`uniform_mixed` pass — each event
+    keeps its scalar hash index ``bin + j``, so slicing the combined
+    draw back apart reproduces the per-signal arrays exactly.
+    """
+    n_bins = last - first + 1
+    indices = np.arange(first, last + 1, dtype=np.uint64)
+    seeds_arr = np.asarray(seeds, dtype=np.uint64)
+    out: list[list[tuple[str, np.ndarray, np.ndarray]]] = [[] for _ in seeds]
+    for stream, (event_type, hourly_rate) in enumerate(
+        sorted(schema.events.rates.items())
+    ):
+        lam = hourly_rate * _EVENT_BIN / _HOUR
+        counts_grid = poisson_counts_grid(
+            seeds_arr, indices, lam, stream=stream + 1
+        )
+        key_parts: list[np.ndarray] = []
+        seed_parts: list[np.ndarray] = []
+        pending: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for d, seed in enumerate(seeds):
+            counts = counts_grid[d]
+            nonzero = counts > 0
+            if not np.any(nonzero):
+                out[d].append(
+                    (event_type, np.empty(0), np.zeros(n_bins, dtype=int))
+                )
+                continue
+            bins = indices[nonzero]
+            per_bin = counts[nonzero]
+            total = int(per_bin.sum())
+            # Event j of a bin draws its offset at hash index ``bin + j``.
+            rep_bins = np.repeat(bins, per_bin)
+            ends = np.cumsum(per_bin)
+            within = (
+                np.arange(total, dtype=np.uint64)
+                - np.repeat(ends - per_bin, per_bin).astype(np.uint64)
+            )
+            key_parts.append(rep_bins + within)
+            seed_parts.append(np.full(total, seed, dtype=np.uint64))
+            pending.append((d, rep_bins, counts))
+        if not pending:
+            continue
+        offsets_all = uniform_mixed(
+            np.concatenate(seed_parts),
+            np.concatenate(key_parts),
+            stream=1000 + stream,
+        )
+        pos = 0
+        for d, rep_bins, counts in pending:
+            offsets = offsets_all[pos : pos + len(rep_bins)]
+            pos += len(rep_bins)
+            times = rep_bins.astype(float) * _EVENT_BIN + offsets * _EVENT_BIN
+            out[d].append((event_type, times, counts))
+    return out
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Materialization policy for one store's shard cache."""
+
+    series_chunk: int = 512   # samples per series chunk
+    event_chunk: int = 512    # one-minute bins per event chunk
+    max_chunks: int = 16384   # LRU cap across series + event chunks
+    memmap_dir: str | None = None  # back series chunks with on-disk memmaps
+
+    def __post_init__(self) -> None:
+        if self.series_chunk < 2 or self.event_chunk < 2:
+            raise ValueError("chunk sizes must be at least 2")
+        if self.max_chunks < 1:
+            raise ValueError("max_chunks must be positive")
+
+
+@dataclass
+class ShardStats:
+    """Counters describing one store's shard cache."""
+
+    series_materializations: int = 0
+    event_materializations: int = 0
+    evictions: int = 0
+    resident_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class SeriesChunk:
+    """``chunk_size`` consecutive baseline samples of one signal.
+
+    ``final`` is the floored copy (identical object when the dataset
+    has no floor) and is what effect-free queries slice; it is marked
+    read-only so served views cannot be mutated by callers.
+    """
+
+    start_index: int
+    final: np.ndarray
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.final.nbytes)
+
+
+@dataclass(frozen=True)
+class EventChunk:
+    """Background events of ``chunk_size`` consecutive one-minute bins.
+
+    ``parts`` holds one ``(event_type, times, cum)`` triple per event
+    type in sorted-type order: ``times`` in construction order and
+    ``cum`` the cumulative per-bin counts (length ``chunk_size + 1``),
+    so the events of local bins ``[lo, hi]`` are exactly
+    ``times[cum[lo]:cum[hi + 1]]`` — a zero-copy view in the order the
+    generator path would have built.
+    """
+
+    start_bin: int
+    parts: tuple[tuple[str, np.ndarray, np.ndarray], ...]
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            sum(times.nbytes + cum.nbytes for _, times, cum in self.parts)
+        )
+
+
+def _build_event_chunk(
+    start_bin: int, raw: list[tuple[str, np.ndarray, np.ndarray]]
+) -> EventChunk:
+    """Freeze generator parts into an :class:`EventChunk`."""
+    parts = []
+    for event_type, times, counts in raw:
+        cum = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+        times.flags.writeable = False
+        parts.append((event_type, times, cum))
+    return EventChunk(start_bin=start_bin, parts=tuple(parts))
+
+
+@dataclass
+class ShardCache:
+    """LRU-capped chunk cache for one monitoring store.
+
+    Thread-compatibility note: the owning store serializes
+    materialization behind its shard lock; the cache itself is a plain
+    OrderedDict.
+    """
+
+    config: ShardConfig
+    stats: ShardStats = field(default_factory=ShardStats)
+
+    def __post_init__(self) -> None:
+        self._series: OrderedDict[tuple, SeriesChunk] = OrderedDict()
+        self._events: OrderedDict[tuple, EventChunk] = OrderedDict()
+
+    # -- series -------------------------------------------------------------
+
+    def series_chunk(
+        self, key: tuple, spec: BaselineSpec, seed: int
+    ) -> SeriesChunk:
+        """The series chunk for ``key = (dataset, component, chunk_no)``."""
+        chunk = self._series.get(key)
+        if chunk is not None:
+            self._series.move_to_end(key)
+            return chunk
+        chunk = self._materialize_series(key, spec, seed)
+        self._series[key] = chunk
+        self.stats.series_materializations += 1
+        self.stats.resident_bytes += chunk.nbytes
+        self._evict()
+        return chunk
+
+    def series_chunks_batch(
+        self, keys: list[tuple], spec: BaselineSpec, seeds: list[int]
+    ) -> list[SeriesChunk]:
+        """Chunks for many signals of one dataset, same chunk window.
+
+        Cache misses materialize together: one broadcast
+        :func:`baseline_series_values_grid` call per distinct chunk
+        number replaces a scalar generator call per signal — the same
+        batching the store's non-sharded ``query_series_batch`` path
+        does, applied to chunk filling.  Each returned chunk is
+        bit-identical to what :meth:`series_chunk` would have built.
+        """
+        found: dict[tuple, SeriesChunk] = {}
+        queued: set[tuple] = set()
+        missing_by_k: dict[int, list[tuple[tuple, int]]] = {}
+        for key, seed in zip(keys, seeds):
+            chunk = self._series.get(key)
+            if chunk is not None:
+                self._series.move_to_end(key)
+                found[key] = chunk
+            elif key not in queued:
+                queued.add(key)
+                missing_by_k.setdefault(key[2], []).append((key, seed))
+        size = self.config.series_chunk
+        for k, entries in missing_by_k.items():
+            start = k * size
+            indices = np.arange(start, start + size, dtype=np.uint64)
+            timestamps = indices.astype(float) * spec.interval
+            grid = baseline_series_values_grid(
+                spec,
+                np.array([seed for _, seed in entries], dtype=np.uint64),
+                indices,
+                timestamps,
+            )
+            if spec.floor is not None:
+                np.maximum(grid, spec.floor, out=grid)
+            for row, (key, seed) in enumerate(entries):
+                final = grid[row].copy()
+                if self.config.memmap_dir is not None:
+                    final = self._to_memmap(key, final, seed)
+                else:
+                    final.flags.writeable = False
+                chunk = SeriesChunk(start_index=start, final=final)
+                self._series[key] = chunk
+                found[key] = chunk
+                self.stats.series_materializations += 1
+                self.stats.resident_bytes += chunk.nbytes
+            self._evict()
+        return [found[key] for key in keys]
+
+    def _materialize_series(
+        self, key: tuple, spec: BaselineSpec, seed: int
+    ) -> SeriesChunk:
+        size = self.config.series_chunk
+        start = key[2] * size
+        indices = np.arange(start, start + size, dtype=np.uint64)
+        timestamps = indices.astype(float) * spec.interval
+        values = baseline_series_values(spec, seed, indices, timestamps)
+        if spec.floor is not None:
+            final = np.maximum(values, spec.floor)
+        else:
+            final = values
+        if self.config.memmap_dir is not None:
+            final = self._to_memmap(key, final, seed)
+        else:
+            final.flags.writeable = False
+        return SeriesChunk(start_index=start, final=final)
+
+    def _to_memmap(self, key: tuple, final: np.ndarray, seed: int) -> np.ndarray:
+        directory = Path(self.config.memmap_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        # The series seed is already a stable 64-bit hash of
+        # (global seed, dataset, component), so it names the file.
+        path = directory / f"series_{seed:016x}_{key[2]}.f64"
+        if not path.exists():
+            mm = np.memmap(path, dtype=np.float64, mode="w+", shape=final.shape)
+            mm[:] = final
+            mm.flush()
+            del mm
+        return np.memmap(path, dtype=np.float64, mode="r", shape=final.shape)
+
+    # -- events -------------------------------------------------------------
+
+    def event_chunk(
+        self, key: tuple, schema: DatasetSchema, seed: int
+    ) -> EventChunk:
+        """The event chunk for ``key = (dataset, component, chunk_no)``."""
+        chunk = self._events.get(key)
+        if chunk is not None:
+            self._events.move_to_end(key)
+            return chunk
+        size = self.config.event_chunk
+        first = key[2] * size
+        raw = background_event_parts(schema, seed, first, first + size - 1)
+        chunk = _build_event_chunk(first, raw)
+        self._events[key] = chunk
+        self.stats.event_materializations += 1
+        self.stats.resident_bytes += chunk.nbytes
+        self._evict()
+        return chunk
+
+    def event_chunks_batch(
+        self, keys: list[tuple], schema: DatasetSchema, seeds: list[int]
+    ) -> list[EventChunk]:
+        """Chunks for many signals of one dataset, same chunk window.
+
+        Cache misses materialize together through
+        :func:`background_event_parts_batch`: one Poisson grid per
+        event type plus one offset hash pass replaces a scalar
+        generator call per signal.  Each returned chunk is
+        bit-identical to what :meth:`event_chunk` would have built.
+        """
+        found: dict[tuple, EventChunk] = {}
+        queued: set[tuple] = set()
+        missing_by_k: dict[int, list[tuple[tuple, int]]] = {}
+        for key, seed in zip(keys, seeds):
+            chunk = self._events.get(key)
+            if chunk is not None:
+                self._events.move_to_end(key)
+                found[key] = chunk
+            elif key not in queued:
+                queued.add(key)
+                missing_by_k.setdefault(key[2], []).append((key, seed))
+        size = self.config.event_chunk
+        for k, entries in missing_by_k.items():
+            first = k * size
+            raw_all = background_event_parts_batch(
+                schema, [seed for _, seed in entries], first, first + size - 1
+            )
+            for (key, _), raw in zip(entries, raw_all):
+                chunk = _build_event_chunk(first, raw)
+                self._events[key] = chunk
+                found[key] = chunk
+                self.stats.event_materializations += 1
+                self.stats.resident_bytes += chunk.nbytes
+            self._evict()
+        return [found[key] for key in keys]
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _evict(self) -> None:
+        while len(self._series) + len(self._events) > self.config.max_chunks:
+            # Evict from whichever cache holds its least-recently-used
+            # entry longer ago; ties prefer series (cheaper to rebuild).
+            if self._series:
+                _, chunk = self._series.popitem(last=False)
+            else:
+                _, chunk = self._events.popitem(last=False)
+            self.stats.evictions += 1
+            self.stats.resident_bytes -= chunk.nbytes
+
+    def clear(self) -> None:
+        self._series.clear()
+        self._events.clear()
+        self.stats.resident_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._series) + len(self._events)

@@ -237,6 +237,21 @@ class IncidentManager:
         incidents shares its monitoring queries instead of re-issuing
         them per incident.  None (the default) keeps the seed
         per-incident cache lifetime.
+    shards:
+        When True, ``enable_shards()`` is called on every registered
+        Scout's monitoring store: queries are served from columnar
+        per-(dataset, component) chunks — byte-identical, but repeat
+        pulls become array slices.  Stores the manager sharded are
+        un-sharded again by :meth:`close`.
+    shard_memmap_dir:
+        Optional directory for memmap-backed series chunks (shared
+        read-only across processes); implies nothing unless ``shards``
+        is set.
+    incremental:
+        When True, every registered Scout's builder is switched to the
+        incremental sliding-window feature engine (O(delta) window
+        advance; byte-identical vectors — see ``core.features``).
+        Default False keeps the seed full-recompute path.
     obs:
         The observability sink (metrics registry + tracer).  Defaults
         to a fresh :class:`~repro.obs.Observability` on the manager's
@@ -257,6 +272,9 @@ class IncidentManager:
         batch_workers: int | None = 1,
         cache_ttl: float | None = None,
         obs: Observability | None = None,
+        shards: bool = False,
+        shard_memmap_dir: str | None = None,
+        incremental: bool = False,
     ) -> None:
         self.registry = registry
         self.suggestion_mode = suggestion_mode
@@ -266,6 +284,12 @@ class IncidentManager:
         self.retry_policy = retry
         self.batch_workers = batch_workers
         self.cache_ttl = cache_ttl
+        self.shards = shards
+        self.shard_memmap_dir = shard_memmap_dir
+        self.incremental = incremental
+        # Stores this manager itself sharded (so close() can undo it
+        # without touching stores sharded by someone else).
+        self._sharded_stores: list = []
         self.obs = obs if obs is not None else Observability(clock=clock)
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
@@ -381,6 +405,22 @@ class IncidentManager:
             builder.cache_ttl = self.cache_ttl
             if getattr(builder, "clock", False) is None:
                 builder.clock = self._clock
+        if self.incremental and builder is not None:
+            builder.incremental = True
+        if self.shards and builder is not None:
+            store = getattr(builder, "store", None)
+            # Unwrap fault-injection shims: sharding (and the obs
+            # attribute below) belongs to the real store, not the
+            # wrapper — setattr on the wrapper would just shadow the
+            # inner store's property.
+            store = getattr(store, "inner", store)
+            if store is not None and hasattr(store, "enable_shards"):
+                if not store.shards_enabled:
+                    store.enable_shards(memmap_dir=self.shard_memmap_dir)
+                    if not any(s is store for s in self._sharded_stores):
+                        self._sharded_stores.append(store)
+                if getattr(store, "obs", False) is None:
+                    store.obs = self.obs
         self._scouts[scout.team] = scout
         self._team_locks[scout.team] = threading.Lock()
         self._stats[scout.team] = ScoutServiceStats(team=scout.team)
@@ -444,6 +484,11 @@ class IncidentManager:
                 self._pool.shutdown(wait=True)
                 self._pool = None
                 self._pool_size = 0
+        # Free chunk memory for stores this manager sharded (stores
+        # sharded elsewhere are someone else's lifecycle).
+        for store in self._sharded_stores:
+            store.drop_shards()
+        self._sharded_stores.clear()
 
     def __enter__(self) -> "IncidentManager":
         return self

@@ -1,0 +1,100 @@
+"""The perf bench's --check-against tolerance gate.
+
+Regression math and — the PR-6 fix — one-sided metrics: a metric
+present in only one of (committed baseline, current run) is skipped
+*with a warning* naming the missing side, instead of silently
+disabling its own gate.
+"""
+
+from __future__ import annotations
+
+from benchmarks.perf.run import check_tolerance
+
+_BASE = {
+    "dataset_build_seconds": 10.0,
+    "framework_train_seconds": 5.0,
+    "forest_fit_seconds": 1.0,
+    "batch_predict_seconds": 2.0,
+    "scout_predict_seconds_mean": 0.02,
+    "serve_serial_ips": 50.0,
+    "serve_batch_ips": 200.0,
+    "eval_f1": 0.90,
+}
+
+
+def test_within_tolerance_is_clean():
+    violations, skipped = check_tolerance(dict(_BASE), dict(_BASE), 0.10)
+    assert violations == []
+    assert skipped == []
+
+
+def test_slower_timing_violates():
+    after = dict(_BASE, batch_predict_seconds=2.5)
+    violations, skipped = check_tolerance(after, dict(_BASE), 0.10)
+    assert len(violations) == 1
+    assert "batch_predict_seconds" in violations[0]
+    assert skipped == []
+
+
+def test_throughput_floor_violates():
+    after = dict(_BASE, serve_batch_ips=150.0)
+    violations, _ = check_tolerance(after, dict(_BASE), 0.10)
+    assert len(violations) == 1
+    assert "serve_batch_ips" in violations[0]
+
+
+def test_f1_drop_violates():
+    after = dict(_BASE, eval_f1=0.85)
+    violations, _ = check_tolerance(after, dict(_BASE), 0.10)
+    assert len(violations) == 1
+    assert "eval_f1" in violations[0]
+
+
+def test_metric_missing_from_baseline_skips_with_warning():
+    committed = dict(_BASE)
+    del committed["scout_predict_seconds_mean"]
+    # A 100x regression on the metric cannot fire — but it must warn.
+    after = dict(_BASE, scout_predict_seconds_mean=2.0)
+    violations, skipped = check_tolerance(after, committed, 0.10)
+    assert violations == []
+    assert len(skipped) == 1
+    assert "scout_predict_seconds_mean" in skipped[0]
+    assert "committed baseline" in skipped[0]
+
+
+def test_metric_missing_from_run_skips_with_warning():
+    after = dict(_BASE)
+    del after["serve_serial_ips"]
+    violations, skipped = check_tolerance(after, dict(_BASE), 0.10)
+    assert violations == []
+    assert len(skipped) == 1
+    assert "serve_serial_ips" in skipped[0]
+    assert "this run" in skipped[0]
+
+
+def test_one_sided_f1_skips_with_warning():
+    after = dict(_BASE)
+    del after["eval_f1"]
+    violations, skipped = check_tolerance(after, dict(_BASE), 0.10)
+    assert violations == []
+    assert skipped == ["eval_f1: missing from this run; skipping comparison"]
+
+
+def test_metric_absent_on_both_sides_is_silent():
+    committed = dict(_BASE)
+    after = dict(_BASE)
+    for side in (committed, after):
+        del side["serve_batch_ips"]
+        del side["eval_f1"]
+    violations, skipped = check_tolerance(after, committed, 0.10)
+    assert violations == []
+    assert skipped == []
+
+
+def test_violations_and_skips_compose():
+    committed = dict(_BASE)
+    del committed["serve_serial_ips"]
+    after = dict(_BASE, forest_fit_seconds=5.0)
+    violations, skipped = check_tolerance(after, committed, 0.10)
+    assert len(violations) == 1 and "forest_fit_seconds" in violations[0]
+    assert len(skipped) == 1 and "serve_serial_ips" in skipped[0]

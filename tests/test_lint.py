@@ -344,6 +344,38 @@ class TestCodeRules:
         f = finding(lint_source("def f(:\n", path="broken.py"), "syntax-error")
         assert f.severity is Severity.ERROR
 
+    def test_hot_path_recompute_fires_in_hot_files(self):
+        source = (
+            "import numpy as np\n\n"
+            "def stats(window):\n"
+            "    return np.percentile(window, [50, 99])\n"
+        )
+        for name in ("features.py", "cpd_plus.py", "scout.py"):
+            f = finding(
+                lint_source(source, path=f"src/repro/core/{name}"),
+                "hot-path-recompute",
+            )
+            assert f.severity is RULES["hot-path-recompute"].severity
+            assert f.line == 4
+
+    def test_hot_path_recompute_ignores_other_files(self):
+        # The engine itself, training code, analysis — anywhere outside
+        # the per-incident hot path — may use order statistics freely.
+        source = "import numpy as np\nq = np.median([1.0, 2.0])\n"
+        assert lint_source(source, path="window_agg.py") == []
+        assert lint_source(source, path="analysis.py") == []
+
+    def test_hot_path_oracle_inline_disable(self):
+        # The full-recompute parity oracle in features.py is allowlisted
+        # inline: it is the reference the engine is byte-checked against.
+        source = (
+            "import numpy as np\n\n"
+            "def stats(w):\n"
+            "    return np.percentile(w, 50)"
+            "  # scoutlint: disable=hot-path-recompute\n"
+        )
+        assert lint_source(source, path="features.py") == []
+
 
 class TestSuppression:
     def test_inline_disable(self):

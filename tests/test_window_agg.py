@@ -1,0 +1,199 @@
+"""Sliding-window aggregation: exact parity and O(delta) accounting.
+
+``WindowAggregator.stats`` claims byte-identical output to the feature
+builder's full-recompute ``_stats`` on the pooled concatenation; these
+tests hold it to that claim across random pools, degenerate windows,
+and advance sequences, and pin the sketch's documented tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.features import _PERCENTILES, _stats
+from repro.core.window_agg import (
+    Block,
+    BucketQuantiles,
+    WindowAggregator,
+    exact_percentiles,
+)
+
+
+def _random_pool(rng, n_blocks: int, max_len: int = 40) -> list[np.ndarray]:
+    return [
+        rng.normal(size=rng.integers(0, max_len)) for _ in range(n_blocks)
+    ]
+
+
+def _advance(agg: WindowAggregator, windows: list[np.ndarray]):
+    return agg.advance([(i, Block(w)) for i, w in enumerate(windows)])
+
+
+class TestExactPercentiles:
+    def test_matches_numpy_randomized(self):
+        rng = np.random.default_rng(7)
+        for trial in range(300):
+            values = rng.normal(size=int(rng.integers(2, 200)))
+            # Canonicalize zeros: np.percentile itself is sign-unstable
+            # for -0.0/+0.0 ties (documented caveat; z-scored feature
+            # windows cannot produce -0.0).
+            values = values + 0.0
+            q = tuple(sorted(rng.uniform(0, 100, size=5)))
+            want = np.percentile(values, q)
+            got = exact_percentiles(np.sort(values, kind="stable"), q)
+            assert np.array_equal(want, got), f"trial {trial}"
+
+    def test_endpoints_and_duplicates(self):
+        values = np.array([3.0, 1.0, 1.0, 2.0, 2.0, 2.0])
+        q = (0, 1, 10, 25, 50, 75, 90, 99, 100)
+        assert np.array_equal(
+            np.percentile(values, q),
+            exact_percentiles(np.sort(values, kind="stable"), q),
+        )
+
+    def test_two_sample_interpolation_branches(self):
+        # gamma < 0.5 and gamma >= 0.5 exercise both _lerp branches.
+        values = np.sort(np.array([0.1, 0.9]))
+        for q in ((30,), (70,), (50,)):
+            assert np.array_equal(
+                np.percentile(values, q), exact_percentiles(values, q)
+            )
+
+
+class TestBlock:
+    def test_aggregates(self):
+        block = Block(np.array([2.0, -1.0, 5.0]))
+        assert block.count == 3
+        assert block.minimum == -1.0 and block.maximum == 5.0
+        assert np.array_equal(block.sorted_values, [-1.0, 2.0, 5.0])
+
+    def test_empty(self):
+        block = Block(np.empty(0))
+        assert block.count == 0
+        assert block.minimum == np.inf and block.maximum == -np.inf
+
+
+class TestWindowAggregator:
+    def test_stats_byte_equal_full_recompute(self):
+        rng = np.random.default_rng(3)
+        agg = WindowAggregator()
+        for _ in range(25):
+            windows = _random_pool(rng, int(rng.integers(1, 8)))
+            _advance(agg, windows)
+            nonempty = [w for w in windows if w.size]
+            if nonempty:
+                want = _stats(np.concatenate(nonempty))
+            else:
+                want = np.zeros(4 + len(_PERCENTILES))
+            got = agg.stats(_PERCENTILES)
+            assert np.array_equal(want, got)
+
+    def test_degenerate_windows(self):
+        agg = WindowAggregator()
+        _advance(agg, [np.empty(0)])
+        assert np.array_equal(
+            agg.stats(_PERCENTILES), np.zeros(4 + len(_PERCENTILES))
+        )
+        _advance(agg, [np.array([2.5])])
+        got = agg.stats(_PERCENTILES)
+        assert np.array_equal(got, _stats(np.array([2.5])))
+        assert got[1] == 0.0 and np.all(got[4:] == 0.0)
+
+    def test_advance_accounting(self):
+        agg = WindowAggregator()
+        a, b = Block(np.ones(4)), Block(np.zeros(6))
+        added, dropped = agg.advance([("a", a), ("b", b)])
+        assert (added, dropped) == (10, 0)
+        # Keep "a", drop "b", add "c": only the delta moves.
+        c = Block(np.full(3, 2.0))
+        added, dropped = agg.advance([("a", a), ("c", c)])
+        assert (added, dropped) == (3, 6)
+        assert agg.samples_added == 13 and agg.samples_dropped == 6
+        assert agg.count == 7
+
+    def test_advance_accounting_duplicates(self):
+        # A device pooled through two extracted components counts twice.
+        agg = WindowAggregator()
+        a = Block(np.ones(5))
+        assert agg.advance([("a", a), ("a", a)]) == (10, 0)
+        assert agg.advance([("a", a)]) == (0, 5)
+        assert np.array_equal(
+            agg.stats(_PERCENTILES), _stats(np.ones(5))
+        )
+
+    def test_unchanged_window_is_zero_delta(self):
+        agg = WindowAggregator()
+        keyed = [("k", Block(np.arange(8, dtype=float)))]
+        agg.advance(keyed)
+        assert agg.advance(keyed) == (0, 0)
+
+    def test_duplicate_key_pool_matches_duplicate_concat(self):
+        rng = np.random.default_rng(11)
+        w = rng.normal(size=17)
+        agg = WindowAggregator()
+        block = Block(w)
+        agg.advance([("k", block), ("k", block)])
+        assert np.array_equal(
+            agg.stats(_PERCENTILES), _stats(np.concatenate([w, w]))
+        )
+
+
+class TestBucketQuantiles:
+    def test_within_documented_tolerance(self):
+        # The documented bound is against the *lower* order statistic
+        # at rank floor((n-1)*q) — the sketch does not interpolate.
+        rng = np.random.default_rng(5)
+        sketch = BucketQuantiles()
+        resolution = 1 / 64
+        values = rng.normal(size=500)
+        sketch.add(Block(values))
+        got = sketch.percentiles(_PERCENTILES)
+        want = np.percentile(values, _PERCENTILES, method="lower")
+        assert np.all(np.abs(got - want) <= resolution / 2 + 1e-12)
+
+    def test_out_of_range_clamps_to_edge_buckets(self):
+        sketch = BucketQuantiles(lo=-1.0, hi=1.0, resolution=0.5)
+        sketch.add(Block(np.array([-50.0, 0.0, 50.0])))
+        got = sketch.percentiles((0, 50, 100))
+        assert got[0] == -1.25 and got[2] == 1.25  # edge-bucket midpoints
+
+    def test_add_remove_round_trip(self):
+        rng = np.random.default_rng(9)
+        sketch = BucketQuantiles()
+        keep, drop = Block(rng.normal(size=80)), Block(rng.normal(size=60))
+        sketch.add(keep)
+        want = sketch.percentiles(_PERCENTILES).copy()
+        sketch.add(drop)
+        sketch.remove(drop)
+        assert sketch.total == keep.count
+        assert np.array_equal(want, sketch.percentiles(_PERCENTILES))
+
+    def test_empty_sketch_is_zeros(self):
+        assert np.array_equal(
+            BucketQuantiles().percentiles((1, 50, 99)), np.zeros(3)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BucketQuantiles(lo=1.0, hi=0.0)
+        with pytest.raises(ValueError):
+            BucketQuantiles(resolution=0.0)
+
+    def test_aggregator_with_sketch_advances_o_delta(self):
+        rng = np.random.default_rng(21)
+        sketch = BucketQuantiles()
+        agg = WindowAggregator(sketch=sketch)
+        a, b = Block(rng.normal(size=30)), Block(rng.normal(size=40))
+        agg.advance([("a", a)])
+        agg.advance([("a", a), ("b", b)])
+        agg.advance([("b", b)])
+        assert sketch.total == b.count
+        got = agg.stats(_PERCENTILES)
+        exact = _stats(b.values)
+        # mean/std/min/max stay exact under the sketch; quantile slots
+        # carry the documented half-bucket tolerance against the lower
+        # order statistic.
+        assert np.array_equal(got[:4], exact[:4])
+        lower = np.percentile(b.values, _PERCENTILES, method="lower")
+        assert np.all(np.abs(got[4:] - lower) <= (1 / 64) / 2 + 1e-12)
