@@ -43,6 +43,12 @@ Metrics (all wall-clock seconds):
   ``serve_throughput.py``).  Throughput metrics are higher-is-better:
   the ``--check-against`` gate flags them when they fall *below* the
   committed numbers by more than the tolerance.
+* ``stream_soak_ips`` / ``stream_soak_shed_rate`` /
+  ``stream_soak_p99_seconds`` — the open-loop streaming soak (a 10⁵
+  Poisson arrival trace at 1.5x utilization through the stream server's
+  admission queue, shedding, and SLO checks; see ``stream_soak.py``).
+  The shed rate and p99 run on a fake clock and are deterministic; the
+  wall-clock ``stream_soak_ips`` joins the higher-is-better gate.
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ from repro.obs import Observability
 from repro.simulation import CloudSimulation, SimulationConfig
 
 from .serve_throughput import run_serve_bench
+from .stream_soak import run_stream_soak
 
 _REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 _BASELINE = Path(__file__).resolve().parent / "baseline_seed.json"
@@ -79,6 +86,7 @@ def run_bench(
     predict_samples: int = 20,
     serve_distinct: int = 6,
     serve_repeats: int = 5,
+    soak_incidents: int = 100_000,
 ) -> dict:
     """Time every stage once and return the metric dict."""
     out: dict = {}
@@ -149,6 +157,8 @@ def run_bench(
     storm = [example.incident for example in test.examples[:serve_distinct]]
     out.update(run_serve_bench(scout, sim.registry, storm, repeats=serve_repeats))
 
+    out.update(run_stream_soak(soak_incidents))
+
     out["workload"] = {
         "seed": seed,
         "duration_days": duration_days,
@@ -167,9 +177,9 @@ _SPEEDUP_KEYS = {
     "scout_predict": "scout_predict_seconds_mean",
 }
 
-# Higher-is-better serve-throughput metrics: the tolerance gate flags
+# Higher-is-better throughput metrics: the tolerance gate flags
 # these when they fall *below* the committed numbers.
-_THROUGHPUT_KEYS = ("serve_serial_ips", "serve_batch_ips")
+_THROUGHPUT_KEYS = ("serve_serial_ips", "serve_batch_ips", "stream_soak_ips")
 
 
 def check_tolerance(
@@ -294,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
         after = run_bench(
             duration_days=60.0, n_incidents=80, n_jobs=args.jobs,
             predict_samples=5, serve_distinct=4, serve_repeats=3,
+            soak_incidents=4000,
         )
     else:
         after = run_bench(n_jobs=args.jobs)

@@ -1,0 +1,128 @@
+"""Open-loop soak bench for the streaming ingestion tier.
+
+This bench measures the *tier itself* — queue discipline, shedding,
+SLO checks, and the manager's commit path — not Scout inference, so
+the fleet is three scripted :class:`~repro.monitoring.faults.FlakyScout`
+instances (zero-cost predicts) and load is modeled on the fake clock:
+a Poisson arrival process at ``rate`` incidents per stream-second
+against a fixed ``service_time`` per served incident.  Utilization
+``rate * service_time`` is held at 1.5, so the stream runs sustainably
+overloaded and the shedding machinery is continuously exercised.
+
+Because the whole workload lives on a
+:class:`~repro.monitoring.faults.FakeClock`, the queue dynamics are a
+pure function of ``(n, rate, service_time, seed)``: the shed rate and
+the queue-wait p99 are bit-identical across machines and runs.  Only
+``stream_soak_ips`` — how many arrivals per *wall* second the tier
+sustained — varies with the host, which is why it is the one soak
+metric behind the higher-is-better tolerance gate.
+
+Reported metrics (merged into ``BENCH_scout.json``'s ``after`` dict):
+
+* ``stream_soak_ips``         — arrivals processed per wall-clock second
+* ``stream_soak_shed_rate``   — shed / submitted (deterministic)
+* ``stream_soak_p99_seconds`` — queue-wait p99 in stream time
+                                (deterministic)
+* ``stream_soak_incidents``   — soak length, for context
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.incidents import Incident, IncidentSource, Severity
+from repro.monitoring import FakeClock, FlakyScout
+from repro.serving import IncidentManager, StreamServer, poisson_arrivals
+from repro.simulation import default_teams
+from repro.simulation.teams import DNS, PHYNET, STORAGE
+
+__all__ = ["run_stream_soak"]
+
+# Arrival/service parameters: utilization 1.5 — sustained overload.
+ARRIVAL_RATE = 750.0
+SERVICE_TIME = 0.002
+QUEUE_CAP = 128
+ARRIVAL_SEED = 17
+SLO_BUDGETS = {"queue": 0.25}
+
+_SEVERITIES = (Severity.LOW, Severity.MEDIUM, Severity.HIGH)
+
+
+def _synthetic_incidents(n: int) -> list[Incident]:
+    """A deterministic severity-cycled soak workload."""
+    return [
+        Incident(
+            incident_id=i,
+            created_at=0.0,
+            title=f"soak incident {i}",
+            body="synthetic soak traffic",
+            severity=_SEVERITIES[i % 3],
+            source=IncidentSource.OWN_MONITOR,
+            source_team=PHYNET,
+            responsible_team=PHYNET,
+        )
+        for i in range(n)
+    ]
+
+
+def run_stream_soak(n_incidents: int = 100_000) -> dict:
+    """Soak the stream server and return the metric dict."""
+    clock = FakeClock()
+    manager = IncidentManager(default_teams(), clock=clock)
+    manager.register(FlakyScout(PHYNET, responsible=True))
+    manager.register(FlakyScout(STORAGE, responsible=False))
+    manager.register(FlakyScout(DNS, responsible=None))
+    server = StreamServer(
+        manager,
+        queue_cap=QUEUE_CAP,
+        shed_policy="legacy",
+        slo=dict(SLO_BUDGETS),
+        service_time=SERVICE_TIME,
+    )
+    offsets = poisson_arrivals(n_incidents, ARRIVAL_RATE, seed=ARRIVAL_SEED)
+    arrivals = list(zip(map(float, offsets), _synthetic_incidents(n_incidents)))
+
+    start = time.perf_counter()
+    with manager:
+        outcomes = server.run(arrivals)
+    wall_seconds = time.perf_counter() - start
+
+    summary = server.summary()
+    wait = manager.obs.metrics.get("stream_queue_wait_seconds")
+    return {
+        "stream_soak_incidents": len(outcomes),
+        "stream_soak_ips": len(outcomes) / wall_seconds,
+        "stream_soak_shed_rate": round(summary["shed_rate"], 4),
+        "stream_soak_p99_seconds": wait.quantile(0.99) if wait else 0.0,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone soak for CI smoke runs and artifacts."""
+    import argparse
+    import json
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.stream_soak",
+        description=__doc__.split("\n")[0],
+    )
+    parser.add_argument(
+        "--incidents", type=int, default=100_000,
+        help="soak length (arrivals in the open-loop trace)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None,
+        help="also write the metric dict to this JSON path",
+    )
+    args = parser.parse_args(argv)
+    metrics = run_stream_soak(args.incidents)
+    text = json.dumps(metrics, indent=2)
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,12 +23,15 @@ from .routing_metrics import (
     evaluate_gain_overhead,
     overhead_in_distribution,
 )
+from .slo import StageSLO, StreamSLOReport, slo_report
 from .tables import percentile_row, render_cdf, render_series, render_table
 
 __all__ = [
     "GainOverheadResult",
     "ReliabilityBucket",
     "ServingAvailability",
+    "StageSLO",
+    "StreamSLOReport",
     "availability_from_registry",
     "availability_report",
     "per_team_outcomes",
@@ -45,4 +48,5 @@ __all__ = [
     "render_cdf",
     "render_series",
     "render_table",
+    "slo_report",
 ]

@@ -1,0 +1,142 @@
+"""Streaming SLO accounting: how the ingestion tier spent its budget.
+
+The stream server (:mod:`repro.serving.stream`) enforces per-stage p99
+latency budgets and sheds load when it must; an operator reviewing a
+soak needs the roll-up this module builds — sustained throughput, shed
+rate by cause, the latest per-stage p99 against its budget, and how
+often each stage blew it.  Everything reads from the metrics registry
+(the same counters the exposition endpoint publishes), so a live
+service's dashboard and this report always agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..obs import MetricsRegistry
+
+__all__ = ["StageSLO", "StreamSLOReport", "slo_report"]
+
+
+@dataclass(frozen=True)
+class StageSLO:
+    """One stage's standing against its budget."""
+
+    stage: str
+    p99: float | None  # latest interval p99; None before the first check
+    budget: float | None  # None when the stage had no configured budget
+    violations: int
+
+    @property
+    def healthy(self) -> bool:
+        return self.violations == 0
+
+
+@dataclass(frozen=True)
+class StreamSLOReport:
+    """Aggregate stream accounting over one serving process."""
+
+    submitted: int
+    admitted: int
+    served: int
+    shed: int
+    shed_by_reason: dict[str, int] = field(default_factory=dict)
+    triage_suggestions: int = 0
+    stages: tuple[StageSLO, ...] = ()
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered incidents the stream refused to serve."""
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    @property
+    def violations(self) -> int:
+        return sum(stage.violations for stage in self.stages)
+
+    def render(self) -> str:
+        lines = [
+            f"incidents submitted     {self.submitted}",
+            f"incidents admitted      {self.admitted}",
+            f"incidents served        {self.served}",
+            f"incidents shed          {self.shed}",
+            f"shed rate               {self.shed_rate:.3f}",
+        ]
+        if self.shed_by_reason:
+            lines.append("shed causes:")
+            lines += [
+                f"  {reason:<21} {count}"
+                for reason, count in sorted(self.shed_by_reason.items())
+            ]
+        if self.triage_suggestions:
+            lines.append(
+                f"triage suggestions      {self.triage_suggestions}"
+            )
+        if self.stages:
+            lines.append("slo stages:")
+            for stage in self.stages:
+                p99 = "n/a" if stage.p99 is None else f"{stage.p99:.3f}s"
+                budget = (
+                    "unbudgeted"
+                    if stage.budget is None
+                    else f"budget {stage.budget:.3f}s"
+                )
+                lines.append(
+                    f"  {stage.stage:<10} p99 {p99:<9} {budget}"
+                    f"  violations {stage.violations}"
+                )
+        return "\n".join(lines)
+
+
+def slo_report(
+    metrics: MetricsRegistry, budgets: dict[str, float] | None = None
+) -> StreamSLOReport:
+    """Build the stream SLO report from live serving metrics.
+
+    ``budgets`` is the stage → p99 budget map the stream ran with;
+    stages appear in the report if they carry a budget, a recorded
+    p99, or a recorded violation.  Counters that have not fired read
+    as zero — the report is well-defined on a fresh registry.
+    """
+    budgets = dict(budgets or {})
+
+    def total(name: str) -> int:
+        family = metrics.get(name)
+        return int(family.total()) if family is not None else 0
+
+    shed_by_reason: dict[str, int] = {}
+    shed_family = metrics.get("stream_shed_total")
+    if shed_family is not None:
+        for labels, value in shed_family.samples():
+            reason = labels["reason"]
+            shed_by_reason[reason] = shed_by_reason.get(reason, 0) + int(value)
+
+    p99s: dict[str, float] = {}
+    p99_family = metrics.get("stream_slo_p99_seconds")
+    if p99_family is not None:
+        for labels, value in p99_family.samples():
+            p99s[labels["stage"]] = float(value)
+    violations: dict[str, int] = {}
+    violations_family = metrics.get("stream_slo_violations_total")
+    if violations_family is not None:
+        for labels, value in violations_family.samples():
+            violations[labels["stage"]] = int(value)
+
+    stage_names = sorted(set(budgets) | set(p99s) | set(violations))
+    stages = tuple(
+        StageSLO(
+            stage=name,
+            p99=p99s.get(name),
+            budget=budgets.get(name),
+            violations=violations.get(name, 0),
+        )
+        for name in stage_names
+    )
+    return StreamSLOReport(
+        submitted=total("stream_submitted_total"),
+        admitted=total("stream_admitted_total"),
+        served=total("stream_served_total"),
+        shed=sum(shed_by_reason.values()),
+        shed_by_reason=shed_by_reason,
+        triage_suggestions=total("stream_triage_suggestions_total"),
+        stages=stages,
+    )

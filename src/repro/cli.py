@@ -1,12 +1,14 @@
 """Command-line interface for the Scouts reproduction.
 
-Five subcommands cover the operator workflow end to end::
+The subcommands cover the operator workflow end to end::
 
     repro-scouts simulate --seed 7 --incidents 500 --out incidents.json
     repro-scouts train    --seed 7 --incidents 500 --out phynet.scout
     repro-scouts evaluate --seed 7 --incidents 500 --model phynet.scout
     repro-scouts route    --seed 7 --model phynet.scout --text "..." [--time T]
     repro-scouts serve    --seed 7 --incidents 200 --model phynet.scout
+    repro-scouts stream   --seed 7 --incidents 200 --model phynet.scout \
+                          --arrival-rate 50 --queue-cap 32 --shed-policy triage
 
 ``simulate`` writes an incident dataset (JSON) for inspection; ``train``
 builds and persists a PhyNet Scout; ``evaluate`` reports §7-style
@@ -14,9 +16,12 @@ accuracy; ``route`` runs one ad-hoc incident through a saved Scout and
 prints the operator report; ``serve`` replays a simulated incident
 stream through the §6 incident manager in suggestion mode, with the
 serving resilience knobs (``--scout-deadline``, circuit breakers,
-retry) and optional monitoring fault injection exposed.  ``simulate``
-and ``serve`` accept ``--metrics`` / ``--metrics-out PATH`` to emit a
-Prometheus-style exposition of everything the run counted.
+retry) and optional monitoring fault injection exposed; ``stream``
+replays the same incidents as an open-loop arrival process through the
+streaming ingestion tier (bounded admission queue, severity-priority
+scheduling, load shedding, per-stage p99 SLO budgets).  ``simulate``,
+``serve``, and ``stream`` accept ``--metrics`` / ``--metrics-out PATH``
+to emit a Prometheus-style exposition of everything the run counted.
 
 Because the monitoring plane is deterministic in the seed, a Scout
 trained with ``--seed 7`` can be reloaded against a fresh ``--seed 7``
@@ -27,16 +32,23 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from . import __version__
-from .analysis import availability_from_registry
+from .analysis import availability_from_registry, slo_report
 from .config import phynet_config, team_scout_configs
 from .core import ScoutFramework, TrainingOptions, load_scout, save_scout
 from .incidents import Incident, IncidentSource, Severity
 from .ml import imbalance_aware_split
-from .monitoring import FaultPlan, FaultyStore
+from .monitoring import FakeClock, FaultPlan, FaultyStore
 from .obs import Observability
-from .serving import BreakerPolicy, IncidentManager, RetryPolicy
+from .serving import (
+    BreakerPolicy,
+    IncidentManager,
+    RetryPolicy,
+    StreamServer,
+    poisson_arrivals,
+)
 from .simulation import CloudSimulation, SimulationConfig
 
 __all__ = ["main", "build_parser"]
@@ -207,6 +219,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_flags(p_serve)
     metrics_flags(p_serve)
+
+    p_stream = sub.add_parser(
+        "stream",
+        help="replay incidents as an open-loop arrival stream with "
+        "admission control, load shedding, and SLO budgets",
+    )
+    common(p_stream)
+    p_stream.add_argument(
+        "--model",
+        action="append",
+        required=True,
+        help="saved Scout path (repeat to register several teams)",
+    )
+    p_stream.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=50.0,
+        help="open-loop Poisson arrival rate (incidents/second of "
+        "stream time)",
+    )
+    p_stream.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        help="seed for the arrival-trace inter-arrival draws",
+    )
+    p_stream.add_argument(
+        "--queue-cap",
+        type=int,
+        default=64,
+        help="admission-queue capacity; arrivals beyond it shed",
+    )
+    p_stream.add_argument(
+        "--shed-policy",
+        choices=["legacy", "triage"],
+        default="legacy",
+        help="what a shed incident degrades to: the legacy router "
+        "(no Scout work) or the selector-only triage fast path",
+    )
+    p_stream.add_argument(
+        "--slo-p99",
+        action="append",
+        default=[],
+        metavar="STAGE=SECONDS",
+        help="p99 latency budget per stage (handle, scout, queue); "
+        "repeatable.  A violating interval flips the stream into "
+        "degraded mode (sub-HIGH arrivals shed at admission).",
+    )
+    p_stream.add_argument(
+        "--service-time",
+        type=float,
+        default=0.0,
+        help="deterministic per-incident service time on the stream "
+        "clock (models load; the stream runs on a fake clock)",
+    )
+    p_stream.add_argument(
+        "--inject-error-rate",
+        type=float,
+        default=0.0,
+        help="fault-injection: deterministic per-query monitoring "
+        "failure probability",
+    )
+    p_stream.add_argument(
+        "--inject-seed",
+        type=int,
+        default=0,
+        help="seed for the injected-fault schedule",
+    )
+    batch_flags(p_stream)  # cache/shard/engine knobs, like serve
+    metrics_flags(p_stream)
 
     # The lint subcommand owns its argument surface; main() hands the
     # remaining argv straight to repro.lint.cli.  The stub keeps the
@@ -425,12 +507,90 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _parse_slo_budgets(pairs: list[str]) -> dict[str, float]:
+    budgets: dict[str, float] = {}
+    for pair in pairs:
+        stage, _, value = pair.partition("=")
+        if not value:
+            raise SystemExit(
+                f"--slo-p99 expects STAGE=SECONDS, got {pair!r}"
+            )
+        budgets[stage.strip()] = float(value)
+    return budgets
+
+
+def _cmd_stream(args) -> int:
+    budgets = _parse_slo_budgets(args.slo_p99)  # fail fast on typos
+    sim = _simulation(args)
+    incidents = sim.generate(args.incidents)
+    # The stream runs on a fake clock shared with fault injection, so
+    # the same seed and arrival trace replay byte-identically; wall
+    # time only shows up in the reported throughput.
+    clock = FakeClock()
+    store = sim.store
+    if args.inject_error_rate > 0.0:
+        store = FaultyStore(
+            store,
+            FaultPlan(
+                seed=args.inject_seed, error_rate=args.inject_error_rate
+            ),
+            clock=clock,
+        )
+    manager = IncidentManager(
+        sim.registry,
+        suggestion_mode=True,
+        n_jobs=args.jobs,
+        clock=clock,
+        batch_workers=args.batch_workers,
+        cache_ttl=args.cache_ttl,
+        shards=args.shards,
+        shard_memmap_dir=args.shard_memmap,
+        incremental=args.incremental,
+    )
+    for path in args.model:
+        manager.register(load_scout(path, sim.topology, store))
+    server = StreamServer(
+        manager,
+        queue_cap=args.queue_cap,
+        shed_policy=args.shed_policy,
+        slo=budgets or None,
+        service_time=args.service_time,
+    )
+    offsets = poisson_arrivals(
+        len(incidents), args.arrival_rate, seed=args.arrival_seed
+    )
+    arrivals = list(zip((float(o) for o in offsets), incidents))
+    print(
+        f"streaming {len(incidents)} incidents at "
+        f"{args.arrival_rate:g}/s through "
+        f"{len(manager.registered_teams)} Scout(s): "
+        f"{', '.join(manager.registered_teams)} "
+        f"(queue_cap={args.queue_cap}, shed={args.shed_policy})"
+    )
+    wall_start = time.perf_counter()
+    with manager:
+        server.run(arrivals)
+    wall_seconds = time.perf_counter() - wall_start
+    summary = server.summary()
+    ips = summary["served"] / wall_seconds if wall_seconds > 0 else 0.0
+    print(
+        f"stream throughput: {ips:.1f} incidents/sec (wall), "
+        f"{summary['served']} served, {summary['shed']} shed "
+        f"(rate {summary['shed_rate']:.3f})"
+    )
+    print()
+    print(slo_report(manager.obs.metrics, budgets).render())
+    _emit_metrics(args, manager.obs)
+    return 0
+
+
 _COMMANDS = {
     "simulate": _cmd_simulate,
     "train": _cmd_train,
     "evaluate": _cmd_evaluate,
     "route": _cmd_route,
     "serve": _cmd_serve,
+    "stream": _cmd_stream,
 }
 
 

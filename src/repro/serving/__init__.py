@@ -3,7 +3,10 @@
 Beyond the fan-out/composition loop, this package carries the serving
 resilience layer: per-Scout circuit breakers (:mod:`.breaker`),
 deterministic retry for transient monitoring faults (:mod:`.retry`),
-and the failure-isolated call path in :class:`.manager.IncidentManager`.
+the failure-isolated call path in :class:`.manager.IncidentManager`,
+and the streaming ingestion tier (:mod:`.stream`) that turns the
+one-shot batch API into an always-on front end with admission control,
+load shedding, and SLO enforcement.
 """
 
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
@@ -15,6 +18,15 @@ from .manager import (
     ServingDecision,
 )
 from .retry import RetryPolicy
+from .stream import (
+    ShedPolicy,
+    SLOTracker,
+    SLOViolation,
+    StreamOutcome,
+    StreamServer,
+    StreamStatus,
+    poisson_arrivals,
+)
 
 __all__ = [
     "BreakerPolicy",
@@ -23,7 +35,14 @@ __all__ = [
     "CircuitBreaker",
     "IncidentManager",
     "RetryPolicy",
+    "SLOTracker",
+    "SLOViolation",
     "ScoutCallOutcome",
     "ScoutServiceStats",
     "ServingDecision",
+    "ShedPolicy",
+    "StreamOutcome",
+    "StreamServer",
+    "StreamStatus",
+    "poisson_arrivals",
 ]

@@ -300,6 +300,14 @@ class IncidentManager:
         self._log: list[ServingDecision] = []
         self._served_ids: set[int] = set()
         self._resolved_indices: set[int] = set()
+        # incident_id -> positions in _log, appended at commit time so
+        # resolve() is O(decisions for that incident), not O(len(_log)):
+        # the full-log scan was quadratic over a stream of resolutions.
+        self._log_indices: dict[int, list[int]] = {}
+        # Set by close(): shards were dropped but the manager contract
+        # says it stays usable, so the next serve lazily re-shards
+        # instead of silently taking the slow unsharded path forever.
+        self._needs_reshard = False
         self._clock = clock
         # The persistent worker pool (lazily created, grown on demand,
         # shut down by close()).  It runs per-Scout fan-out calls in
@@ -408,19 +416,7 @@ class IncidentManager:
         if self.incremental and builder is not None:
             builder.incremental = True
         if self.shards and builder is not None:
-            store = getattr(builder, "store", None)
-            # Unwrap fault-injection shims: sharding (and the obs
-            # attribute below) belongs to the real store, not the
-            # wrapper — setattr on the wrapper would just shadow the
-            # inner store's property.
-            store = getattr(store, "inner", store)
-            if store is not None and hasattr(store, "enable_shards"):
-                if not store.shards_enabled:
-                    store.enable_shards(memmap_dir=self.shard_memmap_dir)
-                    if not any(s is store for s in self._sharded_stores):
-                        self._sharded_stores.append(store)
-                if getattr(store, "obs", False) is None:
-                    store.obs = self.obs
+            self._shard_builder(builder)
         self._scouts[scout.team] = scout
         self._team_locks[scout.team] = threading.Lock()
         self._stats[scout.team] = ScoutServiceStats(team=scout.team)
@@ -432,6 +428,34 @@ class IncidentManager:
             self._breaker_seen[scout.team] = BreakerState.CLOSED.value
             self._m_breaker_state.set(0, team=scout.team)
 
+    def _shard_builder(self, builder) -> None:
+        """Enable columnar shards on one builder's store (idempotent)."""
+        store = getattr(builder, "store", None)
+        # Unwrap fault-injection shims: sharding (and the obs
+        # attribute below) belongs to the real store, not the
+        # wrapper — setattr on the wrapper would just shadow the
+        # inner store's property.
+        store = getattr(store, "inner", store)
+        if store is not None and hasattr(store, "enable_shards"):
+            if not store.shards_enabled:
+                store.enable_shards(memmap_dir=self.shard_memmap_dir)
+                if not any(s is store for s in self._sharded_stores):
+                    self._sharded_stores.append(store)
+            if getattr(store, "obs", False) is None:
+                store.obs = self.obs
+
+    def _ensure_shards(self) -> None:
+        """Lazily re-shard after close(): the usable-after-close
+        contract would otherwise serve the slow unsharded path with no
+        signal beyond a missing ``shard_materializations_total``."""
+        if not self._needs_reshard:
+            return
+        self._needs_reshard = False
+        for scout in self._scouts.values():
+            builder = getattr(scout, "builder", None)
+            if builder is not None:
+                self._shard_builder(builder)
+
     def unregister(self, team: str) -> None:
         """Remove a team's Scout and all of its serving state.
 
@@ -439,13 +463,38 @@ class IncidentManager:
         later ``register`` for the same team starts from a clean slate
         explicitly rather than serving stale counters for a gate-keeper
         that no longer exists.
+
+        Safe against in-flight serving: teardown waits on the team's
+        own lock (so no Scout call is mid-``predict``) and the commit
+        lock (so no staged decision is mid-accounting) before popping
+        state.  A batch that fanned out *before* the unregister may
+        still commit afterwards; :meth:`_commit` treats the vanished
+        team's stats as gone rather than KeyErroring, and
+        :meth:`_invoke_scout` degrades a call to a removed Scout to an
+        ERROR abstain — exactly how a crashed Scout is handled.
         """
-        self._scouts.pop(team, None)
-        self._stats.pop(team, None)
-        self._monitors.pop(team, None)
-        self._breakers.pop(team, None)
-        self._breaker_seen.pop(team, None)
-        self._team_locks.pop(team, None)
+        team_lock = self._team_locks.get(team)
+        if team_lock is None:
+            # Never registered (or already unregistered): nothing can
+            # be in flight for it, plain pops are safe.
+            self._scouts.pop(team, None)
+            self._stats.pop(team, None)
+            self._monitors.pop(team, None)
+            self._breakers.pop(team, None)
+            self._breaker_seen.pop(team, None)
+            return
+        # Lock order mirrors the serving path's worst case (a team
+        # lock held while no commit lock is, and vice versa): _commit
+        # holds only the commit lock and _invoke_scout holds only the
+        # team lock, so taking team-then-commit here cannot deadlock.
+        with team_lock:
+            with self._commit_lock:
+                self._scouts.pop(team, None)
+                self._stats.pop(team, None)
+                self._monitors.pop(team, None)
+                self._breakers.pop(team, None)
+                self._breaker_seen.pop(team, None)
+                self._team_locks.pop(team, None)
 
     @property
     def registered_teams(self) -> list[str]:
@@ -485,7 +534,12 @@ class IncidentManager:
                 self._pool = None
                 self._pool_size = 0
         # Free chunk memory for stores this manager sharded (stores
-        # sharded elsewhere are someone else's lifecycle).
+        # sharded elsewhere are someone else's lifecycle).  The manager
+        # stays usable, so remember to re-shard lazily on the next
+        # serve — otherwise a reused manager silently takes the slow
+        # unsharded path.
+        if self._sharded_stores:
+            self._needs_reshard = True
         for store in self._sharded_stores:
             store.drop_shards()
         self._sharded_stores.clear()
@@ -547,8 +601,29 @@ class IncidentManager:
         # locked).  Serializing here also makes the cross-incident
         # cache hit/miss counts deterministic — each unique monitoring
         # key is exactly one miss, no matter how incidents interleave.
-        with self._team_locks[team]:
+        team_lock = self._team_locks.get(team)
+        if team_lock is None:
+            # The team was unregistered between fan-out and this call;
+            # degrade like any other failed call instead of KeyErroring
+            # the whole batch.
+            return self._unregistered_outcome(incident, team)
+        with team_lock:
             return self._invoke_scout_locked(incident, team, breaker)
+
+    def _unregistered_outcome(
+        self, incident: Incident, team: str
+    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+        """The abstain a call to a torn-down team degrades to."""
+        prediction = _abstain(
+            incident.incident_id, f"{team} scout unregistered mid-flight"
+        )
+        # The call reached serving (unlike a breaker skip) but did no
+        # Scout work: a measured-but-zero-cost ERROR, so _commit's
+        # latency accounting stays uniform across ERROR outcomes.
+        outcome = ScoutCallOutcome(
+            team, CallStatus.ERROR, 0.0, error="scout unregistered mid-flight"
+        )
+        return team, prediction, outcome
 
     def _invoke_scout_locked(
         self, incident: Incident, team: str, breaker: CircuitBreaker | None
@@ -560,9 +635,14 @@ class IncidentManager:
             # A skipped Scout has no latency: None, not a fake 0.0.
             outcome = ScoutCallOutcome(team, CallStatus.BREAKER_OPEN, None)
             return team, prediction, outcome
+        scout = self._scouts.get(team)
+        if scout is None:
+            # Unregistered after the lock object was fetched but before
+            # we acquired it — the same degradation as the lockless race.
+            return self._unregistered_outcome(incident, team)
         start = self._clock()
         try:
-            prediction = self._scouts[team].predict(incident)
+            prediction = scout.predict(incident)
         except Exception as exc:  # noqa: BLE001 — the isolation boundary
             elapsed = self._clock() - start
             if breaker is not None:
@@ -632,6 +712,7 @@ class IncidentManager:
 
     def handle(self, incident: Incident) -> ServingDecision:
         """Fan an incident out to every registered Scout and compose."""
+        self._ensure_shards()
         root = self.obs.trace.start_span(
             "serve.handle", incident_id=incident.incident_id
         )
@@ -689,7 +770,12 @@ class IncidentManager:
             outcomes: list[ScoutCallOutcome] = []
             stage_latencies: list[tuple[str, float]] = []
             for team, prediction, outcome in staged.results:
-                stats = self._stats[team]
+                # None when the team was unregistered mid-batch: its
+                # stats object left with it, but the metric stream and
+                # the decision record still see the degraded call.
+                stats = self._stats.get(team)
+                if stats is None:
+                    stats = ScoutServiceStats(team=team)
                 stats.calls += 1
                 self._m_calls.inc(1, team=team, status=outcome.status.value)
                 # Latency accounting, explicit per status: OK, ERROR and
@@ -746,6 +832,9 @@ class IncidentManager:
                 self._m_degraded.inc()
             self._m_handle_latency.observe(decision.latency_seconds)
             self._log.append(decision)
+            self._log_indices.setdefault(incident.incident_id, []).append(
+                len(self._log) - 1
+            )
             self._served_ids.add(incident.incident_id)
         self.obs.trace.finish(root)
         return decision
@@ -774,6 +863,7 @@ class IncidentManager:
         serial run would.
         """
         incidents = list(incidents)
+        self._ensure_shards()
         n_workers = resolve_n_jobs(
             self.batch_workers if workers is None else workers
         )
@@ -810,12 +900,16 @@ class IncidentManager:
         never double-count drift observations.  Teams unregistered
         since the decision was served are skipped.  Raises ``KeyError``
         only if the incident was never served.
+
+        O(decisions for this incident): lookups go through the
+        commit-time ``incident_id -> log positions`` index, not a scan
+        of the whole decision log — the scan made resolving a stream of
+        n incidents quadratic.
         """
         indices = [
             i
-            for i in range(len(self._log))
-            if self._log[i].incident_id == incident_id
-            and i not in self._resolved_indices
+            for i in self._log_indices.get(incident_id, ())
+            if i not in self._resolved_indices
         ]
         if not indices:
             if incident_id in self._served_ids:

@@ -18,6 +18,7 @@ _BASE = {
     "scout_predict_seconds_mean": 0.02,
     "serve_serial_ips": 50.0,
     "serve_batch_ips": 200.0,
+    "stream_soak_ips": 5000.0,
     "eval_f1": 0.90,
 }
 
@@ -41,6 +42,23 @@ def test_throughput_floor_violates():
     violations, _ = check_tolerance(after, dict(_BASE), 0.10)
     assert len(violations) == 1
     assert "serve_batch_ips" in violations[0]
+
+
+def test_stream_soak_throughput_floor_violates():
+    after = dict(_BASE, stream_soak_ips=4000.0)
+    violations, _ = check_tolerance(after, dict(_BASE), 0.10)
+    assert len(violations) == 1
+    assert "stream_soak_ips" in violations[0]
+
+
+def test_stream_soak_missing_from_baseline_skips_with_warning():
+    committed = dict(_BASE)
+    del committed["stream_soak_ips"]  # pre-soak committed bench
+    violations, skipped = check_tolerance(dict(_BASE), committed, 0.10)
+    assert violations == []
+    assert len(skipped) == 1
+    assert "stream_soak_ips" in skipped[0]
+    assert "committed baseline" in skipped[0]
 
 
 def test_f1_drop_violates():

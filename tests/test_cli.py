@@ -86,6 +86,54 @@ def test_serve_healthy_path(tmp_path, small_args, capsys):
     assert "errors=0" in out
 
 
+def test_stream_sheds_under_overload(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    main(["train", *small_args, "--trees", "20", "--out", str(model)])
+    capsys.readouterr()
+    metrics_out = tmp_path / "stream-metrics.prom"
+    code = main([
+        "stream", "--seed", "3", "--days", "45", "--incidents", "40",
+        "--model", str(model),
+        "--arrival-rate", "200", "--queue-cap", "4",
+        "--shed-policy", "triage",
+        "--slo-p99", "handle=0.05", "--slo-p99", "queue=0.25",
+        "--service-time", "0.02",
+        "--metrics-out", str(metrics_out),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stream throughput:" in out
+    assert "shed rate" in out
+    assert "slo stages:" in out
+    exposition = metrics_out.read_text()
+    assert "stream_submitted_total" in exposition
+    assert "stream_shed_total" in exposition
+    assert "stream_queue_wait_seconds" in exposition
+
+
+def test_stream_healthy_path_serves_everything(tmp_path, small_args, capsys):
+    model = tmp_path / "phynet.scout"
+    main(["train", *small_args, "--trees", "20", "--out", str(model)])
+    capsys.readouterr()
+    code = main([
+        "stream", "--seed", "3", "--days", "45", "--incidents", "15",
+        "--model", str(model),
+        "--arrival-rate", "5", "--queue-cap", "32",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "15 served, 0 shed" in out
+    assert "shed rate               0.000" in out
+
+
+def test_stream_rejects_malformed_slo_budget(tmp_path, small_args):
+    with pytest.raises(SystemExit):
+        main([
+            "stream", *small_args, "--model", "whatever.scout",
+            "--slo-p99", "handle",
+        ])
+
+
 def test_route_without_components_falls_back(tmp_path, small_args, capsys):
     model = tmp_path / "phynet.scout"
     main(["train", *small_args, "--trees", "20", "--out", str(model)])

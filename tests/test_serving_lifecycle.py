@@ -1,0 +1,298 @@
+"""Serving-lifecycle regressions: the bugs that only bite long-lived
+deployments.
+
+Three fixes, each with a failing-before/passing-after regression test:
+
+* ``resolve()`` used to rescan the entire decision log per call —
+  O(n²) over a stream of resolutions.  It now goes through a
+  commit-time ``incident_id -> log positions`` index; the test proves
+  the access pattern structurally (one log read per resolve) rather
+  than with a flaky timing assertion.
+* ``unregister()`` used to pop ``_stats``/``_team_locks`` out from
+  under an in-flight batch, KeyErroring in ``_commit`` or
+  ``_invoke_scout``.  Teardown now waits on the team and commit locks,
+  and the serving path degrades calls to a vanished team to ERROR
+  abstains.
+* A manager reused after ``close()`` used to silently serve the slow
+  unsharded path forever (close drops shards, nothing re-enabled
+  them).  The next serve now lazily re-shards, visible through the
+  ``shard_materializations_total`` counter.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.incidents import Incident, IncidentSource, Severity
+from repro.monitoring import FakeClock, FlakyScout
+from repro.serving import CallStatus, IncidentManager
+from repro.simulation import default_teams
+from repro.simulation.teams import DNS, PHYNET, STORAGE
+
+
+def _mk(i: int) -> Incident:
+    return Incident(
+        incident_id=i,
+        created_at=0.0,
+        title=f"lifecycle incident {i}",
+        body="synthetic",
+        severity=Severity.MEDIUM,
+        source=IncidentSource.OWN_MONITOR,
+        source_team=PHYNET,
+        responsible_team=PHYNET,
+    )
+
+
+def _flaky_manager(clock=None, **kwargs):
+    manager = IncidentManager(
+        default_teams(), clock=clock or FakeClock(), **kwargs
+    )
+    manager.register(FlakyScout(PHYNET, responsible=True))
+    manager.register(FlakyScout(STORAGE, responsible=False))
+    manager.register(FlakyScout(DNS, responsible=None))
+    return manager
+
+
+# -- fix 1: resolve() is O(decisions-for-the-incident), not O(log) -----------
+
+
+class _CountingLog(list):
+    """A decision-log stand-in that counts item reads and bans scans.
+
+    The quadratic ``resolve`` iterated ``range(len(log))`` and indexed
+    every position; the indexed ``resolve`` reads exactly the decisions
+    belonging to the incident.  Counting ``__getitem__`` makes the
+    access pattern an assertable fact instead of a timing guess.
+    """
+
+    def __init__(self, items):
+        super().__init__(items)
+        self.reads = 0
+
+    def __getitem__(self, index):
+        self.reads += 1
+        return super().__getitem__(index)
+
+
+class TestResolveIndex:
+    def test_resolving_a_stream_reads_one_log_entry_per_resolve(self):
+        n = 10_000
+        manager = _flaky_manager()
+        for i in range(n):
+            manager.handle(_mk(i))
+        log = _CountingLog(manager._log)
+        manager._log = log
+        for i in range(n):
+            manager.resolve(i, PHYNET)
+        # The quadratic scan would have read ~n²/2 entries (5e7); the
+        # index reads exactly the single decision each resolve scores.
+        assert log.reads == n
+        assert len(manager._resolved_indices) == n
+
+    def test_repeat_resolutions_stay_idempotent_and_read_nothing(self):
+        manager = _flaky_manager()
+        for i in range(5):
+            manager.handle(_mk(i))
+        for i in range(5):
+            manager.resolve(i, PHYNET)
+        monitor = manager._monitors[PHYNET]
+        observed = monitor.observations
+        log = _CountingLog(manager._log)
+        manager._log = log
+        for i in range(5):
+            manager.resolve(i, STORAGE)  # already resolved: no-ops
+        assert log.reads == 0
+        assert manager._monitors[PHYNET].observations == observed
+
+    def test_reserved_incident_scores_only_the_fresh_decision(self):
+        manager = _flaky_manager()
+        manager.handle(_mk(1))
+        manager.resolve(1, PHYNET)
+        observed = manager._monitors[PHYNET].observations
+        manager.handle(_mk(1))  # re-served after resolution
+        manager.resolve(1, STORAGE)
+        assert manager._monitors[PHYNET].observations == observed + 1
+
+    def test_unserved_incident_still_raises(self):
+        manager = _flaky_manager()
+        with pytest.raises(KeyError):
+            manager.resolve(404, PHYNET)
+
+
+# -- fix 2: unregister() vs in-flight serving --------------------------------
+
+
+class _GateScout:
+    """Wraps a FlakyScout; predict blocks until the test opens the gate."""
+
+    def __init__(self, inner, gate: threading.Event, started: threading.Event):
+        self.inner = inner
+        self.team = inner.team
+        self.gate = gate
+        self.started = started
+
+    def predict(self, incident):
+        self.started.set()
+        assert self.gate.wait(timeout=10.0), "test gate never opened"
+        return self.inner.predict(incident)
+
+
+class TestUnregisterRace:
+    def test_commit_survives_team_unregistered_after_fanout(self):
+        """The exact mid-batch interleaving: _decide computed results
+        for a team, then the team was unregistered before _commit."""
+        manager = _flaky_manager()
+        incident = _mk(1)
+        root = manager.obs.trace.start_span(
+            "serve.handle", incident_id=incident.incident_id
+        )
+        staged = manager._decide(incident, root)
+        manager.unregister(STORAGE)
+        decision = manager._commit(staged)  # KeyError before the fix
+        assert decision.incident_id == 1
+        assert manager.log[-1] == decision
+        by_team = {o.team: o for o in decision.outcomes}
+        assert by_team[STORAGE].status is CallStatus.OK  # computed pre-pop
+        assert STORAGE not in manager._stats
+
+    def test_call_to_unregistered_team_degrades_to_error_abstain(self):
+        manager = _flaky_manager()
+        manager.unregister(DNS)
+        team, prediction, outcome = manager._invoke_scout(_mk(2), DNS, None)
+        assert team == DNS
+        assert prediction.responsible is None
+        assert outcome.status is CallStatus.ERROR
+        assert "unregistered" in outcome.error
+        assert outcome.latency_seconds == 0.0
+
+    def test_threaded_unregister_mid_handle_never_keyerrors(self):
+        """A serve blocked inside one Scout's predict while another
+        registered team is torn down: the fan-out that reaches the
+        vanished team must degrade, not crash."""
+        gate, started = threading.Event(), threading.Event()
+        manager = IncidentManager(default_teams(), clock=FakeClock())
+        # Sorted fan-out order is DNS, PhyNet, Storage: gate the first
+        # so Storage's call provably happens after the unregister.
+        manager.register(
+            _GateScout(FlakyScout(DNS, responsible=None), gate, started)
+        )
+        manager.register(FlakyScout(PHYNET, responsible=True))
+        manager.register(FlakyScout(STORAGE, responsible=False))
+        result: dict = {}
+
+        def serve():
+            try:
+                result["decision"] = manager.handle(_mk(7))
+            except BaseException as exc:  # noqa: BLE001 — the assertion target
+                result["error"] = exc
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            assert started.wait(timeout=10.0)
+            manager.unregister(STORAGE)
+        finally:
+            gate.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert "error" not in result, f"handle raised: {result.get('error')}"
+        by_team = {o.team: o for o in result["decision"].outcomes}
+        assert by_team[STORAGE].status is CallStatus.ERROR
+        assert "unregistered" in by_team[STORAGE].error
+
+    def test_unregister_waits_for_the_teams_own_inflight_predict(self):
+        """Tearing down the very team that is mid-predict blocks on its
+        lock until the call finishes — the Scout is never yanked out
+        from under its own predict."""
+        gate, started = threading.Event(), threading.Event()
+        manager = IncidentManager(default_teams(), clock=FakeClock())
+        manager.register(
+            _GateScout(FlakyScout(PHYNET, responsible=True), gate, started)
+        )
+        result: dict = {}
+
+        def serve():
+            try:
+                result["decision"] = manager.handle(_mk(8))
+            except BaseException as exc:  # noqa: BLE001
+                result["error"] = exc
+
+        serve_thread = threading.Thread(target=serve)
+        serve_thread.start()
+        assert started.wait(timeout=10.0)
+        unregister_thread = threading.Thread(
+            target=manager.unregister, args=(PHYNET,)
+        )
+        unregister_thread.start()
+        try:
+            unregister_thread.join(timeout=0.2)
+            assert unregister_thread.is_alive()  # blocked on the team lock
+        finally:
+            gate.set()
+            serve_thread.join(timeout=10.0)
+            unregister_thread.join(timeout=10.0)
+        assert not serve_thread.is_alive()
+        assert not unregister_thread.is_alive()
+        assert "error" not in result, f"handle raised: {result.get('error')}"
+        by_team = {o.team: o for o in result["decision"].outcomes}
+        # The in-flight predict completed healthily before teardown.
+        assert by_team[PHYNET].status is CallStatus.OK
+        assert PHYNET not in manager._scouts
+
+    def test_unregister_of_unknown_team_is_a_noop(self):
+        manager = _flaky_manager()
+        manager.unregister("NeverRegistered")
+        assert manager.registered_teams == sorted((DNS, PHYNET, STORAGE))
+
+
+# -- fix 3: close() then reuse re-shards lazily ------------------------------
+
+
+def _materializations(manager) -> float:
+    family = manager.obs.metrics.get("shard_materializations_total")
+    return family.total() if family is not None else 0.0
+
+
+class TestCloseThenReuse:
+    def test_reused_manager_lazily_reshards(self, sim, scout, incidents):
+        store = scout.builder.store
+        first, second = list(incidents)[:2]
+        manager = IncidentManager(
+            sim.registry, clock=FakeClock(), shards=True
+        )
+        try:
+            manager.register(scout)
+            assert store.shards_enabled
+            manager.handle(first)
+            materialized = _materializations(manager)
+            assert materialized > 0.0
+
+            manager.close()
+            assert not store.shards_enabled  # chunk memory was freed
+
+            # The usable-after-close contract: the next serve re-shards
+            # instead of silently degrading to the unsharded path.
+            manager.handle(second)
+            assert store.shards_enabled
+            assert _materializations(manager) > materialized
+        finally:
+            manager.close()
+            if store.shards_enabled:
+                store.drop_shards()
+            if getattr(store, "obs", None) is manager.obs:
+                store.obs = None
+            scout.obs = None
+            scout.builder.obs = None
+            scout.builder.cache_ttl = None
+            scout.builder.clock = None
+            scout.builder.clear_cache()
+
+    def test_close_without_shards_stays_inert(self):
+        manager = _flaky_manager(shards=True)  # FlakyScouts have no store
+        manager.handle(_mk(1))
+        manager.close()
+        assert not manager._needs_reshard
+        manager.handle(_mk(2))  # still serves fine
+        assert len(manager.log) == 2

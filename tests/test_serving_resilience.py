@@ -552,3 +552,7 @@ def test_manager_isolates_real_scout_monitoring_outage(
     finally:
         scout.builder.store = healthy_store
         scout.retry_policy = None
+        # register() wired the session scout's sinks into this test's
+        # manager; unhook them so later suites adopt their own.
+        scout.obs = None
+        scout.builder.obs = None
