@@ -34,6 +34,7 @@ from .core import (
     TrainingOptions,
 )
 from .incidents import Incident, IncidentSource, IncidentStore, Severity
+from .registry import ModelRegistry
 from .simulation import (
     AbstractScout,
     CloudSimulation,
@@ -52,6 +53,7 @@ __all__ = [
     "Incident",
     "IncidentSource",
     "IncidentStore",
+    "ModelRegistry",
     "NlpRouter",
     "PHYNET_CONFIG_TEXT",
     "Scout",

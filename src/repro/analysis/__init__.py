@@ -23,6 +23,7 @@ from .routing_metrics import (
     evaluate_gain_overhead,
     overhead_in_distribution,
 )
+from .shadow import ShadowReport, shadow_report
 from .slo import StageSLO, StreamSLOReport, slo_report
 from .tables import percentile_row, render_cdf, render_series, render_table
 
@@ -30,6 +31,7 @@ __all__ = [
     "GainOverheadResult",
     "ReliabilityBucket",
     "ServingAvailability",
+    "ShadowReport",
     "StageSLO",
     "StreamSLOReport",
     "availability_from_registry",
@@ -48,5 +50,6 @@ __all__ = [
     "render_cdf",
     "render_series",
     "render_table",
+    "shadow_report",
     "slo_report",
 ]

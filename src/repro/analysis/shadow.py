@@ -1,0 +1,192 @@
+"""Shadow-evaluation promotion reports: should the candidate ship?
+
+Shadow serving (:meth:`repro.serving.IncidentManager.register_shadow`)
+runs a candidate Scout side-by-side with the production model on live
+traffic and records one :class:`~repro.serving.ShadowObservation` per
+comparable call — without ever touching a routing decision.  This
+module turns that log into the artifact an operator (or the CLI
+``promote`` flow) acts on: agreement and disagreement rates, the
+candidate's error/timeout rate, a verdict-transition table, and a
+single ``promote`` boolean computed against explicit thresholds.
+
+The promotion rule is deliberately conservative: a candidate is
+promotable only when it was actually observed (``observations > 0``),
+it failed on at most ``max_error_rate`` of its calls, and it agreed
+with the production verdict on at least ``agreement_floor`` of the
+calls where both produced one.  Disagreement is not always bad — a
+retrained model *should* differ where it learned something — so the
+report keeps the full transition table and per-incident diff list for
+a human override (``promote --force``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..serving.manager import CallStatus, ShadowObservation
+
+__all__ = ["ShadowReport", "shadow_report"]
+
+
+def _verdict_label(responsible: bool | None) -> str:
+    if responsible is None:
+        return "abstain"
+    return "yes" if responsible else "no"
+
+
+@dataclass(frozen=True)
+class ShadowReport:
+    """The roll-up of one shadow evaluation for one team."""
+
+    team: str
+    observations: int
+    shadow_ok: int
+    shadow_errors: int
+    shadow_timeouts: int
+    comparable: int  # both primary and shadow produced an OK verdict
+    agreements: int
+    disagreements: int
+    transitions: dict[str, int] = field(default_factory=dict)
+    diffs: tuple[ShadowObservation, ...] = ()
+    agreement_floor: float = 0.98
+    max_error_rate: float = 0.02
+
+    @property
+    def error_rate(self) -> float:
+        """Shadow ERROR+TIMEOUT calls over all shadow calls."""
+        if not self.observations:
+            return 0.0
+        return (self.shadow_errors + self.shadow_timeouts) / self.observations
+
+    @property
+    def agreement_rate(self) -> float:
+        """Agreement over the comparable calls (1.0 when none compare)."""
+        if not self.comparable:
+            return 1.0
+        return self.agreements / self.comparable
+
+    @property
+    def promote(self) -> bool:
+        """The conservative default rule; ``--force`` overrides it."""
+        return (
+            self.observations > 0
+            and self.error_rate <= self.max_error_rate
+            and self.agreement_rate >= self.agreement_floor
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "team": self.team,
+            "observations": self.observations,
+            "shadow_ok": self.shadow_ok,
+            "shadow_errors": self.shadow_errors,
+            "shadow_timeouts": self.shadow_timeouts,
+            "comparable": self.comparable,
+            "agreements": self.agreements,
+            "disagreements": self.disagreements,
+            "agreement_rate": self.agreement_rate,
+            "error_rate": self.error_rate,
+            "agreement_floor": self.agreement_floor,
+            "max_error_rate": self.max_error_rate,
+            "promote": self.promote,
+            "transitions": dict(sorted(self.transitions.items())),
+            "diff_incidents": [o.incident_id for o in self.diffs],
+        }
+
+    def render(self) -> str:
+        verdict = "PROMOTE" if self.promote else "HOLD"
+        lines = [
+            f"shadow evaluation — {self.team}",
+            f"observations            {self.observations}",
+            f"shadow ok/err/timeout   {self.shadow_ok}"
+            f"/{self.shadow_errors}/{self.shadow_timeouts}",
+            f"comparable verdicts     {self.comparable}",
+            f"agreement rate          {self.agreement_rate:.3f}"
+            f" (floor {self.agreement_floor:.3f})",
+            f"shadow error rate       {self.error_rate:.3f}"
+            f" (max {self.max_error_rate:.3f})",
+        ]
+        if self.transitions:
+            lines.append("verdict transitions (primary -> shadow):")
+            lines += [
+                f"  {label:<21} {count}"
+                for label, count in sorted(self.transitions.items())
+            ]
+        if self.diffs:
+            shown = ", ".join(str(o.incident_id) for o in self.diffs[:10])
+            more = len(self.diffs) - 10
+            suffix = f" (+{more} more)" if more > 0 else ""
+            lines.append(f"disagreeing incidents   {shown}{suffix}")
+        lines.append(f"verdict                 {verdict}")
+        return "\n".join(lines)
+
+
+def shadow_report(
+    log: list[ShadowObservation] | tuple[ShadowObservation, ...],
+    team: str | None = None,
+    *,
+    agreement_floor: float = 0.98,
+    max_error_rate: float = 0.02,
+) -> ShadowReport:
+    """Build a promotion report from a manager's ``shadow_log``.
+
+    ``team`` filters a multi-team log down to one candidate; when None
+    the log must concern exactly one team (a mixed log without a filter
+    is almost certainly a bug, so it raises :class:`ValueError`).
+
+    *Comparable* calls are those where primary and shadow both returned
+    an OK verdict (yes/no/abstain): a shadow answer recorded against a
+    primary error tells us nothing about agreement, and a shadow error
+    is counted in the error rate instead.  The transition table keys
+    are ``"<primary>-><shadow>"`` over the yes/no/abstain labels.
+    """
+    if not 0.0 <= agreement_floor <= 1.0:
+        raise ValueError("agreement_floor must be within [0, 1]")
+    if not 0.0 <= max_error_rate <= 1.0:
+        raise ValueError("max_error_rate must be within [0, 1]")
+    observations = [o for o in log if team is None or o.team == team]
+    teams = sorted({o.team for o in observations})
+    if team is None:
+        if len(teams) > 1:
+            raise ValueError(
+                f"shadow log covers teams {teams}; pass team= to select one"
+            )
+        team = teams[0] if teams else "<none>"
+    ok = errors = timeouts = comparable = agreements = 0
+    transitions: dict[str, int] = {}
+    diffs: list[ShadowObservation] = []
+    for obs in observations:
+        if obs.shadow_status is CallStatus.OK:
+            ok += 1
+        elif obs.shadow_status is CallStatus.TIMEOUT:
+            timeouts += 1
+        else:
+            errors += 1
+        if (
+            obs.shadow_status is CallStatus.OK
+            and obs.primary_status is CallStatus.OK
+        ):
+            comparable += 1
+            key = (
+                f"{_verdict_label(obs.primary_responsible)}->"
+                f"{_verdict_label(obs.shadow_responsible)}"
+            )
+            transitions[key] = transitions.get(key, 0) + 1
+            if obs.shadow_responsible == obs.primary_responsible:
+                agreements += 1
+            else:
+                diffs.append(obs)
+    return ShadowReport(
+        team=team,
+        observations=len(observations),
+        shadow_ok=ok,
+        shadow_errors=errors,
+        shadow_timeouts=timeouts,
+        comparable=comparable,
+        agreements=agreements,
+        disagreements=len(diffs),
+        transitions=transitions,
+        diffs=tuple(diffs),
+        agreement_floor=agreement_floor,
+        max_error_rate=max_error_rate,
+    )

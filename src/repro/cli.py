@@ -9,6 +9,9 @@ The subcommands cover the operator workflow end to end::
     repro-scouts serve    --seed 7 --incidents 200 --model phynet.scout
     repro-scouts stream   --seed 7 --incidents 200 --model phynet.scout \
                           --arrival-rate 50 --queue-cap 32 --shed-policy triage
+    repro-scouts publish  --seed 7 --registry ./registry --model phynet.scout
+    repro-scouts promote  --seed 7 --registry ./registry --team PhyNet \
+                          --candidate 2 --shadow-eval
 
 ``simulate`` writes an incident dataset (JSON) for inspection; ``train``
 builds and persists a PhyNet Scout; ``evaluate`` reports §7-style
@@ -22,6 +25,18 @@ streaming ingestion tier (bounded admission queue, severity-priority
 scheduling, load shedding, per-stage p99 SLO budgets).  ``simulate``,
 ``serve``, and ``stream`` accept ``--metrics`` / ``--metrics-out PATH``
 to emit a Prometheus-style exposition of everything the run counted.
+
+``publish`` lint-gates a trained bundle into a versioned model registry
+(manifest with SHA-256 digest and config/schema hashes); ``promote``
+optionally shadow-evaluates a candidate version against the active one
+on replayed traffic and moves the ``ACTIVE`` pointer when the candidate
+clears the agreement/error thresholds.  ``serve`` and ``stream`` accept
+``--registry DIR`` in place of ``--model`` (active versions load with
+digest verification), ``--shadow TEAM=VERSION`` for side-by-side
+candidate serving, and ``--decision-log PATH`` for a replay-comparable
+JSON-lines record of every decision (including per-team model epochs);
+``stream --swap TEAM=VERSION@N`` hot-swaps a registry version in after
+the N-th served incident — mid-stream, with zero shedding.
 
 Because the monitoring plane is deterministic in the seed, a Scout
 trained with ``--seed 7`` can be reloaded against a fresh ``--seed 7``
@@ -129,6 +144,39 @@ def build_parser() -> argparse.ArgumentParser:
             help="also write the metrics exposition to this file",
         )
 
+    def model_source_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--model",
+            action="append",
+            default=None,
+            help="saved Scout path (repeat to register several teams); "
+            "optional when --registry is given",
+        )
+        p.add_argument(
+            "--registry",
+            default=None,
+            metavar="DIR",
+            help="model registry directory: register the digest-verified "
+            "ACTIVE version of every published team",
+        )
+        p.add_argument(
+            "--shadow",
+            action="append",
+            default=[],
+            metavar="TEAM=VERSION",
+            help="shadow-serve a registry version next to TEAM's live "
+            "Scout (repeatable; requires --registry); shadows never "
+            "affect routing",
+        )
+        p.add_argument(
+            "--decision-log",
+            default=None,
+            metavar="PATH",
+            help="write one sorted-key JSON line per serving decision "
+            "(incident id, suggestion, per-team statuses and model "
+            "epochs) — byte-comparable across same-seed runs",
+        )
+
     p_sim = sub.add_parser("simulate", help="generate an incident dataset")
     common(p_sim)
     p_sim.add_argument("--out", required=True, help="output JSON path")
@@ -166,12 +214,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="replay incidents through the §6 incident manager"
     )
     common(p_serve)
-    p_serve.add_argument(
-        "--model",
-        action="append",
-        required=True,
-        help="saved Scout path (repeat to register several teams)",
-    )
+    model_source_flags(p_serve)
     p_serve.add_argument(
         "--scout-deadline",
         type=float,
@@ -226,11 +269,15 @@ def build_parser() -> argparse.ArgumentParser:
         "admission control, load shedding, and SLO budgets",
     )
     common(p_stream)
+    model_source_flags(p_stream)
     p_stream.add_argument(
-        "--model",
+        "--swap",
         action="append",
-        required=True,
-        help="saved Scout path (repeat to register several teams)",
+        default=[],
+        metavar="TEAM=VERSION@N",
+        help="hot-swap TEAM to a registry version after the N-th served "
+        "incident (repeatable; requires --registry) — lands mid-stream "
+        "with zero shedding, stamping later decisions with a new epoch",
     )
     p_stream.add_argument(
         "--arrival-rate",
@@ -289,6 +336,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_flags(p_stream)  # cache/shard/engine knobs, like serve
     metrics_flags(p_stream)
+
+    p_publish = sub.add_parser(
+        "publish",
+        help="lint-gate a trained Scout bundle into a model registry "
+        "as the team's next version",
+    )
+    common(p_publish)
+    p_publish.add_argument(
+        "--registry", required=True, metavar="DIR", help="registry directory"
+    )
+    p_publish.add_argument(
+        "--model", required=True, help="saved Scout bundle to publish"
+    )
+    p_publish.add_argument(
+        "--no-lint",
+        action="store_true",
+        help="skip the scoutlint pre-flight (not recommended)",
+    )
+    p_publish.add_argument(
+        "--activate",
+        action="store_true",
+        help="point the team's ACTIVE version at this publish "
+        "(default: only the first publish self-activates)",
+    )
+    p_publish.add_argument(
+        "--note",
+        default=None,
+        help="free-form provenance note recorded in the manifest",
+    )
+
+    p_promote = sub.add_parser(
+        "promote",
+        help="move a team's ACTIVE pointer to a candidate version, "
+        "optionally gated on a shadow evaluation",
+    )
+    common(p_promote)
+    p_promote.add_argument(
+        "--registry", required=True, metavar="DIR", help="registry directory"
+    )
+    p_promote.add_argument("--team", required=True, help="team to promote")
+    p_promote.add_argument(
+        "--candidate",
+        type=int,
+        default=None,
+        metavar="VERSION",
+        help="candidate version (default: the latest published)",
+    )
+    p_promote.add_argument(
+        "--shadow-eval",
+        action="store_true",
+        help="replay simulated incidents with the candidate shadowing "
+        "the active version; promote only if the report clears the "
+        "agreement/error thresholds",
+    )
+    p_promote.add_argument(
+        "--agreement-floor",
+        type=float,
+        default=0.98,
+        help="minimum candidate/active agreement rate over comparable "
+        "verdicts for a shadow-gated promotion",
+    )
+    p_promote.add_argument(
+        "--max-error-rate",
+        type=float,
+        default=0.02,
+        help="maximum candidate error+timeout rate for a shadow-gated "
+        "promotion",
+    )
+    p_promote.add_argument(
+        "--force",
+        action="store_true",
+        help="promote even when the shadow evaluation says HOLD",
+    )
+    p_promote.add_argument(
+        "--report-out",
+        default=None,
+        metavar="PATH",
+        help="write the shadow promotion report as JSON to this file",
+    )
 
     # The lint subcommand owns its argument surface; main() hands the
     # remaining argv straight to repro.lint.cli.  The stub keeps the
@@ -412,6 +538,84 @@ def _cmd_route(args) -> int:
     return 0
 
 
+def _parse_shadow_specs(specs: list[str]) -> list[tuple[str, int]]:
+    parsed = []
+    for spec in specs:
+        team, _, version = spec.partition("=")
+        if not team or not version.strip().isdigit():
+            raise SystemExit(f"--shadow expects TEAM=VERSION, got {spec!r}")
+        parsed.append((team, int(version)))
+    return parsed
+
+
+def _parse_swap_specs(specs: list[str]) -> list[tuple[str, int, int]]:
+    parsed = []
+    for spec in specs:
+        team, _, rest = spec.partition("=")
+        version, _, after = rest.partition("@")
+        if (
+            not team
+            or not version.strip().isdigit()
+            or not after.strip().isdigit()
+        ):
+            raise SystemExit(f"--swap expects TEAM=VERSION@N, got {spec!r}")
+        parsed.append((team, int(version), int(after)))
+    return parsed
+
+
+def _register_models(args, manager, sim, store):
+    """Register primaries from ``--model`` paths and/or ``--registry``.
+
+    Explicit ``--model`` paths win; the registry then fills in the
+    ACTIVE version of every published team not already registered.
+    Returns the opened :class:`~repro.registry.ModelRegistry` (or None),
+    which ``--shadow`` / ``--swap`` resolution needs afterwards.
+    """
+    registry = None
+    if args.registry:
+        from .registry import ModelRegistry
+
+        registry = ModelRegistry(args.registry)
+    if not args.model and registry is None:
+        raise SystemExit("provide --model and/or --registry")
+    for path in args.model or []:
+        manager.register(load_scout(path, sim.topology, store))
+    if registry is not None:
+        for team in registry.teams():
+            if team not in manager.registered_teams:
+                manager.register(registry.load(team, sim.topology, store))
+    for team, version in _parse_shadow_specs(args.shadow):
+        if registry is None:
+            raise SystemExit("--shadow requires --registry")
+        manager.register_shadow(
+            registry.load(team, sim.topology, store, version=version)
+        )
+    return registry
+
+
+def _write_decision_log(path: str, manager: IncidentManager) -> None:
+    """One sorted-key JSON line per decision: the replay-comparable
+    record (ids, suggestions, statuses, epochs — no wall latencies)."""
+    import json
+
+    with open(path, "w") as handle:
+        for decision in manager.log:
+            record = {
+                "incident_id": decision.incident_id,
+                "suggested_team": decision.suggested_team,
+                "acted": decision.acted,
+                "answers": {
+                    a.team: a.responsible for a in decision.answers
+                },
+                "statuses": {
+                    o.team: o.status.value for o in decision.outcomes
+                },
+                "model_epochs": dict(decision.model_epochs),
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"wrote {len(manager.log)} decisions to {path}")
+
+
 def _cmd_serve(args) -> int:
     sim = _simulation(args)
     incidents = sim.generate(args.incidents)
@@ -452,14 +656,15 @@ def _cmd_serve(args) -> int:
         shard_memmap_dir=args.shard_memmap,
         incremental=args.incremental,
     )
-    for path in args.model:
-        manager.register(load_scout(path, sim.topology, store))
+    _register_models(args, manager, sim, store)
     print(
         f"serving {len(incidents)} incidents through "
         f"{len(manager.registered_teams)} Scout(s): "
         f"{', '.join(manager.registered_teams)}"
         + (f" with {args.batch_workers} batch workers"
            if args.batch_workers != 1 else "")
+        + (f"; shadowing {', '.join(manager.shadow_teams)}"
+           if manager.shadow_teams else "")
     )
     with manager:
         manager.handle_batch(list(incidents))
@@ -503,6 +708,14 @@ def _cmd_serve(args) -> int:
         f"what-if: correct={summary['correct']:.3f} "
         f"wrong={summary['wrong']:.3f} abstained={summary['abstained']:.3f}"
     )
+    if manager.shadow_teams:
+        from .analysis import shadow_report
+
+        for team in manager.shadow_teams:
+            print()
+            print(shadow_report(manager.shadow_log, team).render())
+    if args.decision_log:
+        _write_decision_log(args.decision_log, manager)
     _emit_metrics(args, manager.obs)
     return 0
 
@@ -547,8 +760,7 @@ def _cmd_stream(args) -> int:
         shard_memmap_dir=args.shard_memmap,
         incremental=args.incremental,
     )
-    for path in args.model:
-        manager.register(load_scout(path, sim.topology, store))
+    registry = _register_models(args, manager, sim, store)
     server = StreamServer(
         manager,
         queue_cap=args.queue_cap,
@@ -556,6 +768,17 @@ def _cmd_stream(args) -> int:
         slo=budgets or None,
         service_time=args.service_time,
     )
+    swap_specs = _parse_swap_specs(args.swap)
+    if swap_specs and registry is None:
+        raise SystemExit("--swap requires --registry")
+    for team, version, after in swap_specs:
+        # Load (and digest-verify) the replacement up front; the swap
+        # itself lands deterministically after the N-th served
+        # incident, mid-stream, without shedding a single arrival.
+        replacement = registry.load(team, sim.topology, store, version=version)
+        server.schedule(
+            after, lambda scout=replacement: manager.swap(scout)
+        )
     offsets = poisson_arrivals(
         len(incidents), args.arrival_rate, seed=args.arrival_seed
     )
@@ -578,9 +801,133 @@ def _cmd_stream(args) -> int:
         f"{summary['served']} served, {summary['shed']} shed "
         f"(rate {summary['shed_rate']:.3f})"
     )
+    if swap_specs:
+        epochs = ", ".join(
+            f"{team}=e{manager.model_epoch(team)}"
+            for team, _, _ in swap_specs
+        )
+        print(f"hot-swaps landed: {epochs}")
+    if manager.shadow_teams:
+        from .analysis import shadow_report
+
+        for team in manager.shadow_teams:
+            print()
+            print(shadow_report(manager.shadow_log, team).render())
     print()
     print(slo_report(manager.obs.metrics, budgets).render())
+    if args.decision_log:
+        _write_decision_log(args.decision_log, manager)
     _emit_metrics(args, manager.obs)
+    return 0
+
+
+def _cmd_publish(args) -> int:
+    from .core.persistence import read_bundle
+    from .lint import LintError
+    from .registry import ModelRegistry
+
+    sim = _simulation(args)
+    # Materialize the incident history: the lint pre-flight and the
+    # feature-schema digest both read the monitoring store's dataset
+    # catalog, which fills as the simulation runs.
+    sim.generate(args.incidents)
+    registry = ModelRegistry(args.registry)
+    bundle = read_bundle(args.model)
+    training = {
+        "seed": args.seed,
+        "days": args.days,
+        "incidents": args.incidents,
+        "source": args.model,
+    }
+    if args.note:
+        training["note"] = args.note
+    try:
+        manifest = registry.publish_bundle(
+            bundle,
+            sim.store,
+            lint=not args.no_lint,
+            training=training,
+            activate=True if args.activate else "auto",
+        )
+    except LintError as exc:
+        print(f"publish refused by the lint gate:\n{exc}")
+        return 1
+    active = registry.active_version(bundle.team)
+    print(
+        f"published {bundle.team} v{manifest.version} "
+        f"({manifest.size_bytes} bytes, sha256 {manifest.sha256[:12]}…, "
+        f"{manifest.n_features} features) to {args.registry}"
+    )
+    print(f"{bundle.team} ACTIVE is v{active}")
+    return 0
+
+
+def _cmd_promote(args) -> int:
+    import json
+
+    from .analysis import shadow_report
+    from .registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    team = args.team
+    candidate = (
+        args.candidate
+        if args.candidate is not None
+        else registry.latest_version(team)
+    )
+    if candidate is None:
+        print(f"no published versions for {team} in {args.registry}")
+        return 1
+    registry.verify(team, candidate)  # digest gate before anything else
+    active = registry.active_version(team)
+    if args.shadow_eval and active is not None and active != candidate:
+        sim = _simulation(args)
+        incidents = sim.generate(args.incidents)
+        manager = IncidentManager(
+            sim.registry,
+            suggestion_mode=True,
+            n_jobs=args.jobs,
+            clock=FakeClock(),
+        )
+        manager.register(
+            registry.load(team, sim.topology, sim.store, version=active)
+        )
+        manager.register_shadow(
+            registry.load(team, sim.topology, sim.store, version=candidate)
+        )
+        print(
+            f"shadow-evaluating {team} v{candidate} against active "
+            f"v{active} on {len(incidents)} replayed incidents"
+        )
+        with manager:
+            for incident in incidents:
+                manager.handle(incident)
+        report = shadow_report(
+            manager.shadow_log,
+            team,
+            agreement_floor=args.agreement_floor,
+            max_error_rate=args.max_error_rate,
+        )
+        print()
+        print(report.render())
+        if args.report_out:
+            with open(args.report_out, "w") as handle:
+                json.dump(report.to_dict(), handle, sort_keys=True, indent=2)
+                handle.write("\n")
+            print(f"wrote shadow report to {args.report_out}")
+        if not report.promote:
+            if not args.force:
+                print(f"holding: {team} ACTIVE stays at v{active}")
+                return 1
+            print("promoting despite HOLD (--force)")
+    elif args.shadow_eval:
+        print(
+            "shadow evaluation skipped: no distinct active version "
+            "to compare against"
+        )
+    registry.set_active(team, candidate)
+    suffix = f" (was v{active})" if active is not None else ""
+    print(f"{team} ACTIVE -> v{candidate}{suffix}")
     return 0
 
 
@@ -591,6 +938,8 @@ _COMMANDS = {
     "route": _cmd_route,
     "serve": _cmd_serve,
     "stream": _cmd_stream,
+    "publish": _cmd_publish,
+    "promote": _cmd_promote,
 }
 
 

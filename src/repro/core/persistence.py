@@ -7,12 +7,31 @@ state* (forest, imputer, selector, CPD+ cluster model) is saved to one
 file and later re-attached to a live environment (topology + monitoring
 store), which is how the online serving component works — models move,
 monitoring data does not.
+
+Two durability invariants hold for every write and read:
+
+* **Writes are atomic.**  The bundle is fully serialized in memory,
+  written to a temporary file in the destination directory, and
+  ``os.replace``d into place — a crash mid-write leaves the previous
+  bundle intact, never a torn file.
+* **Corruption fails loudly.**  Any file that is not a complete,
+  well-formed bundle — wrong magic, truncated pickle stream, flipped
+  bits, foreign payload, incompatible format version — raises
+  :class:`ValueError` naming the offending path.  A corrupted model
+  store must never surface as a raw ``UnpicklingError`` deep inside a
+  serving stack, and must never silently serve garbage.
+
+The versioned, digest-checked storage tier on top of this module lives
+in :mod:`repro.registry`.
 """
 
 from __future__ import annotations
 
+import contextlib
 import io
+import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -29,6 +48,10 @@ __all__ = [
     "save_scout",
     "load_scout",
     "read_bundle",
+    "parse_bundle",
+    "bundle_bytes",
+    "write_bundle",
+    "attach_bundle",
     "FORMAT_VERSION",
 ]
 
@@ -65,25 +88,64 @@ def _bundle(scout: Scout) -> ScoutBundle:
     )
 
 
-def save_scout(scout: Scout, path: str | Path) -> None:
-    """Serialize a fitted Scout's model state to ``path``."""
+def bundle_bytes(bundle: ScoutBundle) -> bytes:
+    """Serialize a bundle to its on-disk byte representation."""
     buffer = io.BytesIO()
     buffer.write(_MAGIC)
-    pickle.dump(_bundle(scout), buffer, protocol=pickle.HIGHEST_PROTOCOL)
-    Path(path).write_bytes(buffer.getvalue())
+    pickle.dump(bundle, buffer, protocol=pickle.HIGHEST_PROTOCOL)
+    return buffer.getvalue()
 
 
-def read_bundle(path: str | Path) -> ScoutBundle:
-    """Read and validate a Scout bundle without attaching it to a
-    monitoring environment.
+def _replace_bytes(path: Path, data: bytes) -> None:
+    """Atomically replace ``path`` with ``data``.
 
-    Used by tools that inspect persisted models (``repro lint``'s
-    schema-drift check) where no live topology exists.
+    The temp file lives in the destination directory so the final
+    ``os.replace`` is a same-filesystem rename; a crash at any point
+    leaves either the old file or the new one, never a torn mix.
     """
-    raw = Path(path).read_bytes()
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+
+
+def write_bundle(bundle: ScoutBundle, path: str | Path) -> None:
+    """Atomically persist a bundle (serialize fully, then rename)."""
+    _replace_bytes(Path(path), bundle_bytes(bundle))
+
+
+def save_scout(scout: Scout, path: str | Path) -> None:
+    """Serialize a fitted Scout's model state to ``path`` atomically."""
+    write_bundle(_bundle(scout), path)
+
+
+def parse_bundle(raw: bytes, path: str | Path) -> ScoutBundle:
+    """Validate and deserialize bundle bytes already read from ``path``.
+
+    ``path`` is only used for error messages; callers that verified a
+    digest over ``raw`` (the model registry) parse the same bytes they
+    hashed instead of re-reading the file.
+    """
     if not raw.startswith(_MAGIC):
         raise ValueError(f"{path}: not a Scout bundle")
-    bundle = pickle.loads(raw[len(_MAGIC):])
+    try:
+        bundle = pickle.loads(raw[len(_MAGIC):])
+    except Exception as exc:  # noqa: BLE001 — any unpickle failure is corruption
+        # A truncated-but-magic-prefixed file raises EOFError /
+        # UnpicklingError (and flipped bits can surface as almost
+        # anything); the persistence contract is a ValueError naming
+        # the path, not a raw pickle internal.
+        raise ValueError(
+            f"{path}: truncated or corrupted Scout bundle "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
     if not isinstance(bundle, ScoutBundle):
         raise ValueError(f"{path}: unexpected payload type")
     if bundle.format_version != FORMAT_VERSION:
@@ -94,21 +156,23 @@ def read_bundle(path: str | Path) -> ScoutBundle:
     return bundle
 
 
-def load_scout(
-    path: str | Path,
+def read_bundle(path: str | Path) -> ScoutBundle:
+    """Read and validate a Scout bundle without attaching it to a
+    monitoring environment.
+
+    Used by tools that inspect persisted models (``repro lint``'s
+    schema-drift check) where no live topology exists.
+    """
+    return parse_bundle(Path(path).read_bytes(), path)
+
+
+def attach_bundle(
+    bundle: ScoutBundle,
     topology: Topology,
     store: MonitoringStore,
     incremental: bool = False,
 ) -> Scout:
-    """Load a Scout and attach it to a live monitoring environment.
-
-    ``incremental`` opts the attached builder into the sliding-window
-    feature engine (a serving-time choice, so it is not part of the
-    persisted bundle).  Raises ``ValueError`` for non-Scout files or
-    incompatible format versions — a corrupted model store must fail
-    loudly, not serve garbage predictions.
-    """
-    bundle = read_bundle(path)
+    """Attach an already-validated bundle to a live environment."""
     builder = FeatureBuilder(
         bundle.config, topology, store, incremental=incremental
     )
@@ -127,3 +191,21 @@ def load_scout(
         imputer=bundle.imputer,
         cpd=cpd,
     )
+
+
+def load_scout(
+    path: str | Path,
+    topology: Topology,
+    store: MonitoringStore,
+    incremental: bool = False,
+) -> Scout:
+    """Load a Scout and attach it to a live monitoring environment.
+
+    ``incremental`` opts the attached builder into the sliding-window
+    feature engine (a serving-time choice, so it is not part of the
+    persisted bundle).  Raises ``ValueError`` for non-Scout files,
+    truncated or bit-flipped payloads, and incompatible format
+    versions — a corrupted model store must fail loudly, not serve
+    garbage predictions.
+    """
+    return attach_bundle(read_bundle(path), topology, store, incremental)

@@ -1,0 +1,30 @@
+"""Model registry: versioned, integrity-checked Scout bundle storage.
+
+The continuous-retraining story of §6 needs a storage tier between the
+offline trainer and the online incident manager: :class:`ModelRegistry`
+stores per-team version histories of Scout bundles, each paired with a
+:class:`~repro.registry.manifest.BundleManifest` carrying a SHA-256
+payload digest, config/feature-schema hashes, and training provenance.
+``publish()`` runs the scoutlint pre-flight; ``fetch()`` verifies the
+digest before unpickling; the ``ACTIVE`` pointer (plus the CLI
+``promote`` flow and the manager's ``swap()``/``register_shadow()``)
+closes the retrain → validate → hot-swap loop.
+"""
+
+from .manifest import (
+    MANIFEST_VERSION,
+    BundleManifest,
+    config_digest,
+    payload_digest,
+    schema_digest,
+)
+from .registry import ModelRegistry
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "BundleManifest",
+    "ModelRegistry",
+    "config_digest",
+    "payload_digest",
+    "schema_digest",
+]

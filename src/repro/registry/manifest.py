@@ -1,0 +1,131 @@
+"""Bundle manifests: the integrity and provenance sidecar of a version.
+
+Every published Scout version carries a JSON manifest next to its
+bundle file.  The manifest is what makes the registry's storage tier
+*checkable*: the SHA-256 payload digest catches truncation and flipped
+bits before a single pickle byte is interpreted, the config and
+feature-schema hashes pin the model to the exact configuration and
+feature layout it was trained with, and the training metadata records
+where the bundle came from.  Manifests are plain sorted-key JSON so two
+publishes of identical state render identical text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..config.render import render_config
+from ..config.spec import ScoutConfig
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "BundleManifest",
+    "config_digest",
+    "payload_digest",
+    "schema_digest",
+]
+
+MANIFEST_VERSION = 1
+
+
+def payload_digest(raw: bytes) -> str:
+    """SHA-256 of the full on-disk bundle bytes (magic included)."""
+    return hashlib.sha256(raw).hexdigest()
+
+
+def config_digest(config: ScoutConfig) -> str:
+    """SHA-256 over the canonical DSL rendering of ``config``.
+
+    Canonical-text hashing means two semantically identical configs
+    (however they were constructed) share a digest.  A config the DSL
+    cannot render (a raw newline inside a pattern, say) falls back to
+    the dataclass repr — still deterministic, just not cross-checkable
+    against a rendered file.
+    """
+    try:
+        text = render_config(config)
+    except ValueError:
+        text = repr(config)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def schema_digest(names: Iterable[str]) -> str:
+    """SHA-256 over the ordered feature-schema column names."""
+    joined = "\n".join(names)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class BundleManifest:
+    """One published version's integrity + provenance record."""
+
+    team: str
+    version: int
+    bundle_file: str
+    sha256: str
+    size_bytes: int
+    bundle_format_version: int
+    config_sha256: str
+    schema_sha256: str
+    n_features: int
+    created_at: float
+    manifest_version: int = MANIFEST_VERSION
+    training: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "manifest_version": self.manifest_version,
+            "team": self.team,
+            "version": self.version,
+            "bundle_file": self.bundle_file,
+            "sha256": self.sha256,
+            "size_bytes": self.size_bytes,
+            "bundle_format_version": self.bundle_format_version,
+            "config_sha256": self.config_sha256,
+            "schema_sha256": self.schema_sha256,
+            "n_features": self.n_features,
+            "created_at": self.created_at,
+            "training": dict(self.training),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_dict(cls, data: Mapping, path: str | Path = "<manifest>") -> "BundleManifest":
+        version = data.get("manifest_version")
+        if version != MANIFEST_VERSION:
+            raise ValueError(
+                f"{path}: manifest version {version!r} "
+                f"(this build reads {MANIFEST_VERSION})"
+            )
+        try:
+            return cls(
+                team=str(data["team"]),
+                version=int(data["version"]),
+                bundle_file=str(data["bundle_file"]),
+                sha256=str(data["sha256"]),
+                size_bytes=int(data["size_bytes"]),
+                bundle_format_version=int(data["bundle_format_version"]),
+                config_sha256=str(data["config_sha256"]),
+                schema_sha256=str(data["schema_sha256"]),
+                n_features=int(data["n_features"]),
+                created_at=float(data["created_at"]),
+                training=dict(data.get("training", {})),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"{path}: malformed manifest ({exc})") from exc
+
+    @classmethod
+    def from_json(cls, text: str, path: str | Path = "<manifest>") -> "BundleManifest":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: manifest is not valid JSON ({exc})") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"{path}: manifest must be a JSON object")
+        return cls.from_dict(data, path)

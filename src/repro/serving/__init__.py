@@ -6,7 +6,11 @@ deterministic retry for transient monitoring faults (:mod:`.retry`),
 the failure-isolated call path in :class:`.manager.IncidentManager`,
 and the streaming ingestion tier (:mod:`.stream`) that turns the
 one-shot batch API into an always-on front end with admission control,
-load shedding, and SLO enforcement.
+load shedding, and SLO enforcement.  The manager also carries the
+model-lifecycle surface: epoch-stamped zero-downtime hot-swap
+(``swap()``) and side-by-side shadow serving (``register_shadow()``)
+feeding :class:`.manager.ShadowObservation` records to the promotion
+report in :mod:`repro.analysis.shadow`.
 """
 
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
@@ -16,6 +20,7 @@ from .manager import (
     ScoutCallOutcome,
     ScoutServiceStats,
     ServingDecision,
+    ShadowObservation,
 )
 from .retry import RetryPolicy
 from .stream import (
@@ -40,6 +45,7 @@ __all__ = [
     "ScoutCallOutcome",
     "ScoutServiceStats",
     "ServingDecision",
+    "ShadowObservation",
     "ShedPolicy",
     "StreamOutcome",
     "StreamServer",

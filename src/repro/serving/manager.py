@@ -57,6 +57,7 @@ __all__ = [
     "ScoutCallOutcome",
     "ServingDecision",
     "ScoutServiceStats",
+    "ShadowObservation",
     "IncidentManager",
 ]
 
@@ -104,7 +105,11 @@ class ServingDecision:
     ``stage_latencies`` is the per-stage breakdown of
     ``latency_seconds``: one ``("scout.<team>", seconds)`` entry per
     invoked Scout plus a ``("compose", seconds)`` entry for the Scout
-    Master composition.
+    Master composition.  ``model_epochs`` stamps, per team, which model
+    epoch answered this incident — the audit trail a zero-downtime
+    :meth:`IncidentManager.swap` leaves behind (in-flight incidents at
+    swap time carry the old epoch, later arrivals the new one; a call
+    degraded because its team was unregistered mid-flight stamps 0).
     """
 
     incident_id: int
@@ -116,6 +121,7 @@ class ServingDecision:
     outcomes: tuple[ScoutCallOutcome, ...] = ()
     trace_id: str | None = None
     stage_latencies: tuple[tuple[str, float], ...] = ()
+    model_epochs: tuple[tuple[str, int], ...] = ()
 
     @property
     def degraded(self) -> bool:
@@ -174,6 +180,76 @@ def _abstain(incident_id: int, note: str) -> ScoutPrediction:
     )
 
 
+def _route_name(prediction: ScoutPrediction) -> str:
+    """The pipeline route as a plain string (tolerant of test doubles)."""
+    route = getattr(prediction, "route", None)
+    return getattr(route, "value", str(route))
+
+
+@dataclass(frozen=True)
+class ShadowObservation:
+    """One side-by-side comparison of a shadow candidate vs. production.
+
+    Shadow serving (:meth:`IncidentManager.register_shadow`) runs a
+    candidate Scout on the same live incidents as the team's production
+    model, *after* the production call and with zero influence on the
+    routing decision.  Each observation records both verdicts as plain
+    scalars (not full predictions — the shadow log is an analysis
+    input, not an audit log) so :func:`repro.analysis.shadow_report`
+    can build a promotion report from it.
+    """
+
+    incident_id: int
+    team: str
+    primary_epoch: int
+    primary_status: CallStatus
+    primary_responsible: bool | None
+    primary_confidence: float
+    primary_route: str
+    shadow_status: CallStatus
+    shadow_responsible: bool | None
+    shadow_confidence: float
+    shadow_route: str | None
+    shadow_latency_seconds: float
+    shadow_error: str | None = None
+
+    @property
+    def agrees(self) -> bool:
+        """Did the healthy shadow reach the production verdict?"""
+        return (
+            self.shadow_status is CallStatus.OK
+            and self.shadow_responsible == self.primary_responsible
+        )
+
+    @property
+    def diff(self) -> bool:
+        """A healthy shadow answer that *differs* from production.
+
+        Shadow errors/timeouts are not diffs (they are counted
+        separately); only a successful candidate disagreeing counts.
+        """
+        return (
+            self.shadow_status is CallStatus.OK
+            and self.shadow_responsible != self.primary_responsible
+        )
+
+
+@dataclass
+class _CallResult:
+    """One per-Scout call's full compute-phase output.
+
+    Carries the epoch stamp of the model that answered and the shadow
+    observation (when a shadow is registered for the team), so the
+    commit phase can account for everything in arrival order.
+    """
+
+    team: str
+    prediction: ScoutPrediction
+    outcome: ScoutCallOutcome
+    epoch: int
+    shadow: ShadowObservation | None = None
+
+
 @dataclass
 class _StagedDecision:
     """One incident's computed (but not yet committed) decision.
@@ -189,7 +265,7 @@ class _StagedDecision:
 
     incident: Incident
     root: object  # the incident's ``serve.handle`` span
-    results: list[tuple[str, ScoutPrediction, ScoutCallOutcome]]
+    results: list[_CallResult]
     answers: list[ScoutAnswer]
     suggested: str | None
     compose_seconds: float
@@ -293,6 +369,16 @@ class IncidentManager:
         self.obs = obs if obs is not None else Observability(clock=clock)
         self._master = ScoutMaster(registry, confidence_floor=confidence_floor)
         self._scouts: dict[str, Scout] = {}
+        # Shadow candidates run side-by-side on live traffic without
+        # touching routing; their comparisons land in _shadow_log at
+        # commit time (arrival order, so batch mode stays
+        # byte-identical to serial).
+        self._shadows: dict[str, Scout] = {}
+        self._shadow_log: list[ShadowObservation] = []
+        # Per-team model epoch: 1 at register, bumped by swap().  The
+        # stamp every decision carries, so an auditor can tell which
+        # model generation answered.
+        self._epochs: dict[str, int] = {}
         self._stats: dict[str, ScoutServiceStats] = {}
         self._monitors: dict[str, DriftMonitor] = {}
         self._breakers: dict[str, CircuitBreaker] = {}
@@ -367,6 +453,31 @@ class IncidentManager:
             "Breaker state per team (0=closed, 1=half_open, 2=open).",
             labels=("team",),
         )
+        self._m_model_epoch = metrics.gauge(
+            "scout_model_epoch",
+            "Serving model generation per team (1 at register, +1 per swap).",
+            labels=("team",),
+        )
+        self._m_swaps = metrics.counter(
+            "scout_swaps_total",
+            "Zero-downtime model hot-swaps applied per team.",
+            labels=("team",),
+        )
+        self._m_shadow_calls = metrics.counter(
+            "scout_shadow_calls_total",
+            "Shadow-candidate calls by outcome status.",
+            labels=("team", "status"),
+        )
+        self._m_shadow_diffs = metrics.counter(
+            "scout_shadow_diffs_total",
+            "Healthy shadow answers that differ from production.",
+            labels=("team",),
+        )
+        self._m_shadow_latency = metrics.histogram(
+            "scout_shadow_latency_seconds",
+            "Latency of shadow-candidate calls (never on the serving path).",
+            labels=("team",),
+        )
 
     # -- registration ------------------------------------------------------
 
@@ -381,12 +492,39 @@ class IncidentManager:
         if scout.team not in self.registry:
             raise ValueError(f"unknown team: {scout.team!r}")
         if scout.team in self._scouts:
-            raise ValueError(f"{scout.team} already has a registered Scout")
+            raise ValueError(
+                f"{scout.team} already has a registered Scout "
+                "(use swap() to replace it without a serving gap)"
+            )
         if lint:
-            from ..lint import lint_config, require_clean
+            self._lint_preflight(scout)
+        self._prepare_scout(scout)
+        self._scouts[scout.team] = scout
+        self._team_locks[scout.team] = threading.Lock()
+        self._epochs[scout.team] = 1
+        self._m_model_epoch.set(1, team=scout.team)
+        self._stats[scout.team] = ScoutServiceStats(team=scout.team)
+        self._monitors[scout.team] = DriftMonitor()
+        if self.breaker_policy is not None:
+            self._breakers[scout.team] = CircuitBreaker(
+                self.breaker_policy, clock=self._clock
+            )
+            self._breaker_seen[scout.team] = BreakerState.CLOSED.value
+            self._m_breaker_state.set(0, team=scout.team)
 
-            store = getattr(getattr(scout, "builder", None), "store", None)
-            require_clean(lint_config(scout.config, store))
+    def _lint_preflight(self, scout: Scout) -> None:
+        from ..lint import lint_config, require_clean
+
+        store = getattr(getattr(scout, "builder", None), "store", None)
+        require_clean(lint_config(scout.config, store))
+
+    def _prepare_scout(self, scout: Scout) -> None:
+        """Thread the manager's serving policies into one Scout.
+
+        Shared by :meth:`register`, :meth:`swap`, and
+        :meth:`register_shadow` so a replacement or shadow model serves
+        under exactly the policies the original did.
+        """
         if (
             self.retry_policy is not None
             and getattr(scout, "retry_policy", False) is None
@@ -417,16 +555,122 @@ class IncidentManager:
             builder.incremental = True
         if self.shards and builder is not None:
             self._shard_builder(builder)
-        self._scouts[scout.team] = scout
-        self._team_locks[scout.team] = threading.Lock()
-        self._stats[scout.team] = ScoutServiceStats(team=scout.team)
-        self._monitors[scout.team] = DriftMonitor()
-        if self.breaker_policy is not None:
-            self._breakers[scout.team] = CircuitBreaker(
-                self.breaker_policy, clock=self._clock
+
+    def swap(self, scout: Scout, *, lint: bool = False) -> int:
+        """Hot-swap a team's Scout with zero serving downtime.
+
+        The replacement is epoch-stamped: the swap waits on the team's
+        own lock, so a call already in ``predict`` finishes on the old
+        model (its decision carries the old epoch), while every call
+        acquiring the lock afterwards sees the new one.  Nothing is
+        shed and no fan-out ever observes a missing team — the
+        replacement is a single reference assignment under the locks
+        the serving path already takes.
+
+        Serving stats and breaker-transition history continue across
+        the swap (they describe the *service*); the drift monitor and
+        the breaker's consecutive-failure count reset (they describe
+        the *model*).  Returns the new epoch, visible as
+        ``scout_model_epoch`` and on every subsequent decision's
+        ``model_epochs`` stamp.
+        """
+        team = scout.team
+        if team not in self._scouts:
+            raise ValueError(
+                f"no registered Scout for {team!r}; swap() replaces a "
+                "live model — use register() first"
             )
-            self._breaker_seen[scout.team] = BreakerState.CLOSED.value
-            self._m_breaker_state.set(0, team=scout.team)
+        if lint:
+            self._lint_preflight(scout)
+        self._prepare_scout(scout)
+        team_lock = self._team_locks[team]
+        # Same team-then-commit order unregister() uses (the serving
+        # path never holds both), so a swap can land mid-batch without
+        # deadlocking or tearing half-committed accounting.
+        with team_lock:
+            with self._commit_lock:
+                self._scouts[team] = scout
+                epoch = self._epochs.get(team, 1) + 1
+                self._epochs[team] = epoch
+                self._monitors[team] = DriftMonitor()
+                if self.breaker_policy is not None:
+                    self._breakers[team] = CircuitBreaker(
+                        self.breaker_policy, clock=self._clock
+                    )
+                self._m_model_epoch.set(epoch, team=team)
+                self._m_swaps.inc(1, team=team)
+        self._prune_sharded_stores()
+        return epoch
+
+    # -- shadow serving ----------------------------------------------------
+
+    def register_shadow(self, scout: Scout, *, lint: bool = False) -> None:
+        """Run a candidate Scout side-by-side with the team's live one.
+
+        The shadow is called on every incident the production model is
+        (after it, under the same team lock, so per-team serving stays
+        single-threaded), its verdict is compared and logged, and the
+        routing decision is **never** affected — shadow predictions do
+        not enter composition, stats, or the primary latency metrics.
+        Shadow failures are isolated exactly like production failures.
+
+        See :func:`repro.analysis.shadow_report` for turning the
+        accumulated :attr:`shadow_log` into a promotion report, and
+        :meth:`promote_shadow` for the swap that concludes a successful
+        evaluation.
+        """
+        team = scout.team
+        if team not in self._scouts:
+            raise ValueError(
+                f"no registered Scout for {team!r}; a shadow needs a "
+                "production model to be compared against"
+            )
+        if lint:
+            self._lint_preflight(scout)
+        self._prepare_scout(scout)
+        with self._team_locks[team]:
+            self._shadows[team] = scout
+
+    def unregister_shadow(self, team: str) -> None:
+        """Stop shadowing ``team`` (accumulated observations remain)."""
+        team_lock = self._team_locks.get(team)
+        if team_lock is None:
+            self._shadows.pop(team, None)
+        else:
+            with team_lock:
+                self._shadows.pop(team, None)
+        self._prune_sharded_stores()
+
+    def promote_shadow(self, team: str) -> int:
+        """Swap ``team``'s shadow candidate into production.
+
+        The concluding step of a shadow evaluation: the candidate stops
+        shadowing and replaces the live model via :meth:`swap` (new
+        epoch, drift/breaker reset, zero downtime).  Returns the new
+        epoch.
+        """
+        shadow = self._shadows.get(team)
+        if shadow is None:
+            raise ValueError(f"no shadow registered for {team!r}")
+        with self._team_locks[team]:
+            self._shadows.pop(team, None)
+        return self.swap(shadow)
+
+    @property
+    def shadow_teams(self) -> list[str]:
+        return sorted(self._shadows)
+
+    @property
+    def shadow_log(self) -> list[ShadowObservation]:
+        """Every shadow comparison, in commit (arrival) order."""
+        return list(self._shadow_log)
+
+    def model_epoch(self, team: str) -> int:
+        """The serving model generation for ``team`` (1 = original)."""
+        epoch = self._epochs.get(team)
+        if epoch is None:
+            raise KeyError(f"no registered Scout for {team!r}")
+        return epoch
 
     def _shard_builder(self, builder) -> None:
         """Enable columnar shards on one builder's store (idempotent)."""
@@ -443,6 +687,40 @@ class IncidentManager:
                     self._sharded_stores.append(store)
             if getattr(store, "obs", False) is None:
                 store.obs = self.obs
+
+    def _live_stores(self) -> list:
+        """The (unwrapped) stores some live primary or shadow uses."""
+        stores = []
+        for scout in list(self._scouts.values()) + list(
+            self._shadows.values()
+        ):
+            builder = getattr(scout, "builder", None)
+            store = getattr(builder, "store", None)
+            store = getattr(store, "inner", store)
+            if store is not None:
+                stores.append(store)
+        return stores
+
+    def _prune_sharded_stores(self) -> None:
+        """Drop shard memory for stores no registered model uses.
+
+        Without this, every register/unregister or swap cycle leaves
+        the replaced model's sharded store in ``_sharded_stores``
+        forever — an unbounded leak of chunk memory (and memmap files)
+        over the lifetime of a long-lived serving process.  Stores
+        still referenced by a live primary or shadow keep their shards;
+        the rest are dropped and forgotten here.
+        """
+        if not self._sharded_stores:
+            return
+        live = self._live_stores()
+        kept = []
+        for store in self._sharded_stores:
+            if any(s is store for s in live):
+                kept.append(store)
+            else:
+                store.drop_shards()
+        self._sharded_stores = kept
 
     def _ensure_shards(self) -> None:
         """Lazily re-shard after close(): the usable-after-close
@@ -478,10 +756,13 @@ class IncidentManager:
             # Never registered (or already unregistered): nothing can
             # be in flight for it, plain pops are safe.
             self._scouts.pop(team, None)
+            self._shadows.pop(team, None)
+            self._epochs.pop(team, None)
             self._stats.pop(team, None)
             self._monitors.pop(team, None)
             self._breakers.pop(team, None)
             self._breaker_seen.pop(team, None)
+            self._prune_sharded_stores()
             return
         # Lock order mirrors the serving path's worst case (a team
         # lock held while no commit lock is, and vice versa): _commit
@@ -490,11 +771,14 @@ class IncidentManager:
         with team_lock:
             with self._commit_lock:
                 self._scouts.pop(team, None)
+                self._shadows.pop(team, None)
+                self._epochs.pop(team, None)
                 self._stats.pop(team, None)
                 self._monitors.pop(team, None)
                 self._breakers.pop(team, None)
                 self._breaker_seen.pop(team, None)
                 self._team_locks.pop(team, None)
+        self._prune_sharded_stores()
 
     @property
     def registered_teams(self) -> list[str]:
@@ -580,21 +864,21 @@ class IncidentManager:
 
     def _call_one(
         self, incident: Incident, team: str, parent=None
-    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+    ) -> _CallResult:
         """One failure-isolated, traced Scout call: never raises."""
         breaker = self._breakers.get(team)
         if breaker is not None:
             self._note_breaker(team, breaker.state)
         with self.obs.trace.span("scout.call", parent=parent, team=team) as span:
             result = self._invoke_scout(incident, team, breaker)
-            span.attributes["status"] = result[2].status.value
+            span.attributes["status"] = result.outcome.status.value
         if breaker is not None:
             self._note_breaker(team, breaker.state)
         return result
 
     def _invoke_scout(
         self, incident: Incident, team: str, breaker: CircuitBreaker | None
-    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+    ) -> _CallResult:
         # One incident at a time per Scout: concurrent batch incidents
         # fanning out to the same team would otherwise race on the
         # Scout's builder memos and its breaker (neither is internally
@@ -612,7 +896,7 @@ class IncidentManager:
 
     def _unregistered_outcome(
         self, incident: Incident, team: str
-    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+    ) -> _CallResult:
         """The abstain a call to a torn-down team degrades to."""
         prediction = _abstain(
             incident.incident_id, f"{team} scout unregistered mid-flight"
@@ -623,18 +907,23 @@ class IncidentManager:
         outcome = ScoutCallOutcome(
             team, CallStatus.ERROR, 0.0, error="scout unregistered mid-flight"
         )
-        return team, prediction, outcome
+        # Epoch 0: no model generation served this call.
+        return _CallResult(team, prediction, outcome, epoch=0)
 
     def _invoke_scout_locked(
         self, incident: Incident, team: str, breaker: CircuitBreaker | None
-    ) -> tuple[str, ScoutPrediction, ScoutCallOutcome]:
+    ) -> _CallResult:
+        # Captured under the team lock: a swap() waiting on this lock
+        # has not happened yet as far as this call is concerned, so the
+        # decision record truthfully stamps the generation that served.
+        epoch = self._epochs.get(team, 0)
         if breaker is not None and not breaker.allow():
             prediction = _abstain(
                 incident.incident_id, f"{team} circuit breaker open"
             )
             # A skipped Scout has no latency: None, not a fake 0.0.
             outcome = ScoutCallOutcome(team, CallStatus.BREAKER_OPEN, None)
-            return team, prediction, outcome
+            return _CallResult(team, prediction, outcome, epoch)
         scout = self._scouts.get(team)
         if scout is None:
             # Unregistered after the lock object was fetched but before
@@ -656,7 +945,9 @@ class IncidentManager:
                 elapsed,
                 error=f"{type(exc).__name__}: {exc}",
             )
-            return team, prediction, outcome
+            return self._with_shadow(
+                incident, _CallResult(team, prediction, outcome, epoch)
+            )
         elapsed = self._clock() - start
         if self.scout_deadline is not None and elapsed > self.scout_deadline:
             # Cooperative deadline: the answer arrived too late to be
@@ -675,14 +966,89 @@ class IncidentManager:
                 elapsed,
                 error=f"exceeded {self.scout_deadline:.3f}s deadline",
             )
-            return team, prediction, outcome
+            return self._with_shadow(
+                incident, _CallResult(team, prediction, outcome, epoch)
+            )
         if breaker is not None:
             breaker.record_success()
-        return team, prediction, ScoutCallOutcome(team, CallStatus.OK, elapsed)
+        return self._with_shadow(
+            incident,
+            _CallResult(
+                team,
+                prediction,
+                ScoutCallOutcome(team, CallStatus.OK, elapsed),
+                epoch,
+            ),
+        )
+
+    def _with_shadow(
+        self, incident: Incident, result: _CallResult
+    ) -> _CallResult:
+        """Run the team's shadow candidate (if any) on the same incident.
+
+        Called under the team lock, *after* the primary: the shadow
+        sees exactly the incidents the production model served (a
+        breaker-open skip shadows nothing — the primary did no work
+        either), its latency is measured separately, and any exception
+        or deadline overrun is recorded on the observation without
+        touching the primary's result.  The observation itself is
+        staged here and accounted in :meth:`_commit`, in arrival order,
+        so shadow serving preserves batch-mode byte-determinism.
+        """
+        shadow = self._shadows.get(result.team)
+        if shadow is None:
+            return result
+        incident_id = incident.incident_id
+        start = self._clock()
+        error = None
+        shadow_prediction = None
+        try:
+            shadow_prediction = shadow.predict(incident)
+            status = CallStatus.OK
+        except Exception as exc:  # noqa: BLE001 — same isolation boundary
+            status = CallStatus.ERROR
+            error = f"{type(exc).__name__}: {exc}"
+        elapsed = self._clock() - start
+        if (
+            status is CallStatus.OK
+            and self.scout_deadline is not None
+            and elapsed > self.scout_deadline
+        ):
+            status = CallStatus.TIMEOUT
+            error = f"exceeded {self.scout_deadline:.3f}s deadline"
+        primary = result.prediction
+        result.shadow = ShadowObservation(
+            incident_id=incident_id,
+            team=result.team,
+            primary_epoch=result.epoch,
+            primary_status=result.outcome.status,
+            primary_responsible=primary.responsible,
+            primary_confidence=primary.confidence,
+            primary_route=_route_name(primary),
+            shadow_status=status,
+            shadow_responsible=(
+                shadow_prediction.responsible
+                if status is CallStatus.OK
+                else None
+            ),
+            shadow_confidence=(
+                shadow_prediction.confidence
+                if status is CallStatus.OK
+                else 0.0
+            ),
+            shadow_route=(
+                _route_name(shadow_prediction)
+                if status is CallStatus.OK
+                else None
+            ),
+            shadow_latency_seconds=elapsed,
+            shadow_error=error,
+        )
+        return result
 
     def _call_scouts(
         self, incident: Incident, parent=None, inline: bool = False
-    ) -> list[tuple[str, ScoutPrediction, ScoutCallOutcome]]:
+    ) -> list[_CallResult]:
         """Run every registered Scout on one incident.
 
         Returns ``(team, prediction, outcome)`` in sorted team order —
@@ -737,8 +1103,10 @@ class IncidentManager:
         started = self._clock()
         results = self._call_scouts(incident, root, inline=inline_scouts)
         answers = [
-            ScoutAnswer(team, prediction.responsible, prediction.confidence)
-            for team, prediction, _ in results
+            ScoutAnswer(
+                r.team, r.prediction.responsible, r.prediction.confidence
+            )
+            for r in results
         ]
         compose_started = self._clock()
         with self.obs.trace.span("serve.compose", parent=root):
@@ -769,7 +1137,10 @@ class IncidentManager:
             predictions: list[ScoutPrediction] = []
             outcomes: list[ScoutCallOutcome] = []
             stage_latencies: list[tuple[str, float]] = []
-            for team, prediction, outcome in staged.results:
+            for result in staged.results:
+                team = result.team
+                prediction = result.prediction
+                outcome = result.outcome
                 # None when the team was unregistered mid-batch: its
                 # stats object left with it, but the metric stream and
                 # the decision record still see the degraded call.
@@ -813,6 +1184,21 @@ class IncidentManager:
                     stats.breaker_state = breaker.state.value
                 predictions.append(prediction)
                 outcomes.append(outcome)
+                obs = result.shadow
+                if obs is not None:
+                    # Shadow accounting happens here, not at observe
+                    # time: the commit lock + arrival order keep the
+                    # shadow log and its metric stream byte-identical
+                    # between serial and batch serving.
+                    self._shadow_log.append(obs)
+                    self._m_shadow_calls.inc(
+                        1, team=team, status=obs.shadow_status.value
+                    )
+                    self._m_shadow_latency.observe(
+                        obs.shadow_latency_seconds, team=team
+                    )
+                    if obs.diff:
+                        self._m_shadow_diffs.inc(1, team=team)
             stage_latencies.append(("compose", staged.compose_seconds))
             decision = ServingDecision(
                 incident_id=incident.incident_id,
@@ -824,6 +1210,9 @@ class IncidentManager:
                 outcomes=tuple(outcomes),
                 trace_id=root.trace_id,
                 stage_latencies=tuple(stage_latencies),
+                model_epochs=tuple(
+                    (r.team, r.epoch) for r in staged.results
+                ),
             )
             self._m_incidents.inc()
             if staged.suggested is not None:

@@ -319,6 +319,10 @@ class StreamServer:
         self._seq = 0
         self._served = 0
         self._degraded = False
+        # Deterministic control plane: (after_served, insertion seq,
+        # action) triples fired between serves — see schedule().
+        self._scheduled: list[tuple[int, int, object]] = []
+        self._sched_seq = 0
         self.outcomes: list[StreamOutcome] = []
         self.tracker = (
             SLOTracker(self.obs.metrics, slo, min_samples=slo_min_samples)
@@ -512,6 +516,36 @@ class StreamServer:
         )
         return suggested, tuple(routes)
 
+    # -- control plane -----------------------------------------------------
+
+    def schedule(self, after_served: int, action) -> None:
+        """Run ``action()`` once the ``after_served``-th serve commits.
+
+        The stream's deterministic control plane: instead of a wall-time
+        trigger (which would race the arrival trace), an action is keyed
+        to the served-incident counter — "swap PhyNet's model in after
+        the 40th decision" lands at exactly the same stream position in
+        every same-seed run.  Actions fire between serves, never inside
+        one, so a hot-swap scheduled here can land mid-stream without
+        shedding and without tearing a fan-out: the in-flight decision
+        committed before the action runs, the next one sees its effect.
+        ``after_served=0`` fires before the first serve of the next
+        :meth:`run`.  Actions fire in (threshold, scheduling) order and
+        exceptions propagate to the caller of :meth:`process_one` /
+        :meth:`run` — a failed swap should stop the stream loudly, not
+        serve on silently.
+        """
+        if after_served < 0:
+            raise ValueError("after_served must be >= 0")
+        self._sched_seq += 1
+        self._scheduled.append((int(after_served), self._sched_seq, action))
+        self._scheduled.sort(key=lambda item: item[:2])
+
+    def _fire_scheduled(self) -> None:
+        while self._scheduled and self._scheduled[0][0] <= self._served:
+            _, _, action = self._scheduled.pop(0)
+            action()
+
     # -- serving -----------------------------------------------------------
 
     def _pop_best(self) -> _Waiter:
@@ -550,6 +584,7 @@ class StreamServer:
         )
         if self.tracker is not None and self._served % self.slo_check_interval == 0:
             self._degraded = bool(self.tracker.check())
+        self._fire_scheduled()
         return outcome
 
     # -- the event loop ----------------------------------------------------
@@ -574,6 +609,7 @@ class StreamServer:
             last = offset
         epoch = self._clock()
         first = len(self.outcomes)
+        self._fire_scheduled()  # after_served=0 actions land up front
         while pending or self._depth:
             now = self._clock() - epoch
             while pending and pending[0][0] <= now:

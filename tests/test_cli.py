@@ -1,5 +1,7 @@
 """CLI tests (drive main() in-process)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -9,6 +11,31 @@ from repro.incidents import IncidentStore
 @pytest.fixture(scope="module")
 def small_args():
     return ["--seed", "3", "--days", "45", "--incidents", "120"]
+
+
+@pytest.fixture(scope="module")
+def phynet_model(tmp_path_factory, small_args):
+    path = tmp_path_factory.mktemp("cli-models") / "phynet.scout"
+    assert main(
+        ["train", *small_args, "--trees", "20", "--out", str(path)]
+    ) == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def registry_dir(tmp_path_factory, small_args, phynet_model):
+    """A registry with PhyNet v1 (ACTIVE) and v2 published.
+
+    Module-scoped and read-only: tests that move the ACTIVE pointer
+    must publish into their own registry instead.
+    """
+    registry = tmp_path_factory.mktemp("cli-registry") / "registry"
+    for _ in range(2):
+        assert main([
+            "publish", *small_args,
+            "--registry", str(registry), "--model", str(phynet_model),
+        ]) == 0
+    return registry
 
 
 def test_parser_requires_command():
@@ -144,6 +171,128 @@ def test_route_without_components_falls_back(tmp_path, small_args, capsys):
     ])
     out = capsys.readouterr().out
     assert "falling back" in out
+
+
+class TestRegistryCli:
+    def test_publish_versions_and_active(
+        self, tmp_path, small_args, phynet_model, capsys
+    ):
+        registry = tmp_path / "registry"
+        assert main([
+            "publish", *small_args,
+            "--registry", str(registry), "--model", str(phynet_model),
+            "--note", "first cut",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "published PhyNet v1" in out
+        assert "PhyNet ACTIVE is v1" in out
+
+        # The second publish versions up but does not steal ACTIVE.
+        assert main([
+            "publish", *small_args,
+            "--registry", str(registry), "--model", str(phynet_model),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "published PhyNet v2" in out
+        assert "PhyNet ACTIVE is v1" in out
+
+        manifest = json.loads(
+            (registry / "PhyNet" / "1.manifest.json").read_text()
+        )
+        assert manifest["training"]["note"] == "first cut"
+        assert manifest["training"]["seed"] == 3
+
+    def test_promote_shadow_eval_writes_report(
+        self, tmp_path, phynet_model, capsys
+    ):
+        registry = tmp_path / "registry"
+        args = ["--seed", "3", "--days", "45", "--incidents", "30"]
+        for _ in range(2):
+            assert main([
+                "publish", *args,
+                "--registry", str(registry), "--model", str(phynet_model),
+            ]) == 0
+        capsys.readouterr()
+        report_out = tmp_path / "report.json"
+        assert main([
+            "promote", *args, "--registry", str(registry),
+            "--team", "PhyNet", "--shadow-eval",
+            "--report-out", str(report_out),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shadow-evaluating PhyNet v2 against active v1" in out
+        # Identical bytes shadow-agree everywhere: a clean PROMOTE.
+        assert "PROMOTE" in out
+        assert "PhyNet ACTIVE -> v2 (was v1)" in out
+        report = json.loads(report_out.read_text())
+        assert report["team"] == "PhyNet"
+        assert report["promote"] is True
+        assert report["observations"] == 30
+
+    def test_serve_from_registry_with_shadow(
+        self, tmp_path, registry_dir, capsys
+    ):
+        log = tmp_path / "decisions.jsonl"
+        assert main([
+            "serve", "--seed", "3", "--days", "45", "--incidents", "20",
+            "--registry", str(registry_dir),
+            "--shadow", "PhyNet=2",
+            "--decision-log", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shadowing PhyNet" in out
+        assert "shadow evaluation — PhyNet" in out
+        records = [
+            json.loads(line) for line in log.read_text().splitlines()
+        ]
+        assert len(records) == 20
+        # The shadow never becomes the primary: every decision was
+        # served by the registered epoch-1 model.
+        assert all(r["model_epochs"] == {"PhyNet": 1} for r in records)
+
+    def test_stream_hot_swap_flips_epoch_mid_run(
+        self, tmp_path, registry_dir, capsys
+    ):
+        log = tmp_path / "decisions.jsonl"
+        assert main([
+            "stream", "--seed", "3", "--days", "45", "--incidents", "16",
+            "--registry", str(registry_dir),
+            "--swap", "PhyNet=2@8",
+            "--arrival-rate", "5", "--queue-cap", "32",
+            "--decision-log", str(log),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hot-swaps landed: PhyNet=e2" in out
+        assert "16 served, 0 shed" in out
+        epochs = [
+            json.loads(line)["model_epochs"]["PhyNet"]
+            for line in log.read_text().splitlines()
+        ]
+        assert epochs == [1] * 8 + [2] * 8
+
+    def test_stream_swap_requires_registry(self, phynet_model):
+        with pytest.raises(SystemExit, match="--swap requires --registry"):
+            main([
+                "stream", "--seed", "3", "--days", "45", "--incidents", "5",
+                "--model", str(phynet_model),
+                "--swap", "PhyNet=2@3",
+            ])
+
+    def test_malformed_swap_spec_rejected(self, registry_dir):
+        with pytest.raises(SystemExit, match="TEAM=VERSION@N"):
+            main([
+                "stream", "--seed", "3", "--days", "45", "--incidents", "5",
+                "--registry", str(registry_dir),
+                "--swap", "PhyNet=2",
+            ])
+
+    def test_serve_needs_a_model_source(self):
+        with pytest.raises(
+            SystemExit, match="provide --model and/or --registry"
+        ):
+            main([
+                "serve", "--seed", "3", "--days", "45", "--incidents", "5",
+            ])
 
 
 def test_lint_subcommand_delegates(capsys):

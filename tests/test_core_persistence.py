@@ -54,6 +54,83 @@ def test_rejects_wrong_format_version(scout, sim, tmp_path, monkeypatch):
         load_scout(path, sim.topology, sim.store)
 
 
+class TestAtomicSave:
+    def test_torn_write_leaves_old_bundle_intact(
+        self, scout, sim, tmp_path, monkeypatch
+    ):
+        """A crash mid-save must never destroy the existing bundle.
+
+        The old implementation wrote with ``Path.write_bytes`` —
+        truncate-then-write in place — so a crash partway through left
+        a torn file where a working model used to be.  The atomic
+        temp-file-and-rename write keeps the old bytes until the new
+        ones are durably in place.
+        """
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "phynet.scout"
+        save_scout(scout, path)
+        before = path.read_bytes()
+
+        def torn_replace(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(persistence.os, "replace", torn_replace)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_scout(scout, path)
+        monkeypatch.undo()
+        # The published bundle survived the torn write byte-for-byte...
+        assert path.read_bytes() == before
+        # ...and the failed attempt's temp file was cleaned up.
+        assert list(tmp_path.iterdir()) == [path]
+        clone = load_scout(path, sim.topology, sim.store)
+        assert clone.team == scout.team
+
+    def test_save_onto_readonly_dir_leaves_no_litter(
+        self, scout, tmp_path, monkeypatch
+    ):
+        """Pickling failures abort before any file is touched."""
+        import repro.core.persistence as persistence
+
+        path = tmp_path / "phynet.scout"
+
+        def boom(bundle):
+            raise RuntimeError("unpicklable")
+
+        monkeypatch.setattr(persistence, "bundle_bytes", boom)
+        with pytest.raises(RuntimeError, match="unpicklable"):
+            save_scout(scout, path)
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestTruncatedBundle:
+    def test_truncated_bundle_raises_value_error_naming_path(
+        self, scout, sim, tmp_path
+    ):
+        """A magic-prefixed but truncated file must raise ValueError.
+
+        Before the fix this surfaced pickle's raw ``UnpicklingError`` /
+        ``EOFError``, which callers guarding on ValueError (the
+        documented contract for corrupt bundles) did not catch.
+        """
+        path = tmp_path / "phynet.scout"
+        save_scout(scout, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            load_scout(path, sim.topology, sim.store)
+        with pytest.raises(ValueError, match=str(path)):
+            load_scout(path, sim.topology, sim.store)
+
+    def test_garbage_after_magic_raises_value_error(self, sim, tmp_path):
+        from repro.core.persistence import _MAGIC
+
+        path = tmp_path / "garbage.scout"
+        path.write_bytes(_MAGIC + b"\x80\x04not really a pickle")
+        with pytest.raises(ValueError, match="truncated or corrupted"):
+            load_scout(path, sim.topology, sim.store)
+
+
 def test_cpd_cluster_model_survives(scout, sim, tmp_path):
     path = tmp_path / "phynet.scout"
     save_scout(scout, path)

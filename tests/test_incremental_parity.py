@@ -272,6 +272,65 @@ class TestApproxQuantiles:
         assert checked > 0, "sketch never engaged — vacuous parity"
 
 
+class TestRegisteredScoutParity:
+    """The serving-side opt-in: a persisted Scout registered on an
+    ``incremental=True`` manager must actually run the O(delta) engine
+    (the retrofit sets ``builder.incremental`` after construction) and
+    match the constructor-opt-in path byte-for-byte."""
+
+    def _serve(self, scout):
+        from repro.monitoring import FakeClock
+        from repro.serving import IncidentManager
+        from repro.simulation import default_teams
+
+        manager = IncidentManager(
+            default_teams(),
+            suggestion_mode=True,
+            clock=FakeClock(),
+            incremental=True,
+        )
+        manager.register(scout)
+        return manager
+
+    def test_loaded_scout_runs_the_engine_and_matches(
+        self, scout, sim, incidents, tmp_path
+    ):
+        from repro.core import load_scout, save_scout
+        from repro.monitoring import FakeClock
+        from repro.serving import IncidentManager
+        from repro.simulation import default_teams
+
+        path = tmp_path / "phynet.scout"
+        save_scout(scout, path)
+
+        # Path A: plain load, manager-level --incremental retrofit.
+        manager_a = self._serve(load_scout(path, sim.topology, sim.store))
+        assert manager_a._scouts[scout.team].builder.incremental is True
+        decisions_a = [manager_a.handle(i) for i in incidents[:12]]
+
+        # The engine provably ran: its advance counters moved (a silent
+        # fall-back to full recompute would leave them at zero).
+        advances = manager_a.obs.metrics.get("window_advance_samples")
+        assert advances is not None and advances.total() > 0
+
+        # Path B: constructor opt-in at load time, plain manager.
+        manager_b = IncidentManager(
+            default_teams(), suggestion_mode=True, clock=FakeClock()
+        )
+        manager_b.register(
+            load_scout(path, sim.topology, sim.store, incremental=True)
+        )
+        decisions_b = [manager_b.handle(i) for i in incidents[:12]]
+
+        for a, b in zip(decisions_a, decisions_b):
+            assert a.suggested_team == b.suggested_team
+            assert a.answers == b.answers
+            for pa, pb in zip(a.predictions, b.predictions):
+                _assert_predictions_equal(pa, pb)
+        # Byte-for-byte: same engine, same pulls, same exposition.
+        assert manager_a.obs.render() == manager_b.obs.render()
+
+
 class TestFaultInjection:
     def test_count_queries_are_gated(self, framework, incidents):
         faulty = FaultyStore(framework.store, FaultPlan())

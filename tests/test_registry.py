@@ -1,0 +1,198 @@
+"""Model registry tests: publish gates, digests, fetch verification."""
+
+import json
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import parse_config
+from repro.core.persistence import read_bundle, save_scout
+from repro.lint import LintError, default_store
+from repro.registry import (
+    MANIFEST_VERSION,
+    BundleManifest,
+    ModelRegistry,
+    config_digest,
+    payload_digest,
+    schema_digest,
+)
+
+BASE = """TEAM PhyNet;
+let switch = "sw-\\d+";
+MONITORING m = CREATE_MONITORING("cpu_usage", {switch=all}, TIME_SERIES);
+"""
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_publish_fetch_roundtrip(self, registry, scout, sim):
+        manifest = registry.publish(scout)
+        assert manifest.team == scout.team
+        assert manifest.version == 1
+        bundle = registry.fetch(scout.team)
+        assert bundle.team == scout.team
+        assert bundle.config.lookback == scout.config.lookback
+        loaded = registry.load(scout.team, sim.topology, sim.store)
+        assert loaded.team == scout.team
+
+    def test_manifest_records_digests_and_provenance(self, registry, scout):
+        manifest = registry.publish(scout, training={"note": "unit test"})
+        raw = registry.bundle_path(scout.team, 1).read_bytes()
+        assert manifest.sha256 == payload_digest(raw)
+        assert manifest.size_bytes == len(raw)
+        assert manifest.config_sha256 == config_digest(scout.config)
+        assert manifest.schema_sha256 == schema_digest(
+            scout.builder.schema.names
+        )
+        assert manifest.n_features == len(scout.builder.schema.names)
+        assert manifest.manifest_version == MANIFEST_VERSION
+        assert manifest.training == {"note": "unit test"}
+        # The sidecar on disk parses back to the same record.
+        on_disk = BundleManifest.from_json(
+            registry.manifest_path(scout.team, 1).read_text()
+        )
+        assert on_disk == manifest
+
+    def test_versions_auto_increment(self, registry, scout):
+        assert registry.publish(scout).version == 1
+        assert registry.publish(scout).version == 2
+        assert registry.publish(scout).version == 3
+        assert registry.versions(scout.team) == [1, 2, 3]
+        assert registry.latest_version(scout.team) == 3
+
+    def test_first_publish_activates_later_ones_wait(self, registry, scout):
+        registry.publish(scout)
+        assert registry.active_version(scout.team) == 1
+        registry.publish(scout)
+        assert registry.active_version(scout.team) == 1
+        registry.set_active(scout.team, 2)
+        assert registry.active_version(scout.team) == 2
+        assert registry.resolve(scout.team) == 2
+
+    def test_explicit_activate_moves_pointer(self, registry, scout):
+        registry.publish(scout)
+        registry.publish(scout, activate=True)
+        assert registry.active_version(scout.team) == 2
+
+    def test_lint_gate_refuses_bad_config(self, registry):
+        bad_config = parse_config(
+            BASE + 'MONITORING q = CREATE_MONITORING("no_such_ds", '
+            "{switch=all}, EVENT);\n"
+        )
+        store = default_store()
+        bad_scout = SimpleNamespace(
+            team="PhyNet",
+            config=bad_config,
+            builder=SimpleNamespace(store=store),
+        )
+        with pytest.raises(LintError):
+            registry.publish(bad_scout)
+        # A refused publish leaves no trace in the registry.
+        assert registry.versions("PhyNet") == []
+
+    def test_publish_bundle_from_saved_file(
+        self, registry, scout, sim, tmp_path
+    ):
+        path = tmp_path / "phynet.scout"
+        save_scout(scout, path)
+        manifest = registry.publish_bundle(read_bundle(path), sim.store)
+        assert manifest.version == 1
+        assert manifest.config_sha256 == config_digest(scout.config)
+
+    def test_invalid_team_names_rejected(self, registry):
+        for team in ("", "a/b", "a\\b", ".."):
+            with pytest.raises(ValueError, match="invalid team name"):
+                registry.versions(team)
+
+
+class TestFetchIntegrity:
+    def test_tampered_bundle_rejected(self, registry, scout):
+        registry.publish(scout)
+        path = registry.bundle_path(scout.team, 1)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF  # flip one bit mid-payload
+        path.write_bytes(bytes(raw))
+        with pytest.raises(ValueError, match="digest mismatch"):
+            registry.fetch(scout.team)
+        with pytest.raises(ValueError, match=str(path)):
+            registry.verify(scout.team)
+
+    def test_truncated_bundle_rejected_before_unpickle(self, registry, scout):
+        registry.publish(scout)
+        path = registry.bundle_path(scout.team, 1)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(ValueError, match="truncated or tampered"):
+            registry.fetch(scout.team)
+
+    def test_unreadable_bundle_named_in_error(self, registry, scout):
+        registry.publish(scout)
+        path = registry.bundle_path(scout.team, 1)
+        path.unlink()
+        path.mkdir()  # still globs as 1.scout, but read_bytes fails
+        with pytest.raises(ValueError, match="cannot read bundle"):
+            registry.fetch(scout.team, 1)
+
+    def test_deleted_bundle_version_disappears(self, registry, scout):
+        registry.publish(scout)
+        registry.bundle_path(scout.team, 1).unlink()
+        assert registry.versions(scout.team) == []
+        with pytest.raises(ValueError, match="no such version"):
+            registry.fetch(scout.team, 1)
+
+    def test_manifest_bundle_cross_check(self, registry, scout):
+        """A manifest paired with somebody else's (valid) bundle fails."""
+        registry.publish(scout)
+        manifest_path = registry.manifest_path(scout.team, 1)
+        data = json.loads(manifest_path.read_text())
+        data["team"] = "Storage"
+        # Keep the digest honest so only the team cross-check can fire.
+        manifest_path.write_text(json.dumps(data))
+        with pytest.raises(ValueError, match="manifest records"):
+            registry.fetch(scout.team, 1)
+
+    def test_malformed_manifest_rejected(self, registry, scout):
+        registry.publish(scout)
+        manifest_path = registry.manifest_path(scout.team, 1)
+        manifest_path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            registry.fetch(scout.team, 1)
+        manifest_path.write_text(json.dumps({"manifest_version": 99}))
+        with pytest.raises(ValueError, match="manifest version"):
+            registry.fetch(scout.team, 1)
+
+    def test_set_active_refuses_corrupt_version(self, registry, scout):
+        registry.publish(scout)
+        registry.publish(scout)
+        path = registry.bundle_path(scout.team, 2)
+        path.write_bytes(b"SCOUTPKLgarbage")
+        with pytest.raises(ValueError):
+            registry.set_active(scout.team, 2)
+        # The pointer did not move.
+        assert registry.active_version(scout.team) == 1
+
+
+class TestResolution:
+    def test_resolve_prefers_active_over_latest(self, registry, scout):
+        registry.publish(scout)
+        registry.publish(scout)
+        assert registry.latest_version(scout.team) == 2
+        assert registry.resolve(scout.team) == 1  # ACTIVE from publish #1
+
+    def test_resolve_unpublished_team_raises(self, registry):
+        with pytest.raises(ValueError, match="no published versions"):
+            registry.resolve("PhyNet")
+
+    def test_resolve_unknown_version_raises(self, registry, scout):
+        registry.publish(scout)
+        with pytest.raises(ValueError, match="no such version"):
+            registry.resolve(scout.team, 7)
+
+    def test_teams_listing(self, registry, scout):
+        assert registry.teams() == []
+        registry.publish(scout)
+        assert registry.teams() == [scout.team]

@@ -160,12 +160,14 @@ class TestUnregisterRace:
     def test_call_to_unregistered_team_degrades_to_error_abstain(self):
         manager = _flaky_manager()
         manager.unregister(DNS)
-        team, prediction, outcome = manager._invoke_scout(_mk(2), DNS, None)
-        assert team == DNS
-        assert prediction.responsible is None
-        assert outcome.status is CallStatus.ERROR
-        assert "unregistered" in outcome.error
-        assert outcome.latency_seconds == 0.0
+        result = manager._invoke_scout(_mk(2), DNS, None)
+        assert result.team == DNS
+        assert result.prediction.responsible is None
+        assert result.outcome.status is CallStatus.ERROR
+        assert "unregistered" in result.outcome.error
+        assert result.outcome.latency_seconds == 0.0
+        # No model generation served the degraded call.
+        assert result.epoch == 0
 
     def test_threaded_unregister_mid_handle_never_keyerrors(self):
         """A serve blocked inside one Scout's predict while another
