@@ -49,6 +49,13 @@ Metrics (all wall-clock seconds):
   admission queue, shedding, and SLO checks; see ``stream_soak.py``).
   The shed rate and p99 run on a fake clock and are deterministic; the
   wall-clock ``stream_soak_ips`` joins the higher-is-better gate.
+* ``fleet_accuracy`` / ``fleet_legacy_accuracy`` / ``fleet_ips`` /
+  ``fleet_speedup_x`` / ``fleet_decision_log_identical`` — the fleet
+  routing bench (a 120-team Scout fleet behind the Master policy,
+  scored through a process pool with a simulated monitoring-fetch
+  stall; see ``fleet_routing.py``).  ``fleet_ips`` and
+  ``fleet_speedup_x`` join the higher-is-better gate; the determinism
+  flag asserts byte-identical decision logs across worker counts.
 """
 
 from __future__ import annotations
@@ -66,6 +73,7 @@ from repro.ml import RandomForestClassifier, imbalance_aware_split
 from repro.obs import Observability
 from repro.simulation import CloudSimulation, SimulationConfig
 
+from .fleet_routing import run_fleet_bench
 from .serve_throughput import run_serve_bench
 from .stream_soak import run_stream_soak
 
@@ -87,6 +95,10 @@ def run_bench(
     serve_distinct: int = 6,
     serve_repeats: int = 5,
     soak_incidents: int = 100_000,
+    fleet_teams: int = 120,
+    fleet_trace: int = 256,
+    fleet_calibration: int = 128,
+    fleet_stall: float = 0.1,
 ) -> dict:
     """Time every stage once and return the metric dict."""
     out: dict = {}
@@ -159,6 +171,15 @@ def run_bench(
 
     out.update(run_stream_soak(soak_incidents))
 
+    out.update(
+        run_fleet_bench(
+            n_teams=fleet_teams,
+            trace_incidents=fleet_trace,
+            calibration_incidents=fleet_calibration,
+            io_stall_s=fleet_stall,
+        )
+    )
+
     out["workload"] = {
         "seed": seed,
         "duration_days": duration_days,
@@ -178,8 +199,17 @@ _SPEEDUP_KEYS = {
 }
 
 # Higher-is-better throughput metrics: the tolerance gate flags
-# these when they fall *below* the committed numbers.
-_THROUGHPUT_KEYS = ("serve_serial_ips", "serve_batch_ips", "stream_soak_ips")
+# these when they fall *below* the committed numbers.  The fleet keys
+# gate the process pool itself: fleet_ips is pooled routing throughput
+# and fleet_speedup_x the pooled-over-serial wall ratio — a scheduling
+# or serialization regression shows up as either falling.
+_THROUGHPUT_KEYS = (
+    "serve_serial_ips",
+    "serve_batch_ips",
+    "stream_soak_ips",
+    "fleet_ips",
+    "fleet_speedup_x",
+)
 
 
 def check_tolerance(
@@ -304,7 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         after = run_bench(
             duration_days=60.0, n_incidents=80, n_jobs=args.jobs,
             predict_samples=5, serve_distinct=4, serve_repeats=3,
-            soak_incidents=4000,
+            soak_incidents=4000, fleet_teams=100, fleet_trace=96,
+            fleet_calibration=48, fleet_stall=0.05,
         )
     else:
         after = run_bench(n_jobs=args.jobs)

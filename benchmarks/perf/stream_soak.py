@@ -23,6 +23,9 @@ Reported metrics (merged into ``BENCH_scout.json``'s ``after`` dict):
 * ``stream_soak_shed_rate``   — shed / submitted (deterministic)
 * ``stream_soak_p99_seconds`` — queue-wait p99 in stream time
                                 (deterministic)
+* ``stream_soak_p99_saturated`` — True when the p99 rank fell beyond
+                                the largest finite wait bucket (the
+                                read-out is then a floor, not a value)
 * ``stream_soak_incidents``   — soak length, for context
 """
 
@@ -89,11 +92,15 @@ def run_stream_soak(n_incidents: int = 100_000) -> dict:
 
     summary = server.summary()
     wait = manager.obs.metrics.get("stream_queue_wait_seconds")
+    p99 = wait.quantile_ex(0.99) if wait else None
     return {
         "stream_soak_incidents": len(outcomes),
         "stream_soak_ips": len(outcomes) / wall_seconds,
         "stream_soak_shed_rate": round(summary["shed_rate"], 4),
-        "stream_soak_p99_seconds": wait.quantile(0.99) if wait else 0.0,
+        "stream_soak_p99_seconds": p99.value if p99 else 0.0,
+        # True only if the p99 rank escaped the widened wait grid — a
+        # clamped read-out must be visible, not silently in-range.
+        "stream_soak_p99_saturated": bool(p99.saturated) if p99 else False,
     }
 
 

@@ -337,6 +337,85 @@ def build_parser() -> argparse.ArgumentParser:
     batch_flags(p_stream)  # cache/shard/engine knobs, like serve
     metrics_flags(p_stream)
 
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="route a workload through a 50-200 team Scout fleet: "
+        "Master policy (calibration, top-k, re-route chains) over "
+        "sharded multi-process Scout scoring",
+    )
+    common(p_fleet)
+    p_fleet.add_argument(
+        "--teams",
+        type=int,
+        default=120,
+        help="fleet size: region-qualified team Scouts generated from "
+        "the simulation's team roster",
+    )
+    p_fleet.add_argument(
+        "--fleet-seed",
+        type=int,
+        default=0,
+        help="roster-generation seed (also seeds every fleet draw)",
+    )
+    p_fleet.add_argument(
+        "--fleet-workers",
+        type=int,
+        default=1,
+        help="concurrent scoring tasks (with --processes, the process-"
+        "pool size)",
+    )
+    p_fleet.add_argument(
+        "--processes",
+        action="store_true",
+        help="score Scout shards on a process pool (byte-identical "
+        "to in-process serving; a throughput knob, not a semantics "
+        "knob)",
+    )
+    p_fleet.add_argument(
+        "--shard-count",
+        type=int,
+        default=8,
+        help="Scout shards per incident chunk (fixed independently of "
+        "worker count so logs and metrics never depend on the pool)",
+    )
+    p_fleet.add_argument(
+        "--top-k",
+        type=int,
+        default=3,
+        help="candidate teams ranked per decision by calibrated "
+        "confidence",
+    )
+    p_fleet.add_argument(
+        "--calibration",
+        type=int,
+        default=200,
+        help="labeled incidents used to fit the cross-team reliability "
+        "curve before serving (0 = uncalibrated)",
+    )
+    p_fleet.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="deterministic per-attempt transient Scout-failure "
+        "probability (exercises retry and breakers)",
+    )
+    p_fleet.add_argument(
+        "--real-clock",
+        action="store_true",
+        help="measure latencies on the wall clock instead of the "
+        "deterministic fake clock (breaks byte-comparability of the "
+        "metrics exposition)",
+    )
+    p_fleet.add_argument(
+        "--decision-log",
+        default=None,
+        metavar="PATH",
+        help="write one sorted-key JSON line per fleet decision "
+        "(candidates, re-route chain, suggestion) — byte-comparable "
+        "across same-seed runs at any worker count",
+    )
+    metrics_flags(p_fleet)
+
     p_publish = sub.add_parser(
         "publish",
         help="lint-gate a trained Scout bundle into a model registry "
@@ -821,6 +900,73 @@ def _cmd_stream(args) -> int:
     return 0
 
 
+def _cmd_fleet(args) -> int:
+    import json
+
+    from .monitoring import FakeClock
+    from .serving import FleetServer, build_fleet_roster
+
+    sim = _simulation(args)
+    store = sim.generate(args.incidents + args.calibration)
+    incidents = list(store)
+    calibration = incidents[: args.calibration]
+    trace = incidents[args.calibration:]
+
+    roster = build_fleet_roster(args.teams, seed=args.fleet_seed)
+    clock = None if args.real_clock else FakeClock()
+    server = FleetServer(
+        roster,
+        workers=args.fleet_workers,
+        use_processes=args.processes,
+        shard_count=args.shard_count,
+        top_k=args.top_k,
+        failure_rate=args.failure_rate,
+        clock=clock,
+    )
+    with server:
+        samples = server.calibrate(calibration)
+        server.route_trace(trace)
+        summary = server.summary()
+        # Legacy baseline from the simulation's own routing traces:
+        # how often the stochastic hop chain started at the truth team.
+        direct = sum(
+            1
+            for incident in trace
+            if (t := store.trace(incident.incident_id)) is not None
+            and t.hops
+            and t.hops[0].team == incident.responsible_team
+        )
+        legacy_accuracy = direct / len(trace) if trace else 0.0
+        mode = "process-pool" if args.processes else "in-process"
+        print(
+            f"fleet: {summary['teams']} team Scouts in "
+            f"{summary['shards']} shards, {summary['workers']} "
+            f"{mode} worker(s)"
+        )
+        print(
+            f"calibration: {samples} labeled answers over "
+            f"{len(calibration)} incidents"
+        )
+        print(
+            f"routed {summary['incidents']} incidents: "
+            f"accuracy {summary['accuracy']:.4f} "
+            f"(legacy first-hop {legacy_accuracy:.4f}), "
+            f"{summary['reroutes']} re-routes, "
+            f"{summary['legacy_fallbacks']} legacy fallbacks, "
+            f"{summary['breakers_open']} breakers open"
+        )
+        if args.decision_log:
+            with open(args.decision_log, "w") as handle:
+                for record in server.decision_records():
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+            print(
+                f"wrote {len(server.decisions)} decisions to "
+                f"{args.decision_log}"
+            )
+        _emit_metrics(args, server.obs)
+    return 0
+
+
 def _cmd_publish(args) -> int:
     from .core.persistence import read_bundle
     from .lint import LintError
@@ -938,6 +1084,7 @@ _COMMANDS = {
     "route": _cmd_route,
     "serve": _cmd_serve,
     "stream": _cmd_stream,
+    "fleet": _cmd_fleet,
     "publish": _cmd_publish,
     "promote": _cmd_promote,
 }

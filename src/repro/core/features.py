@@ -246,6 +246,13 @@ class FeatureBuilder:
         self._count_memo: dict = {}
         self._group_stats_memo: dict = {}
         self._event_totals_memo: dict = {}
+        # Engine entries are stamped with the inserting epoch (kept
+        # beside the memos, not inside the stored values) so a hit can
+        # tell same-incident re-queries from genuine cross-incident
+        # reuse — the engine caches deliberately outlive incidents, and
+        # their hits must feed the cross-hit counter just like the
+        # TTL-window memos' do.
+        self._engine_stamps: dict = {}
         self._engine_cap = 65536
 
     def __getstate__(self) -> dict:
@@ -258,6 +265,7 @@ class FeatureBuilder:
         state["_count_memo"] = {}
         state["_group_stats_memo"] = {}
         state["_event_totals_memo"] = {}
+        state["_engine_stamps"] = {}
         state["_bound_counters"] = {}
         return state
 
@@ -274,8 +282,8 @@ class FeatureBuilder:
         "monitoring_queries_total": "Monitoring-store pulls by query kind.",
         "monitoring_cache_hits_total": "Feature-builder memo hits by query kind.",
         "monitoring_cache_cross_hits_total": (
-            "Memo hits served from an earlier incident's pulls "
-            "(TTL-window cache only)."
+            "Memo hits served from an earlier incident's work "
+            "(TTL-window and incremental-engine caches)."
         ),
         "window_advance_samples": (
             "Samples entering/leaving incremental group windows on advance."
@@ -326,6 +334,7 @@ class FeatureBuilder:
         self._count_memo.clear()
         self._group_stats_memo.clear()
         self._event_totals_memo.clear()
+        self._engine_stamps.clear()
 
     # -- cache lifecycle ----------------------------------------------------
 
@@ -351,10 +360,14 @@ class FeatureBuilder:
         )
         if engine_entries > self._engine_cap:
             self.clear_engine_cache()
+        # The epoch advances for every live prediction regardless of
+        # TTL mode: the incremental engine's content-addressed caches
+        # survive incidents even without a TTL, and their hits need the
+        # epoch to classify cross-incident reuse.
+        self._epoch += 1
         if not self.ttl_enabled:
             self.clear_cache()
             return
-        self._epoch += 1
         self.evict_expired()
 
     def evict_expired(self) -> None:
@@ -380,6 +393,27 @@ class FeatureBuilder:
         stamp = stamps.get(key)
         if stamp is not None and stamp[1] != self._epoch:
             self._count("monitoring_cache_cross_hits_total", kind)
+
+    def _note_engine_hit(self, kind: str, key) -> None:
+        """Count an engine-cache hit, classifying cross-incident reuse.
+
+        The engine memos are content-addressed and live across
+        incidents by design, so — unlike :meth:`_note_hit` — the
+        cross-hit classification does not depend on a TTL being
+        configured: an entry inserted during an earlier prediction
+        epoch that satisfies this one *is* the cross-incident cache
+        working, and the serve bench's ``serve_cache_cross_hits``
+        read-out regressed to zero exactly because these hits went
+        uncounted when the batch path switched to the engine.
+        """
+        self._count("monitoring_cache_hits_total", kind)
+        stamp = self._engine_stamps.get(key)
+        if stamp is not None and stamp != self._epoch:
+            self._count("monitoring_cache_cross_hits_total", kind)
+
+    def _stamp_engine(self, key) -> None:
+        """Record which prediction epoch inserted an engine entry."""
+        self._engine_stamps[key] = self._epoch
 
     def series(self, locator: str, device: Component, t0: float, t1: float):
         """Memoized MonitoringStore.query_series."""
@@ -709,14 +743,14 @@ class FeatureBuilder:
         state = self._group_state.get(group_index)
         state_key = tuple(key for key, _ in keyed)
         if state is not None and state[0] == state_key:
-            self._count("monitoring_cache_hits_total", "group_window")
+            self._note_engine_hit("group_window", ("group_stats", state_key))
             return state[1]
         # Content-addressed pooled result: a re-served incident (warm
         # steady state) resolves here without touching the aggregator.
         # Every input the statistics depend on is inside the block keys.
         memo = self._group_stats_memo.get(state_key)
         if memo is not None:
-            self._count("monitoring_cache_hits_total", "group_window")
+            self._note_engine_hit("group_window", ("group_stats", state_key))
             self._group_state[group_index] = (state_key, memo)
             return memo
         agg = self._group_aggs.get(group_index)
@@ -732,6 +766,7 @@ class FeatureBuilder:
         stats = agg.stats(_PERCENTILES)
         self._group_state[group_index] = (state_key, stats)
         self._group_stats_memo[state_key] = stats
+        self._stamp_engine(("group_stats", state_key))
         return stats
 
     def _count_n(self, metric: str, kind: str, n: int) -> None:
@@ -759,11 +794,12 @@ class FeatureBuilder:
         """
         key = self._count_key(locator, device, t0, t1)
         if key in self._count_memo:
-            self._count("monitoring_cache_hits_total", "event_counts")
+            self._note_engine_hit("event_counts", ("event_counts", key))
             return self._count_memo[key]
         self._count("monitoring_queries_total", "event_counts")
         counts = self.store.query_event_type_counts(locator, device, t0, t1)
         self._count_memo[key] = counts
+        self._stamp_engine(("event_counts", key))
         return counts
 
     def _count_key(
@@ -805,6 +841,7 @@ class FeatureBuilder:
         )
         for key, counts in zip(keys, batch):
             self._count_memo[key] = counts
+            self._stamp_engine(("event_counts", key))
 
     def _event_totals_incremental(
         self,
@@ -837,7 +874,7 @@ class FeatureBuilder:
             key = key + (t0, t1)
         totals = self._event_totals_memo.get(key)
         if totals is not None:
-            self._count("monitoring_cache_hits_total", "event_totals")
+            self._note_engine_hit("event_totals", ("event_totals", key))
             return totals
         dataset_kinds = self.store.schema(locator).component_kinds
         devices: list[Component] = []
@@ -852,6 +889,7 @@ class FeatureBuilder:
             for event_type, n in counts.items():
                 totals[event_type] = totals.get(event_type, 0) + n
         self._event_totals_memo[key] = totals
+        self._stamp_engine(("event_totals", key))
         return totals
 
     def _event_count_incremental(

@@ -29,6 +29,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+from dataclasses import dataclass
 
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
@@ -37,6 +38,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileReadout",
+    "bucket_quantile",
 ]
 
 # Prometheus-style latency buckets (seconds), extended to cover the
@@ -45,6 +48,47 @@ DEFAULT_LATENCY_BUCKETS = (
     0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
 )
+
+
+@dataclass(frozen=True)
+class QuantileReadout:
+    """A bucket-quantile estimate plus whether the grid could resolve it.
+
+    ``saturated`` is True when the requested rank landed in the implicit
+    +Inf bucket — i.e. enough observations exceeded the largest finite
+    bound that the read-out is a floor, not an estimate.  A saturated
+    value must never be compared against a budget as if it were exact:
+    the true quantile is somewhere above it.
+    """
+
+    value: float
+    saturated: bool
+
+    def __float__(self) -> float:
+        return self.value
+
+
+def bucket_quantile(
+    buckets, bucket_counts, count: int, q: float
+) -> QuantileReadout:
+    """The shared bucket-walk behind every histogram quantile read-out.
+
+    Pure function of the counts: callers diffing cumulative snapshots
+    (interval p99s) and callers reading a live series both resolve
+    through here, so the saturation rule lives in exactly one place.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    if count <= 0:
+        return QuantileReadout(float("nan"), False)
+    rank = max(1, math.ceil(q * count))
+    cumulative = 0
+    for i, bound in enumerate(buckets):
+        cumulative += bucket_counts[i]
+        if cumulative >= rank:
+            return QuantileReadout(float(bound), False)
+    # Rank fell in the implicit +Inf bucket: the grid cannot resolve it.
+    return QuantileReadout(float(buckets[-1]), True)
 
 
 class _Instrument:
@@ -228,31 +272,41 @@ class Histogram(_Instrument):
         """The upper bound of the bucket holding the q-th observation.
 
         Deterministic by construction: a pure function of the recorded
-        bucket counts, never of observation order.  Observations above
-        the largest finite bucket resolve to that largest bound; an
-        empty series is NaN (indistinguishable-from-zero is exactly the
-        ambiguity this layer exists to remove).
+        bucket counts, never of observation order.  An empty series is
+        NaN (indistinguishable-from-zero is exactly the ambiguity this
+        layer exists to remove).  Observations above the largest finite
+        bucket clamp to that largest bound — use :meth:`quantile_ex`
+        when the caller must distinguish a clamped read-out from a real
+        one.
         """
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("q must be in [0, 1]")
+        return self.quantile_ex(q, **labels).value
+
+    def quantile_ex(self, q: float, **labels) -> QuantileReadout:
+        """Like :meth:`quantile` but carrying the ``saturated`` flag."""
         series = self._get(labels)
-        if series is None or series.count == 0:
-            return float("nan")
-        rank = max(1, math.ceil(q * series.count))
-        cumulative = 0
-        for i, bound in enumerate(self.buckets):
-            cumulative += series.bucket_counts[i]
-            if cumulative >= rank:
-                return bound
-        return self.buckets[-1]  # landed in the +Inf bucket
+        if series is None:
+            if not 0.0 <= q <= 1.0:
+                raise ValueError("q must be in [0, 1]")
+            return QuantileReadout(float("nan"), False)
+        return bucket_quantile(
+            self.buckets, series.bucket_counts, series.count, q
+        )
 
     def percentiles(self, **labels) -> dict[str, float]:
-        """The standard p50/p90/p99 read-out for one label set."""
-        return {
-            "p50": self.quantile(0.50, **labels),
-            "p90": self.quantile(0.90, **labels),
-            "p99": self.quantile(0.99, **labels),
+        """The standard p50/p90/p99 read-out for one label set.
+
+        Includes ``saturated``: True when any of the three quantiles
+        landed in the +Inf bucket and is therefore a floor, not an
+        estimate.
+        """
+        readouts = {
+            "p50": self.quantile_ex(0.50, **labels),
+            "p90": self.quantile_ex(0.90, **labels),
+            "p99": self.quantile_ex(0.99, **labels),
         }
+        out: dict[str, float] = {k: r.value for k, r in readouts.items()}
+        out["saturated"] = any(r.saturated for r in readouts.values())
+        return out
 
     def samples(self) -> list[tuple[dict[str, str], _HistogramSeries]]:
         with self._lock:

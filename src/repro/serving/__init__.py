@@ -14,6 +14,14 @@ report in :mod:`repro.analysis.shadow`.
 """
 
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .fleet import (
+    FleetDecision,
+    FleetRoster,
+    FleetScoutSpec,
+    FleetServer,
+    MasterPolicy,
+    build_fleet_roster,
+)
 from .manager import (
     CallStatus,
     IncidentManager,
@@ -38,7 +46,13 @@ __all__ = [
     "BreakerState",
     "CallStatus",
     "CircuitBreaker",
+    "FleetDecision",
+    "FleetRoster",
+    "FleetScoutSpec",
+    "FleetServer",
     "IncidentManager",
+    "MasterPolicy",
+    "build_fleet_roster",
     "RetryPolicy",
     "SLOTracker",
     "SLOViolation",

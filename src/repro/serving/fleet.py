@@ -1,0 +1,867 @@
+"""Fleet tier: Scout Master routing over 100+ team Scouts (Appendix C).
+
+The paper's Appendix C sketches a *Scout Master* that composes many
+per-team Scouts into one global incident router; ROADMAP item 1 asks
+for that at fleet scale.  This module is the serving layer for it:
+
+* **Roster generation.**  :func:`build_fleet_roster` replicates the
+  simulation's 12-team universe (:func:`~repro.simulation.teams.
+  default_teams`) across regions — ``PhyNet-r00``, ``Storage-r03``, …
+  — producing 50–200 region-qualified team Scouts whose dependency
+  edges mirror the base graph within each region.  Per-team accuracy
+  and confidence spread (Appendix D's ``P`` and ``β``) draw from a
+  seeded generator, so a roster is a pure function of ``(n_teams,
+  seed)``.
+* **Master policy.**  :class:`MasterPolicy` wraps the Appendix C
+  strawman (:class:`~repro.simulation.scout_master.ScoutMaster`) in
+  the three fleet-scale refinements: cross-team confidence
+  *calibration* (a reliability curve from
+  :mod:`repro.analysis.calibration` maps each Scout's raw confidence
+  to its observed bucket accuracy, so a chronically over-confident
+  team stops outranking a well-calibrated one), *top-k candidate
+  ranking*, and a deterministic *re-route chain* — when the top
+  candidate bounces the incident or its breaker is open, the router
+  walks the ranked chain instead of giving up (DeepTriage's
+  transfer-path framing).
+* **Sharded multi-process serving.**  Scouts are partitioned into a
+  fixed number of shards; scoring fans out one task per (shard,
+  incident-chunk) over a ``ProcessPoolExecutor`` so the fleet escapes
+  the GIL.  Worker processes memoize their shard context and open the
+  roster's signal matrix as a **read-only memmap** — the parent
+  materializes it once on disk and workers never re-pickle or rebuild
+  it.  Workers are *pure*: a task's result is a function of the task
+  alone, so decisions, decision logs, and the Prometheus exposition
+  are byte-identical across worker counts and across process-pool vs.
+  in-process execution.
+* **Per-Scout resilience, parent-side.**  The existing
+  :class:`~.breaker.CircuitBreaker` machinery guards each fleet Scout
+  exactly as :class:`~.manager.IncidentManager` guards its Scouts, and
+  retry budgets follow :class:`~.retry.RetryPolicy` semantics
+  (``max_attempts`` bounded, deterministic).  Breaker state lives in
+  the parent and is advanced in arrival order — process workers are
+  stateless by design, because pool scheduling must never influence
+  breaker transitions.
+
+Determinism contract: under a
+:class:`~repro.monitoring.faults.FakeClock`, the same roster seed and
+incident trace produce a byte-identical decision log and exposition for
+``workers ∈ {1, 2, 4, …}``, pool or no pool.  Every stochastic draw is
+a counter-free hash of ``(seed, team, incident_id, purpose)`` — no
+shared RNG stream exists to depend on scheduling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import os
+import struct
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+import numpy as np
+
+from ..analysis.calibration import ReliabilityBucket, reliability_curve
+from ..incidents.incident import Incident
+from ..simulation.scout_master import ScoutAnswer, ScoutMaster
+from ..simulation.teams import Team, TeamRegistry, default_teams
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+
+__all__ = [
+    "FleetScoutSpec",
+    "FleetRoster",
+    "FleetDecision",
+    "MasterPolicy",
+    "FleetServer",
+    "build_fleet_roster",
+]
+
+# Columns in the per-team signal matrix (the memmap-backed monitoring
+# shard each worker slices per incident).
+_SIGNAL_COLS = 256
+# Window of signal columns pooled per (team, incident) scoring.
+_SIGNAL_WINDOW = 32
+
+
+@dataclass(frozen=True)
+class FleetScoutSpec:
+    """One region-qualified team Scout (Appendix D's ``P``/``β`` model)."""
+
+    team: str
+    base: str
+    region: int
+    accuracy: float
+    beta: float
+
+
+@dataclass(frozen=True)
+class FleetRoster:
+    """A generated fleet: registry + per-team Scout specs.
+
+    ``specs`` is sorted by team name; ``seed`` is the generation seed
+    (it also seeds every per-incident draw the fleet makes).
+    """
+
+    registry: TeamRegistry
+    specs: tuple[FleetScoutSpec, ...]
+    seed: int
+
+    @property
+    def teams(self) -> list[str]:
+        return [spec.team for spec in self.specs]
+
+    def regions_of(self, base: str) -> list[str]:
+        """Region-qualified names carrying one base team, sorted."""
+        return [spec.team for spec in self.specs if spec.base == base]
+
+    def assign(self, base: str, incident_id: int) -> str:
+        """The region-qualified truth team for one incident.
+
+        The simulation's ground truth lives in the 12-team base
+        universe; the fleet spreads incidents across its regional
+        copies deterministically by incident id.
+        """
+        names = self.regions_of(base)
+        if not names:
+            return base
+        return names[incident_id % len(names)]
+
+    @staticmethod
+    def base_of(team: str) -> str:
+        """Strip the region qualifier (``PhyNet-r03`` → ``PhyNet``)."""
+        return team.rsplit("-r", 1)[0]
+
+
+def build_fleet_roster(n_teams: int = 120, seed: int = 0) -> FleetRoster:
+    """Generate an ``n_teams``-strong fleet from the simulation roster.
+
+    The 12-team universe replicates across ``ceil(n_teams / 12)``
+    regions in the base registry's canonical (sorted) order; dependency
+    edges stay within a region, mirroring the base graph.  Teams beyond
+    ``n_teams`` in the (region, base) sequence are trimmed and dangling
+    dependency edges dropped with them.
+    """
+    if n_teams < 1:
+        raise ValueError("n_teams must be >= 1")
+    base = default_teams()
+    base_names = base.names  # sorted — the canonical region layout
+    n_regions = math.ceil(n_teams / len(base_names))
+    kept: list[tuple[str, str, int]] = []  # (qualified, base, region)
+    for region in range(n_regions):
+        for name in base_names:
+            if len(kept) >= n_teams:
+                break
+            kept.append((f"{name}-r{region:02d}", name, region))
+    kept_names = {qualified for qualified, _, _ in kept}
+
+    registry = TeamRegistry()
+    for qualified, name, region in kept:
+        team = base[name]
+        deps = tuple(
+            f"{dep}-r{region:02d}"
+            for dep in team.depends_on
+            if f"{dep}-r{region:02d}" in kept_names
+        )
+        registry.add(
+            Team(
+                qualified,
+                depends_on=deps,
+                internal=team.internal,
+                symptoms=team.symptoms,
+            )
+        )
+    registry.validate()
+
+    # Appendix D parameters per Scout, in sorted-team order so the
+    # draw sequence is a pure function of (n_teams, seed).
+    rng = np.random.default_rng(seed)
+    specs = []
+    for qualified in sorted(kept_names):
+        base_name, region = qualified.rsplit("-r", 1)
+        specs.append(
+            FleetScoutSpec(
+                team=qualified,
+                base=base_name,
+                region=int(region),
+                accuracy=float(rng.uniform(0.93, 0.99)),
+                beta=float(rng.uniform(0.05, 0.30)),
+            )
+        )
+    return FleetRoster(registry=registry, specs=tuple(specs), seed=seed)
+
+
+# -- deterministic draws ------------------------------------------------------
+
+
+def _draw(seed: int, *parts) -> float:
+    """A uniform [0, 1) draw addressed by content, not by stream order.
+
+    Every stochastic decision the fleet makes draws through here, keyed
+    on what the draw is *for* — there is no shared RNG whose stream
+    order could couple results to scheduling or worker count.
+    """
+    digest = hashlib.sha256(
+        ("|".join(str(p) for p in (seed, *parts))).encode()
+    ).digest()
+    return struct.unpack(">Q", digest[:8])[0] / 2.0**64
+
+
+def _signal_stat(signals: np.ndarray, row: int, incident_id: int) -> float:
+    """Pool one window of the team's monitoring-shard row.
+
+    The slice position depends on the incident, so every scoring does
+    real vectorized work against the memmap — this is the chunk the
+    workers must *not* re-materialize per task.
+    """
+    start = incident_id % (_SIGNAL_COLS - _SIGNAL_WINDOW)
+    window = signals[row, start:start + _SIGNAL_WINDOW]
+    return float(window.mean() + window.std())
+
+
+def _score_one(
+    spec: FleetScoutSpec,
+    row: int,
+    signals: np.ndarray,
+    incident_id: int,
+    truth_team: str,
+    seed: int,
+    failure_rate: float,
+    max_attempts: int,
+    broken: frozenset[str],
+) -> tuple[str, bool | None, float, int, bool]:
+    """Score one (Scout, incident) pair — the pure worker kernel.
+
+    Returns ``(team, verdict, confidence, attempts, ok)``.  ``ok`` is
+    False when every retry attempt failed (the parent records the
+    failure against the breaker and the Scout contributes no answer).
+    """
+    # Transient-failure model with RetryPolicy semantics: attempt k has
+    # its own content-addressed draw, so a retry genuinely re-rolls.
+    attempts = 0
+    ok = False
+    for attempt in range(max_attempts):
+        attempts += 1
+        if spec.team in broken:
+            continue
+        if _draw(seed, "fail", spec.team, incident_id, attempt) >= failure_rate:
+            ok = True
+            break
+    if not ok:
+        return (spec.team, None, 0.0, attempts, False)
+    truth = truth_team == spec.team
+    correct = _draw(seed, "acc", spec.team, incident_id) < spec.accuracy
+    verdict = truth if correct else (not truth)
+    spread = _draw(seed, "conf", spec.team, incident_id)
+    # The monitoring-shard read perturbs the confidence inside its
+    # Appendix D band — the memmap is load-bearing, not decorative.
+    jitter = _signal_stat(signals, row, incident_id) % 1.0
+    u = (spread + jitter) % 1.0
+    if correct:
+        confidence = 0.8 - spec.beta * u
+    else:
+        confidence = 0.5 + spec.beta * u
+    return (spec.team, verdict, round(confidence, 9), attempts, True)
+
+
+# -- worker-process plumbing --------------------------------------------------
+
+# Process-global shard context, keyed by roster token: specs, the
+# team → row index map, and the lazily opened read-only memmap.  A
+# worker reuses one open mapping for its whole life; tasks carry only
+# the token plus the incident chunk.
+_WORKER_CTX: dict = {}
+
+
+def _fleet_worker_init(token: str, payload: dict) -> None:
+    """Executor initializer: stash the shard context once per process."""
+    _WORKER_CTX[token] = dict(payload, signals=None)
+
+
+def _worker_signals(ctx: dict) -> np.ndarray:
+    signals = ctx.get("signals")
+    if signals is None:
+        signals = np.load(ctx["signal_path"], mmap_mode="r")
+        ctx["signals"] = signals
+    return signals
+
+
+def _score_chunk(
+    token: str,
+    shard_id: int,
+    pairs: tuple[tuple[int, str], ...],
+) -> list[tuple[int, tuple]]:
+    """Score one shard's Scouts over one incident chunk.
+
+    Pure: output depends only on ``(token context, shard_id, pairs)``.
+    The optional ``io_stall_s`` models the network-bound monitoring
+    fetch a real fleet pays once per chunk — it is real wall time (the
+    overlap process workers buy) but never touches the results.
+    """
+    ctx = _WORKER_CTX[token]
+    stall = ctx.get("io_stall_s", 0.0)
+    if stall:
+        time.sleep(stall)
+    signals = _worker_signals(ctx)
+    specs: list[tuple[int, FleetScoutSpec]] = ctx["shards"][shard_id]
+    seed = ctx["seed"]
+    failure_rate = ctx["failure_rate"]
+    max_attempts = ctx["max_attempts"]
+    broken = ctx["broken"]
+    out = []
+    for incident_id, truth_team in pairs:
+        for row, spec in specs:
+            out.append(
+                (
+                    incident_id,
+                    _score_one(
+                        spec, row, signals, incident_id, truth_team,
+                        seed, failure_rate, max_attempts, broken,
+                    ),
+                )
+            )
+    return out
+
+
+# -- the Master policy --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetDecision:
+    """One fleet routing decision, with its full re-route chain.
+
+    ``candidates`` is the calibration-ranked top-k ``(team, confidence,
+    calibrated)``; ``chain`` is the deterministic re-route order
+    actually walked (strawman pick first); ``reroutes`` counts the
+    chain entries that bounced or were breaker-skipped before
+    ``suggested_team`` accepted.  ``suggested_team`` is None when the
+    fleet fell back to the legacy routing process.
+    """
+
+    incident_id: int
+    truth_team: str
+    suggested_team: str | None
+    candidates: tuple[tuple[str, float, float], ...]
+    chain: tuple[str, ...]
+    reroutes: int
+    answers_yes: int
+    errors: int
+    breaker_open: tuple[str, ...]
+
+    def to_record(self) -> dict:
+        """A JSON-friendly, key-sorted record for the decision log."""
+        return {
+            "incident_id": self.incident_id,
+            "truth_team": self.truth_team,
+            "suggested_team": self.suggested_team,
+            "candidates": [
+                [team, round(conf, 6), round(cal, 6)]
+                for team, conf, cal in self.candidates
+            ],
+            "chain": list(self.chain),
+            "reroutes": self.reroutes,
+            "answers_yes": self.answers_yes,
+            "errors": self.errors,
+            "breaker_open": list(self.breaker_open),
+        }
+
+
+class MasterPolicy:
+    """Calibrated top-k ranking over the Appendix C strawman.
+
+    The strawman's pick (dependency-preferred) heads the re-route
+    chain; the remaining chain entries are the other yes-answers ranked
+    by *calibrated* confidence — each raw confidence mapped to the
+    observed accuracy of its reliability bucket, so ranking compares
+    what a confidence has historically *meant* rather than the number
+    itself.  Until :meth:`fit` runs, calibrated == raw.
+    """
+
+    def __init__(
+        self,
+        registry: TeamRegistry,
+        confidence_floor: float = 0.5,
+        top_k: int = 3,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.master = ScoutMaster(registry, confidence_floor=confidence_floor)
+        self.top_k = top_k
+        self.curve: tuple[ReliabilityBucket, ...] = ()
+
+    def fit(self, confidences, correct, n_buckets: int = 6) -> None:
+        """Build the cross-team reliability curve from a labeled trace."""
+        self.curve = tuple(
+            reliability_curve(confidences, correct, n_buckets=n_buckets)
+        )
+
+    def calibrated(self, confidence: float) -> float:
+        """Raw confidence → its bucket's observed accuracy."""
+        for bucket in self.curve:
+            if bucket.lower <= confidence <= bucket.upper:
+                return bucket.accuracy
+        return confidence
+
+    def rank(
+        self, answers: list[ScoutAnswer]
+    ) -> tuple[tuple[tuple[str, float, float], ...], tuple[str, ...]]:
+        """(top-k candidates, full re-route chain) for one incident."""
+        floor = self.master.confidence_floor
+        yes = [
+            a
+            for a in answers
+            if a.responsible is True and a.confidence >= floor
+        ]
+        ranked = sorted(
+            (
+                (a.team, a.confidence, self.calibrated(a.confidence))
+                for a in yes
+            ),
+            key=lambda item: (-item[2], -item[1], item[0]),
+        )
+        candidates = tuple(ranked[: self.top_k])
+        chain: list[str] = []
+        strawman = self.master.route(answers)
+        if strawman is not None:
+            chain.append(strawman)
+        for team, _, _ in ranked:
+            if team not in chain:
+                chain.append(team)
+        return candidates, tuple(chain)
+
+
+# -- the fleet server ---------------------------------------------------------
+
+
+class FleetServer:
+    """Sharded, process-pooled serving for one fleet roster.
+
+    Parameters
+    ----------
+    roster:
+        A :func:`build_fleet_roster` result (or hand-built equivalent).
+    workers:
+        Concurrent scoring tasks.  ``1`` serves in-process; ``> 1``
+        with ``use_processes=True`` fans tasks over a process pool.
+    use_processes:
+        Score on a ``ProcessPoolExecutor`` (fork context when the
+        platform offers it).  Results are byte-identical either way —
+        the pool is a throughput knob, never a semantics knob.
+    shard_count:
+        Scout shards (tasks per incident chunk).  Fixed independently
+        of ``workers`` so the task set — and therefore every log and
+        metric — does not change when the pool grows.
+    chunk_size:
+        Incidents per scoring task.
+    top_k / confidence_floor:
+        Master-policy knobs (see :class:`MasterPolicy`).
+    breaker / max_attempts:
+        Per-Scout resilience: one :class:`CircuitBreaker` per team on
+        the injected clock, and RetryPolicy-style bounded attempts for
+        the transient-failure model.
+    failure_rate / broken_teams:
+        Deterministic fault injection: per-attempt transient failure
+        probability, and teams whose Scout is hard-down (their breaker
+        opens and stays open modulo half-open probes).
+    wrong_accept:
+        Probability a *wrong* team accepts an incident instead of
+        bouncing it down the re-route chain (the truth team always
+        accepts).
+    io_stall_s:
+        Simulated per-chunk monitoring-fetch stall (real wall time in
+        the worker, zero effect on results) — the latency the process
+        pool exists to overlap.
+    clock / shard_dir:
+        Injectable time source; where the signal memmap lives (a
+        private temp dir by default, cleaned up on :meth:`close`).
+    """
+
+    def __init__(
+        self,
+        roster: FleetRoster,
+        workers: int = 1,
+        use_processes: bool = False,
+        shard_count: int = 8,
+        chunk_size: int = 64,
+        top_k: int = 3,
+        confidence_floor: float = 0.5,
+        breaker: BreakerPolicy | None = None,
+        max_attempts: int = 2,
+        failure_rate: float = 0.0,
+        broken_teams: tuple[str, ...] = (),
+        wrong_accept: float = 0.35,
+        io_stall_s: float = 0.0,
+        clock=None,
+        obs=None,
+        shard_dir: str | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if shard_count < 1:
+            raise ValueError("shard_count must be >= 1")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValueError("failure_rate must be in [0, 1)")
+        unknown = sorted(set(broken_teams) - set(roster.teams))
+        if unknown:
+            raise ValueError(f"broken_teams not in roster: {unknown}")
+        self.roster = roster
+        self.workers = workers
+        self.use_processes = use_processes
+        self.shard_count = min(shard_count, len(roster.specs))
+        self.chunk_size = chunk_size
+        self.max_attempts = max_attempts
+        self.failure_rate = failure_rate
+        self.broken_teams = frozenset(broken_teams)
+        self.wrong_accept = wrong_accept
+        self.io_stall_s = io_stall_s
+        self._clock = clock if clock is not None else time.perf_counter
+        if obs is None:
+            from ..obs import Observability
+
+            obs = Observability(clock=self._clock)
+        self.obs = obs
+        self.policy = MasterPolicy(
+            roster.registry, confidence_floor=confidence_floor, top_k=top_k
+        )
+        self.breakers = {
+            spec.team: CircuitBreaker(
+                breaker or BreakerPolicy(), clock=self._clock
+            )
+            for spec in roster.specs
+        }
+        self.decisions: list[FleetDecision] = []
+        self._pool: ProcessPoolExecutor | None = None
+        self._own_dir: tempfile.TemporaryDirectory | None = None
+        if shard_dir is None:
+            self._own_dir = tempfile.TemporaryDirectory(prefix="fleet-")
+            shard_dir = self._own_dir.name
+        self.shard_dir = shard_dir
+        self._signal_path = os.path.join(
+            self.shard_dir, f"fleet_signals_{self._token()}.npy"
+        )
+        self._ensure_signals()
+        # Round-robin shard layout over the sorted roster: shard i
+        # holds every (row % shard_count == i) Scout.
+        self._shards: dict[int, list[tuple[int, FleetScoutSpec]]] = {
+            i: [] for i in range(self.shard_count)
+        }
+        for row, spec in enumerate(roster.specs):
+            self._shards[row % self.shard_count].append((row, spec))
+        self._init_metrics()
+        _fleet_worker_init(self._token(), self._worker_payload())
+
+    # -- setup -------------------------------------------------------------
+
+    def _token(self) -> str:
+        material = "|".join(
+            (
+                str(self.roster.seed),
+                str(len(self.roster.specs)),
+                *self.roster.teams,
+                f"{self.failure_rate}",
+                str(self.max_attempts),
+                ",".join(sorted(self.broken_teams)),
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()[:16]
+
+    def _ensure_signals(self) -> None:
+        """Materialize the signal matrix once; workers memmap it."""
+        if os.path.exists(self._signal_path):
+            return
+        rng = np.random.default_rng(self.roster.seed)
+        signals = rng.standard_normal((len(self.roster.specs), _SIGNAL_COLS))
+        tmp = self._signal_path + ".tmp"
+        with open(tmp, "wb") as fh:
+            np.save(fh, signals)
+        os.replace(tmp, self._signal_path)
+
+    def _worker_payload(self) -> dict:
+        return {
+            "shards": {
+                i: list(specs) for i, specs in self._shards.items()
+            },
+            "seed": self.roster.seed,
+            "failure_rate": self.failure_rate,
+            "max_attempts": self.max_attempts,
+            "broken": self.broken_teams,
+            "signal_path": self._signal_path,
+            "io_stall_s": self.io_stall_s,
+        }
+
+    def _init_metrics(self) -> None:
+        metrics = self.obs.metrics
+        metrics.gauge(
+            "fleet_teams", "Team Scouts registered in the fleet."
+        ).set(len(self.roster.specs))
+        metrics.gauge(
+            "fleet_shards", "Scout shards the fleet fans out over."
+        ).set(self.shard_count)
+        self._m_incidents = metrics.counter(
+            "fleet_incidents_total", "Incidents routed by the fleet."
+        )
+        self._m_decisions = metrics.counter(
+            "fleet_decisions_total",
+            "Fleet decisions by result (suggested vs. legacy fallback).",
+            labels=("result",),
+        )
+        self._m_reroutes = metrics.counter(
+            "fleet_reroutes_total",
+            "Re-route chain hops taken past bouncing or broken candidates.",
+        )
+        self._m_answers = metrics.counter(
+            "fleet_scout_answers_total",
+            "Per-Scout fleet call outcomes.",
+            labels=("status",),
+        )
+        self._m_breakers = metrics.gauge(
+            "fleet_breakers_open",
+            "Fleet Scouts currently behind an open breaker.",
+        )
+        self._m_latency = metrics.histogram(
+            "fleet_route_latency_seconds",
+            "Wall time per route_trace call on the injected clock.",
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._own_dir is not None:
+            self._own_dir.cleanup()
+            self._own_dir = None
+
+    def __enter__(self) -> "FleetServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                ctx = get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                ctx = get_context("spawn")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_fleet_worker_init,
+                initargs=(self._token(), self._worker_payload()),
+            )
+        return self._pool
+
+    # -- scoring -----------------------------------------------------------
+
+    def _truth(self, incident: Incident) -> str:
+        return self.roster.assign(
+            incident.responsible_team, incident.incident_id
+        )
+
+    def _score(
+        self, incidents: list[Incident]
+    ) -> dict[int, dict[str, tuple]]:
+        """Fan scoring tasks out; reassemble per incident, per team.
+
+        The task list — (shard, chunk) pairs over a fixed shard layout
+        and a fixed chunk size — is identical for every worker count;
+        only scheduling differs, and workers are pure.
+        """
+        pairs = tuple(
+            (incident.incident_id, self._truth(incident))
+            for incident in incidents
+        )
+        chunks = [
+            pairs[i:i + self.chunk_size]
+            for i in range(0, len(pairs), self.chunk_size)
+        ]
+        token = self._token()
+        tasks = [
+            (shard_id, chunk)
+            for chunk in chunks
+            for shard_id in range(self.shard_count)
+        ]
+        if self.use_processes and self.workers > 1:
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(_score_chunk, token, shard_id, chunk)
+                for shard_id, chunk in tasks
+            ]
+            results = [f.result() for f in futures]
+        else:
+            results = [
+                _score_chunk(token, shard_id, chunk)
+                for shard_id, chunk in tasks
+            ]
+        by_incident: dict[int, dict[str, tuple]] = {
+            incident_id: {} for incident_id, _ in pairs
+        }
+        for chunk_result in results:
+            for incident_id, scored in chunk_result:
+                by_incident[incident_id][scored[0]] = scored
+        return by_incident
+
+    # -- composition -------------------------------------------------------
+
+    def _compose(
+        self, incident: Incident, scored: dict[str, tuple]
+    ) -> FleetDecision:
+        """Breaker-gate one incident's answers and run the Master policy.
+
+        Runs in arrival order on the parent — breaker transitions are a
+        serial fold over incidents, untouched by pool scheduling.
+        """
+        answers: list[ScoutAnswer] = []
+        errors = 0
+        breaker_open: list[str] = []
+        for team in self.roster.teams:  # sorted — fixed gating order
+            breaker = self.breakers[team]
+            if not breaker.allow():
+                breaker_open.append(team)
+                self._m_answers.inc(1, status="breaker_open")
+                continue
+            _, verdict, confidence, attempts, ok = scored[team]
+            if attempts > 1:
+                self._m_answers.inc(attempts - 1, status="retry")
+            if not ok:
+                breaker.record_failure()
+                errors += 1
+                self._m_answers.inc(1, status="error")
+                continue
+            breaker.record_success()
+            self._m_answers.inc(1, status="ok")
+            answers.append(ScoutAnswer(team, verdict, confidence))
+
+        truth = self._truth(incident)
+        candidates, chain = self.policy.rank(answers)
+        suggested: str | None = None
+        reroutes = 0
+        for team in chain:
+            if self.breakers[team].state is BreakerState.OPEN:
+                reroutes += 1
+                continue
+            if team == truth:
+                suggested = team
+                break
+            accepted = (
+                _draw(
+                    self.roster.seed, "accept", team, incident.incident_id
+                )
+                < self.wrong_accept
+            )
+            if accepted:
+                suggested = team
+                break
+            reroutes += 1  # the candidate bounced: walk the chain
+
+        self._m_incidents.inc()
+        if reroutes:
+            self._m_reroutes.inc(reroutes)
+        self._m_decisions.inc(
+            1, result="suggested" if suggested else "legacy_fallback"
+        )
+        self._m_breakers.set(
+            sum(
+                1
+                for b in self.breakers.values()
+                if b.state is BreakerState.OPEN
+            )
+        )
+        yes = sum(1 for a in answers if a.responsible is True)
+        return FleetDecision(
+            incident_id=incident.incident_id,
+            truth_team=truth,
+            suggested_team=suggested,
+            candidates=candidates,
+            chain=chain,
+            reroutes=reroutes,
+            answers_yes=yes,
+            errors=errors,
+            breaker_open=tuple(breaker_open),
+        )
+
+    # -- serving -----------------------------------------------------------
+
+    def route_trace(self, incidents) -> list[FleetDecision]:
+        """Route a batch of incidents; decisions come back in order."""
+        incidents = list(incidents)
+        if not incidents:
+            return []
+        started = self._clock()
+        by_incident = self._score(incidents)
+        decisions = [
+            self._compose(incident, by_incident[incident.incident_id])
+            for incident in incidents
+        ]
+        self._m_latency.observe(self._clock() - started)
+        self.decisions.extend(decisions)
+        return decisions
+
+    def calibrate(self, incidents) -> int:
+        """Fit the Master policy's reliability curve on a labeled trace.
+
+        Scores the calibration incidents (no breakers, no decisions,
+        no metrics) and fits confidence → observed accuracy across the
+        whole fleet.  Returns the number of (answer, label) samples.
+        """
+        incidents = list(incidents)
+        if not incidents:
+            return 0
+        by_incident = self._score(incidents)
+        confidences: list[float] = []
+        correct: list[bool] = []
+        for incident in incidents:
+            truth = self._truth(incident)
+            for team, verdict, confidence, _, ok in by_incident[
+                incident.incident_id
+            ].values():
+                if not ok or verdict is not True:
+                    continue
+                confidences.append(confidence)
+                correct.append(team == truth)
+        if confidences:
+            self.policy.fit(confidences, correct)
+        return len(confidences)
+
+    # -- read-outs ---------------------------------------------------------
+
+    def decision_records(self) -> list[dict]:
+        """JSON-friendly decision log (stable order and keys)."""
+        return [decision.to_record() for decision in self.decisions]
+
+    def accuracy(self) -> float:
+        """Fraction of routed incidents suggested to the truth team."""
+        if not self.decisions:
+            return 0.0
+        hits = sum(
+            1
+            for d in self.decisions
+            if d.suggested_team == d.truth_team
+        )
+        return hits / len(self.decisions)
+
+    def summary(self) -> dict:
+        """Plain-data roll-up for the CLI and the bench."""
+        fallbacks = sum(
+            1 for d in self.decisions if d.suggested_team is None
+        )
+        return {
+            "teams": len(self.roster.specs),
+            "shards": self.shard_count,
+            "workers": self.workers,
+            "incidents": len(self.decisions),
+            "accuracy": round(self.accuracy(), 4),
+            "reroutes": sum(d.reroutes for d in self.decisions),
+            "legacy_fallbacks": fallbacks,
+            "breakers_open": sum(
+                1
+                for b in self.breakers.values()
+                if b.state is BreakerState.OPEN
+            ),
+        }

@@ -46,7 +46,6 @@ or the explicit ``service_time`` floor).
 
 from __future__ import annotations
 
-import math
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -55,9 +54,11 @@ from enum import Enum
 import numpy as np
 
 from ..incidents.incident import Incident, Severity
+from ..obs.metrics import bucket_quantile
 from .manager import IncidentManager, ServingDecision
 
 __all__ = [
+    "STREAM_WAIT_BUCKETS",
     "ShedPolicy",
     "StreamStatus",
     "StreamOutcome",
@@ -66,6 +67,18 @@ __all__ = [
     "StreamServer",
     "poisson_arrivals",
 ]
+
+# Queue waits are not scout-call latencies: an overloaded stream parks
+# incidents for whole seconds, where the default latency grid jumps
+# 2.5 → 5 → 10 and a true p99 of ~4.2s reads as exactly 5.0 —
+# indistinguishable from a 5-second budget sentinel.  The wait grid is
+# dense through the single-digit seconds and extends to 10 minutes so
+# a pathological backlog still resolves instead of clamping.
+STREAM_WAIT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    0.75, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0, 6.0, 8.0,
+    10.0, 15.0, 20.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
 
 
 class ShedPolicy(str, Enum):
@@ -111,12 +124,20 @@ class StreamOutcome:
 
 @dataclass(frozen=True)
 class SLOViolation:
-    """One stage's interval p99 blowing its budget."""
+    """One stage's interval p99 blowing its budget.
+
+    ``saturated`` marks an interval whose p99 rank landed beyond the
+    histogram's largest finite bucket: ``p99`` is then a *floor* (the
+    top finite bound), and the violation stands no matter how the floor
+    compares to the budget — an unresolvable p99 can never be declared
+    within budget.
+    """
 
     stage: str
     p99: float
     budget: float
     samples: int
+    saturated: bool = False
 
 
 # SLO stages resolve to histogram families the pipeline already emits;
@@ -197,19 +218,21 @@ class SLOTracker:
                 # instead of never being judged at all.
                 continue
             self._snapshots[stage] = (counts, total)
-            rank = max(1, math.ceil(0.99 * samples))
-            cumulative = 0
-            p99 = family.buckets[-1]  # beyond the last finite bucket
-            for bound, count in zip(family.buckets, interval):
-                cumulative += count
-                if cumulative >= rank:
-                    p99 = bound
-                    break
+            readout = bucket_quantile(family.buckets, interval, samples, 0.99)
+            p99 = readout.value
             self._m_p99.set(p99, stage=stage)
             budget = self.budgets[stage]
-            if p99 > budget:
+            if readout.saturated or p99 > budget:
+                # A saturated read-out violates unconditionally: the
+                # true p99 is somewhere above the top finite bucket, so
+                # "p99 == budget" must not pass as within-budget.
                 self._m_violations.inc(1, stage=stage)
-                violations.append(SLOViolation(stage, p99, budget, samples))
+                violations.append(
+                    SLOViolation(
+                        stage, p99, budget, samples,
+                        saturated=readout.saturated,
+                    )
+                )
         return violations
 
 
@@ -360,6 +383,7 @@ class StreamServer:
         self._m_wait = metrics.histogram(
             "stream_queue_wait_seconds",
             "Time from admission to the start of the Scout fan-out.",
+            buckets=STREAM_WAIT_BUCKETS,
         )
 
     # -- introspection -----------------------------------------------------

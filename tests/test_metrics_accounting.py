@@ -1,0 +1,192 @@
+"""Regression tests for the PR 9 metrics-accounting bugfix sweep.
+
+Two committed bench metrics were silently wrong:
+
+* ``serve_cache_cross_hits`` fell 7597 → 0 when the batch path moved to
+  the incremental engine — the engine's content-addressed caches serve
+  cross-incident reuse but never fed ``monitoring_cache_cross_hits_total``
+  (only the TTL-window memos did).
+* ``stream_soak_p99_seconds`` read exactly 5.0 — a coarse bucket bound
+  masquerading as a measured p99, and in the worst case a histogram
+  whose p99 rank escapes the finite buckets clamps to the top bound,
+  indistinguishable from "p99 == budget".
+
+These tests pin the fixes: the shared ``bucket_quantile`` helper carries
+a ``saturated`` flag, ``SLOTracker`` treats a saturated interval p99 as
+a violation unconditionally, the stream-wait grid resolves multi-second
+waits, and engine-cache hits across incidents count as cross hits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import FeatureBuilder
+from repro.datacenter import ComponentKind
+from repro.monitoring import FakeClock
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry, QuantileReadout, bucket_quantile
+from repro.serving.stream import SLOTracker, STREAM_WAIT_BUCKETS
+
+
+# -- the shared quantile helper (satellite: clamp-pattern audit) -------------
+
+
+class TestBucketQuantile:
+    def test_resolved_rank_is_not_saturated(self):
+        readout = bucket_quantile((0.1, 1.0), [3, 1], 4, 0.5)
+        assert readout == QuantileReadout(0.1, False)
+
+    def test_rank_beyond_finite_buckets_is_saturated(self):
+        # All four observations overflowed into the implicit +Inf
+        # bucket: the value clamps to the top finite bound and the
+        # flag says so.
+        readout = bucket_quantile((0.1, 1.0), [0, 0], 4, 0.99)
+        assert readout.value == 1.0
+        assert readout.saturated is True
+
+    def test_empty_is_nan_not_saturated(self):
+        readout = bucket_quantile((0.1, 1.0), [0, 0], 0, 0.99)
+        assert math.isnan(readout.value)
+        assert readout.saturated is False
+
+    def test_float_coercion_and_validation(self):
+        assert float(bucket_quantile((1.0,), [1], 1, 0.5)) == 1.0
+        with pytest.raises(ValueError, match="q must be"):
+            bucket_quantile((1.0,), [1], 1, 1.5)
+
+    def test_histogram_quantile_ex_matches_plain_quantile(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", buckets=(0.5, 1.0))
+        for v in (0.2, 0.4, 2.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == hist.quantile_ex(0.5).value == 0.5
+        assert hist.quantile_ex(0.5).saturated is False
+        assert hist.quantile_ex(0.99).saturated is True
+
+
+# -- SLOTracker: a saturated p99 can't masquerade as within budget -----------
+
+
+class TestSaturatedSLO:
+    @staticmethod
+    def _tracker(budget: float, buckets=(0.1, 1.0)):
+        metrics = MetricsRegistry()
+        wait = metrics.histogram(
+            "stream_queue_wait_seconds", "waits", buckets=buckets
+        )
+        tracker = SLOTracker(metrics, {"queue": budget}, min_samples=4)
+        return metrics, wait, tracker
+
+    def test_saturated_interval_violates_even_at_budget_equality(self):
+        # Budget == top finite bound: pre-fix, the clamped p99 read as
+        # exactly the budget and `p99 > budget` passed the check.
+        metrics, wait, tracker = self._tracker(budget=1.0)
+        for _ in range(16):
+            wait.observe(50.0)  # every observation escapes the grid
+        violations = tracker.check()
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.stage == "queue"
+        assert v.saturated is True
+        assert v.p99 == 1.0  # a floor, not a measurement
+        assert metrics.get("stream_slo_violations_total").total() == 1
+
+    def test_saturated_interval_violates_even_when_budget_is_looser(self):
+        # Even a budget far above the top bound can't absolve an
+        # unresolvable p99 — the true value is unknown.
+        _, wait, tracker = self._tracker(budget=100.0)
+        for _ in range(16):
+            wait.observe(50.0)
+        violations = tracker.check()
+        assert violations and violations[0].saturated is True
+
+    def test_resolved_interval_within_budget_passes(self):
+        _, wait, tracker = self._tracker(budget=1.0)
+        for _ in range(16):
+            wait.observe(0.05)
+        assert tracker.check() == []
+
+    def test_resolved_over_budget_violation_is_not_saturated(self):
+        _, wait, tracker = self._tracker(budget=0.05)
+        for _ in range(16):
+            wait.observe(0.09)
+        violations = tracker.check()
+        assert violations and violations[0].saturated is False
+        assert violations[0].p99 == 0.1
+
+
+# -- the widened stream-wait grid --------------------------------------------
+
+
+class TestStreamWaitBuckets:
+    def test_multi_second_waits_resolve_instead_of_clamping(self):
+        # The soak bench's true p99 was ~4.2s; the default latency grid
+        # jumps 2.5 → 5.0 and read it as exactly 5.0.  The wait grid
+        # resolves it to the 4.5 bound.
+        registry = MetricsRegistry()
+        wait = registry.histogram(
+            "w", buckets=STREAM_WAIT_BUCKETS
+        )
+        for _ in range(99):
+            wait.observe(4.2)
+        wait.observe(0.01)
+        readout = wait.quantile_ex(0.99)
+        assert readout.value == 4.5
+        assert readout.saturated is False
+
+    def test_grid_extends_beyond_the_slo_sentinel_range(self):
+        assert STREAM_WAIT_BUCKETS[-1] >= 600.0
+        assert list(STREAM_WAIT_BUCKETS) == sorted(STREAM_WAIT_BUCKETS)
+
+
+# -- engine-cache cross-incident hits feed the cross-hit counter -------------
+
+
+class TestEngineCrossHits:
+    @pytest.fixture()
+    def builder(self, sim, framework):
+        b = FeatureBuilder(framework.config, sim.topology, sim.store)
+        b.obs = Observability()
+        return b
+
+    @staticmethod
+    def _total(builder, name):
+        family = builder.obs.metrics.get(name)
+        return family.total() if family is not None else 0.0
+
+    @staticmethod
+    def _query(builder, sim):
+        device = sim.topology.components(ComponentKind.SWITCH)[0]
+        t = 86400.0 * 100
+        return builder.event_counts("snmp_syslogs", device, t - 3600.0, t)
+
+    def test_engine_hit_across_incidents_counts_as_cross_hit(
+        self, builder, sim
+    ):
+        # No TTL configured: the per-incident memos reset between
+        # incidents, but the engine's content-addressed caches survive
+        # — and their cross-incident hits must reach the counter (they
+        # silently didn't, which is how serve_cache_cross_hits hit 0).
+        builder.begin_incident()
+        self._query(builder, sim)  # miss: one store pull
+        self._query(builder, sim)  # same-incident hit: not cross
+        assert self._total(builder, "monitoring_cache_hits_total") == 1
+        assert self._total(builder, "monitoring_cache_cross_hits_total") == 0
+
+        builder.begin_incident()  # next incident
+        self._query(builder, sim)  # engine hit from the prior incident
+        assert self._total(builder, "monitoring_cache_hits_total") == 2
+        assert self._total(builder, "monitoring_cache_cross_hits_total") == 1
+
+    def test_engine_stamps_reset_with_the_engine_cache(self, builder, sim):
+        builder.begin_incident()
+        self._query(builder, sim)
+        assert builder._engine_stamps
+        builder.clear_engine_cache()
+        assert not builder._engine_stamps
+        builder.begin_incident()
+        self._query(builder, sim)  # cold again: a pull, not a cross hit
+        assert self._total(builder, "monitoring_cache_cross_hits_total") == 0

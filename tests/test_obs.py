@@ -103,16 +103,23 @@ def test_histogram_quantiles_resolve_to_bucket_bounds():
     assert hist.quantile(0.0) == 0.1
     assert hist.quantile(0.5) == 0.5
     assert hist.quantile(0.99) == 1.0
-    assert hist.percentiles() == {"p50": 0.5, "p90": 1.0, "p99": 1.0}
+    assert hist.percentiles() == {
+        "p50": 0.5, "p90": 1.0, "p99": 1.0, "saturated": False,
+    }
 
 
 def test_histogram_empty_is_nan_and_overflow_caps():
     registry = MetricsRegistry()
     hist = registry.histogram("lat", buckets=(0.1, 1.0))
     assert math.isnan(hist.quantile(0.5))
+    assert hist.quantile_ex(0.5).saturated is False  # empty != saturated
     hist.observe(50.0)  # beyond the largest finite bucket (+Inf bucket)
     assert hist.count() == 1
     assert hist.quantile(0.5) == 1.0  # capped at the largest finite bound
+    # The extended read-out exposes the clamp instead of hiding it.
+    readout = hist.quantile_ex(0.5)
+    assert readout.value == 1.0 and readout.saturated is True
+    assert hist.percentiles()["saturated"] is True
 
 
 def test_histogram_validates_buckets_and_q():
