@@ -7,6 +7,10 @@ Two analyzers share one finding model:
   against a monitoring store and a persisted model bundle.
 * :mod:`repro.lint.code_lint` — AST checks of the determinism and
   picklability invariants the pipeline relies on.
+* :mod:`repro.lint.program_analysis` — whole-program passes over a
+  call graph (``--program``): lock-order cycles, determinism taint
+  into decision logs/metrics, and the metrics-name contract against
+  the README/DESIGN tables.
 
 Run via ``repro lint`` or ``python -m repro.lint``; call
 :func:`lint_config` / :func:`lint_config_text` / :func:`lint_paths`
@@ -18,6 +22,7 @@ that raises :class:`LintError` on ERROR findings.
 
 from .code_lint import lint_file, lint_paths, lint_source
 from .config_lint import default_store, lint_config, lint_config_text, lint_model
+from .program_analysis import analyze_program, build_program
 from .findings import (
     Allowlist,
     Finding,
@@ -39,6 +44,8 @@ __all__ = [
     "RULES",
     "Rule",
     "Severity",
+    "analyze_program",
+    "build_program",
     "default_store",
     "exit_code",
     "lint_config",

@@ -13,6 +13,12 @@ Input selection:
   line numbers (how the examples keep their configs checkable).
 * ``--code PATH`` — run the codebase invariant checker over files or
   directories (repeatable).
+* ``--program PATH`` — run the whole-program analyzer (lock ordering,
+  determinism taint, metrics contract) over a tree (repeatable;
+  defaults to ``src/repro`` when given no path).
+* ``--changed [REF]`` — lint only files changed versus a git ref
+  (default ``HEAD``): changed ``.py`` files go through the code pass
+  and, with ``--program``, one whole-program pass over the tree.
 * ``--model FILE`` — schema-drift check of a persisted Scout bundle
   against the selected config (``--phynet`` or the first ``--config``).
 
@@ -63,6 +69,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--code", action="append", default=[], metavar="PATH",
         help="run the codebase invariant checker over files/directories "
         "(repeatable)",
+    )
+    parser.add_argument(
+        "--program", action="append", nargs="?", const="", default=[],
+        metavar="PATH",
+        help="run the whole-program analyzer (lock-order cycles, "
+        "determinism taint, metrics contract) over a tree "
+        "(repeatable; bare --program means src/repro)",
+    )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only .py files changed versus a git ref "
+        "(default: HEAD); adds them to the code and inline-config "
+        "passes",
     )
     parser.add_argument(
         "--model", metavar="FILE",
@@ -139,16 +158,41 @@ def _lint_inline(path: Path, store, findings: list[Finding]) -> None:
         )
 
 
+def _changed_files(ref: str) -> list[Path]:
+    """``.py`` files changed versus ``ref`` (plus untracked ones)."""
+    import subprocess
+
+    files: set[str] = set()
+    for cmd in (
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        result = subprocess.run(
+            cmd, capture_output=True, text=True, check=False
+        )
+        if result.returncode != 0:
+            raise SystemExit(
+                f"scoutlint --changed: {' '.join(cmd)} failed: "
+                f"{result.stderr.strip()}"
+            )
+        files.update(result.stdout.split())
+    return sorted(
+        p for name in files
+        if name.endswith(".py") and (p := Path(name)).is_file()
+    )
+
+
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if not (
         args.config or args.phynet or args.teams
-        or args.inline_configs or args.code or args.model
+        or args.inline_configs or args.code or args.program
+        or args.changed or args.model
     ):
         parser.error(
             "nothing to lint: pass --config/--phynet/--teams/"
-            "--inline-configs/--code/--model"
+            "--inline-configs/--code/--program/--changed/--model"
         )
 
     store = None if args.no_store else default_store()
@@ -193,8 +237,24 @@ def main(argv=None) -> int:
         for file in files:
             _lint_inline(file, store, findings)
 
-    if args.code:
-        findings.extend(lint_paths(args.code))
+    code_paths = list(args.code)
+    if args.changed is not None:
+        changed = _changed_files(args.changed)
+        code_paths.extend(str(p) for p in changed)
+        for file in changed:
+            _lint_inline(file, store, findings)
+
+    if code_paths:
+        findings.extend(lint_paths(code_paths))
+
+    if args.program:
+        from .program_analysis import analyze_program
+
+        program_paths = [entry or "src/repro" for entry in args.program]
+        missing = [p for p in program_paths if not Path(p).exists()]
+        if missing:
+            parser.error(f"--program path not found: {missing[0]}")
+        findings.extend(analyze_program(program_paths))
 
     if args.model:
         if drift_config is None or store is None:

@@ -33,7 +33,14 @@ from __future__ import annotations
 import ast
 from pathlib import Path
 
-from .findings import Finding, apply_disables, make_finding, parse_disable_comments
+from .findings import (
+    Finding,
+    apply_disables,
+    make_finding,
+    parse_disable_comments,
+    parse_python_disable_comments,
+    stale_suppressions,
+)
 
 __all__ = [
     "lint_source",
@@ -43,12 +50,21 @@ __all__ = [
     "HOT_PATH_FILES",
 ]
 
-# Wall-clock callables, keyed by their normalized dotted name.
+# Wall-clock callables, keyed by their normalized dotted name.  Direct
+# *calls* are the violation; passing one as a default-argument
+# reference (``clock=time.perf_counter``, ``sleep=time.sleep``) is the
+# sanctioned injection idiom and never flagged (references are not
+# ``ast.Call`` nodes).
 _CLOCK_CALLS = {
     "time.time",
     "time.time_ns",
     "time.monotonic",
     "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.sleep",
     "datetime.datetime.now",
     "datetime.datetime.utcnow",
     "datetime.datetime.today",
@@ -77,9 +93,11 @@ _LOCK_FACTORIES = {
 }
 
 # Module basenames that own wall-clock access (real time is their job)
-# and CLI surfaces where print() is the output channel.
+# and CLI surfaces where print() is the output channel.  CLI entry
+# points are exempt from naked-clock too: wall-time summaries printed
+# to a terminal are the one place real time *is* the product.
 DEFAULT_EXEMPT_FILES = {
-    "naked-clock": ("clock.py", "faults.py"),
+    "naked-clock": ("clock.py", "faults.py", "cli.py", "__main__.py"),
     "no-print": ("cli.py", "__main__.py"),
 }
 
@@ -274,7 +292,21 @@ def lint_source(
         ]
     checker = _Checker(path, _normalize_imports(tree))
     checker.visit(tree)
-    return apply_disables(checker.findings, parse_disable_comments(source))
+    used: set[tuple[int, str]] = set()
+    findings = apply_disables(
+        checker.findings, parse_disable_comments(source), used
+    )
+    # Dead disables are findings themselves (INFO): a suppression that
+    # suppresses nothing today would silently mask the rule's next real
+    # firing.  Only genuine comment tokens are judged — DSL disables
+    # embedded in *CONFIG_TEXT strings belong to the config analyzer.
+    findings.extend(
+        stale_suppressions(
+            parse_python_disable_comments(source), used,
+            path=path, scopes=("code",),
+        )
+    )
+    return findings
 
 
 def lint_file(path) -> list[Finding]:

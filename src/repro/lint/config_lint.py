@@ -32,7 +32,14 @@ from ..config.spec import ScoutConfig, parse_kind
 # disagree with feature construction about what "covered" means.
 from ..core.features import _covers
 from ..datacenter.components import ComponentKind
-from .findings import Finding, Severity, apply_disables, make_finding, parse_disable_comments
+from .findings import (
+    Finding,
+    Severity,
+    apply_disables,
+    make_finding,
+    parse_disable_comments,
+    stale_suppressions,
+)
 from .regex_analysis import exemplars, has_catastrophic_backtracking
 
 __all__ = ["lint_config_text", "lint_config", "lint_model", "default_store"]
@@ -467,9 +474,9 @@ def _check_dead_lets(
                 f"covers kind {kind.value} — it contributes only a "
                 "component-count feature",
                 line=lines.get(kind),
-                hint="register a covering dataset, or silence with "
-                "# scoutlint: disable=dead-let if deliberate (the "
-                "paper's PhyNet/VM case)",
+                hint="register a covering dataset, or silence with an "
+                "inline scoutlint disable=dead-let comment if "
+                "deliberate (the paper's PhyNet/VM case)",
             )
 
 
@@ -491,10 +498,21 @@ def _run_rules(model: _Model, store) -> list[Finding]:
 def lint_config_text(
     text: str, store=None, path: str = "<config>"
 ) -> list[Finding]:
-    """Analyze DSL text; ``# scoutlint: disable=RULE`` comments apply."""
+    """Analyze DSL text; ``# scoutlint: disable=RULE`` comments apply.
+
+    A disable that suppresses nothing is itself reported (INFO
+    ``stale-suppression``): DSL text owns its comments outright, so a
+    dead disable here has no other analyzer left to consume it.
+    """
     model = _model_from_text(text, path)
     findings = _run_rules(model, store)
-    return apply_disables(findings, parse_disable_comments(text))
+    disables = parse_disable_comments(text)
+    used: set[tuple[int, str]] = set()
+    findings = apply_disables(findings, disables, used)
+    findings.extend(
+        stale_suppressions(disables, used, path=path, scopes=("config",))
+    )
+    return findings
 
 
 def lint_config(

@@ -11,8 +11,10 @@ inputs are byte-identical.
 from __future__ import annotations
 
 import enum
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -29,6 +31,8 @@ __all__ = [
     "exit_code",
     "require_clean",
     "parse_disable_comments",
+    "parse_python_disable_comments",
+    "stale_suppressions",
     "Allowlist",
 ]
 
@@ -123,6 +127,27 @@ RULES: dict[str, Rule] = {
         Rule("hot-path-recompute", Severity.WARN,
              "full-window order statistic (np.percentile/quantile/median) "
              "in a per-incident hot-path module", "code"),
+        Rule("stale-suppression", Severity.INFO,
+             "a scoutlint disable comment that suppresses nothing", "code"),
+        # -- whole-program analyzer (repro.lint.program_analysis) -----------
+        Rule("lock-order-cycle", Severity.ERROR,
+             "two locks are acquired in opposite orders on different "
+             "call paths (potential deadlock)", "program"),
+        Rule("lock-held-blocking", Severity.WARN,
+             "a blocking call (sleep/Future.result/queue.get/pool "
+             "shutdown) runs while a lock is held", "program"),
+        Rule("determinism-taint", Severity.ERROR,
+             "wall-clock/unseeded-RNG/uuid/set-iteration value flows "
+             "into a determinism sink (decision log, metric emission, "
+             "ServingDecision field)", "program"),
+        Rule("undocumented-metric", Severity.ERROR,
+             "metric emitted in code but absent from the README metric "
+             "table", "program"),
+        Rule("orphaned-metric-doc", Severity.WARN,
+             "documented metric that no code path emits", "program"),
+        Rule("metric-label-drift", Severity.WARN,
+             "emitted metric whose label set or kind disagrees with the "
+             "README metric table", "program"),
     ]
 }
 
@@ -259,17 +284,108 @@ def parse_disable_comments(text: str) -> dict[int, set[str]]:
     return disables
 
 
+def parse_python_disable_comments(source: str) -> dict[int, set[str]]:
+    """Like :func:`parse_disable_comments`, but only for *real* Python
+    comment tokens.
+
+    The text-based parser deliberately also matches disables embedded
+    in string literals (inline DSL configs carry their suppressions
+    that way), which is correct for *applying* them but wrong for
+    judging staleness: a DSL disable inside a ``*CONFIG_TEXT`` constant
+    is consumed by the config analyzer, not the code pass.  Staleness
+    therefore only considers genuine ``tokenize.COMMENT`` tokens.
+    Falls back to the text parser when the module does not tokenize.
+    """
+    disables: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _DISABLE.search(token.string)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                disables[token.start[0]] = {rule for rule in rules if rule}
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return parse_disable_comments(source)
+    return disables
+
+
 def apply_disables(
-    findings: list[Finding], disables: dict[int, set[str]]
+    findings: list[Finding],
+    disables: dict[int, set[str]],
+    used: set[tuple[int, str]] | None = None,
 ) -> list[Finding]:
-    """Drop findings suppressed by an inline disable on their line."""
+    """Drop findings suppressed by an inline disable on their line.
+
+    ``used``, when given, collects the ``(line, token)`` pairs that
+    actually suppressed something — the input for
+    :func:`stale_suppressions`, which turns the *unused* remainder into
+    ``stale-suppression`` findings so dead disables can't silently mask
+    future regressions.
+    """
     kept = []
     for finding in findings:
-        rules = disables.get(finding.line or -1, set())
-        if finding.rule in rules or "all" in rules:
+        line = finding.line or -1
+        rules = disables.get(line, set())
+        if finding.rule in rules:
+            if used is not None:
+                used.add((line, finding.rule))
+            continue
+        if "all" in rules:
+            if used is not None:
+                used.add((line, "all"))
             continue
         kept.append(finding)
     return kept
+
+
+def stale_suppressions(
+    disables: dict[int, set[str]],
+    used: set[tuple[int, str]],
+    *,
+    path: str,
+    scopes: tuple[str, ...],
+    offset: int = 0,
+) -> list[Finding]:
+    """INFO findings for disable tokens that suppressed nothing.
+
+    Judged per analysis pass: a token is only reported stale by the
+    pass whose rule *scope* owns it (``scopes``), so a
+    ``disable=lock-held-blocking`` next to a program-analysis finding
+    is not declared dead by the per-file code checker that never runs
+    that rule.  Tokens naming no catalog rule at all are dead by
+    construction and judged by every pass in ``scopes`` that sees them
+    — except the program pass, which shares Python comments with the
+    code pass and would double-report them.  ``offset`` shifts reported
+    lines (inline DSL configs embedded in ``.py`` files).
+    """
+    findings = []
+    judge_unknown = "code" in scopes or "config" in scopes
+    for line in sorted(disables):
+        for token in sorted(disables[line]):
+            if (line, token) in used:
+                continue
+            rule = RULES.get(token)
+            if rule is None and token != "all":
+                if not judge_unknown:
+                    continue
+            elif token == "all":
+                if not judge_unknown:
+                    continue
+            elif rule.scope not in scopes:
+                continue
+            findings.append(
+                make_finding(
+                    "stale-suppression",
+                    f"disable={token} suppresses nothing on this line",
+                    path=path,
+                    line=line + offset,
+                    hint="remove the dead disable comment (or fix the "
+                    "rule name) so it cannot mask a future regression",
+                )
+            )
+    return findings
 
 
 @dataclass

@@ -1,0 +1,430 @@
+"""Lock-order analysis: acquisition graphs over the call graph.
+
+Two rules:
+
+* ``lock-order-cycle`` (ERROR) — two locks acquired in opposite orders
+  on different call paths.  Acquisitions are ``with``-statement entries
+  on resolved lock expressions (``self._commit_lock``, a local alias of
+  ``self._team_locks[team]``, a module-global lock); held sets
+  propagate through resolved calls, so ``f`` holding A and calling
+  ``g`` which takes B contributes the edge A→B with the call path in
+  the witness.  Any cycle in the resulting order graph is a potential
+  deadlock.
+* ``lock-held-blocking`` (WARN) — a blocking call (``time.sleep``, a
+  ``Future.result``/``.wait``, ``queue.get``, executor ``shutdown``)
+  made while any lock is held.  These are latency/liveness hazards:
+  every other thread contending on the lock stalls behind the wait.
+
+Both findings name concrete acquisition sites and, for interprocedural
+edges, the call chain, so the report reads as a proof sketch rather
+than a bare rule id.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from ..findings import Finding, make_finding
+from .callgraph import (
+    FunctionInfo,
+    LocalEnv,
+    Program,
+    build_local_env,
+)
+
+__all__ = ["analyze_locks", "resolve_lock_expr"]
+
+# Canonical dotted names that block the calling thread outright.
+_BLOCKING_CALLS = {"time.sleep"}
+
+# Method names that block when invoked on futures/queues/executors.
+# Matched only when the receiver is not resolvable to an analyzed
+# class that defines the method itself (so ``self.result()`` on a
+# domain class is not a future wait).
+_BLOCKING_METHODS = {"result", "get", "join", "wait", "shutdown", "acquire"}
+
+
+def resolve_lock_expr(
+    program: Program, fn: FunctionInfo, expr: ast.expr, env: LocalEnv
+) -> str | None:
+    """Resolve an expression to a stable lock identity, or None.
+
+    Identities: ``<ClassName>.<attr>`` for instance fields (with a
+    ``[]`` suffix for dict-of-locks collections — every member of one
+    collection is ranked as a single class in the order), and
+    ``<module>.<NAME>`` for module-global locks.
+    """
+    # team_lock (a local bound from self._team_locks[team] earlier)
+    if isinstance(expr, ast.Name):
+        if expr.id in env.local_locks:
+            return env.local_locks[expr.id]
+        module = program.modules[fn.module]
+        if expr.id in module.global_locks:
+            return f"{module.name}.{expr.id}"
+        return None
+    # self._team_locks[team] / self._team_locks.get(team)
+    if isinstance(expr, ast.Subscript):
+        return _collection_member(program, fn, expr.value)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Attribute)
+        and expr.func.attr in ("get", "setdefault")
+    ):
+        return _collection_member(program, fn, expr.func.value)
+    # self._commit_lock
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+        and fn.class_qualname is not None
+    ):
+        found = program.lock_field(fn.class_qualname, expr.attr)
+        if found is not None:
+            cls, _factory, _line, is_collection = found
+            suffix = "[]" if is_collection else ""
+            return f"{cls.name}.{expr.attr}{suffix}"
+    return None
+
+
+def _collection_member(
+    program: Program, fn: FunctionInfo, container: ast.expr
+) -> str | None:
+    if (
+        isinstance(container, ast.Attribute)
+        and isinstance(container.value, ast.Name)
+        and container.value.id == "self"
+        and fn.class_qualname is not None
+    ):
+        found = program.lock_field(fn.class_qualname, container.attr)
+        if found is not None and found[3]:
+            cls = found[0]
+            return f"{cls.name}.{container.attr}[]"
+    return None
+
+
+@dataclass(frozen=True)
+class _Edge:
+    """One ordered acquisition ``first`` → ``second`` with its witness."""
+
+    first: str
+    second: str
+    witness: str  # human-readable proof sketch
+    path: str
+    line: int
+
+
+@dataclass
+class _FunctionFacts:
+    fn: FunctionInfo
+    env: LocalEnv
+    # Locks acquired directly in this function: id -> first with-line.
+    acquires: dict[str, int]
+    # (line, callee qualname, held ids at the call, held lines)
+    calls: list[tuple[int, str, tuple[str, ...], dict[str, int]]]
+    # Blocking-call findings deferred until we know held sets.
+    blocking: list[tuple[int, str, tuple[str, ...], dict[str, int]]]
+    # Intra-function ordered pairs with both with-lines.
+    pairs: list[tuple[str, int, str, int]]
+
+
+def _short(qualname: str) -> str:
+    """``repro.serving.manager.IncidentManager.swap`` → last two parts."""
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 1 else qualname
+
+
+class _AcquisitionWalker(ast.NodeVisitor):
+    """Walk one function body tracking the currently-held lock stack."""
+
+    def __init__(self, program: Program, facts: _FunctionFacts) -> None:
+        self.program = program
+        self.facts = facts
+        self.held: list[tuple[str, int]] = []
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired: list[str] = []
+        for item in node.items:
+            lock = resolve_lock_expr(
+                self.program, self.facts.fn, item.context_expr,
+                self.facts.env,
+            )
+            if lock is None and isinstance(item.context_expr, ast.Call):
+                self.visit(item.context_expr)
+            if lock is None:
+                continue
+            for held_id, held_line in self.held:
+                if held_id != lock:
+                    self.facts.pairs.append(
+                        (held_id, held_line, lock, node.lineno)
+                    )
+            self.facts.acquires.setdefault(lock, node.lineno)
+            self.held.append((lock, node.lineno))
+            acquired.append(lock)
+        for stmt in node.body:
+            self.visit(stmt)
+        for _ in acquired:
+            self.held.pop()
+
+    visit_AsyncWith = visit_With  # same acquisition semantics
+
+    def visit_Call(self, node: ast.Call) -> None:
+        held_ids = tuple(lock for lock, _ in self.held)
+        held_lines = {lock: line for lock, line in self.held}
+        callees = self.program.resolve_call(
+            self.facts.fn, node, self.facts.env
+        )
+        for callee in sorted(callees):
+            self.facts.calls.append(
+                (node.lineno, callee, held_ids, dict(held_lines))
+            )
+        if held_ids:
+            blocked = self._blocking_name(node, callees)
+            if blocked is not None:
+                self.facts.blocking.append(
+                    (node.lineno, blocked, held_ids, dict(held_lines))
+                )
+        self.generic_visit(node)
+
+    def _blocking_name(
+        self, node: ast.Call, callees: list[str]
+    ) -> str | None:
+        canonical = self.program.canonical_call_name(self.facts.fn, node)
+        if canonical in _BLOCKING_CALLS:
+            return f"{canonical}()"
+        if callees:
+            return None  # resolved to analyzed code: not a stdlib wait
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _BLOCKING_METHODS
+            and not isinstance(func.value, ast.Constant)
+        ):
+            # ``", ".join(...)`` and lock ``acquire`` on the held lock
+            # itself are the classic false positives; require a
+            # non-literal receiver and skip str.join-like shapes.
+            if func.attr == "join" and not isinstance(
+                func.value, (ast.Name, ast.Attribute)
+            ):
+                return None
+            # ``.get`` is overwhelmingly a dict lookup.  A *queue* get
+            # blocks when called bare or with block=/timeout= — a dict
+            # ``.get`` always passes the key positionally.
+            if func.attr == "get" and not (
+                not node.args
+                or any(
+                    kw.arg in ("block", "timeout") for kw in node.keywords
+                )
+            ):
+                return None
+            receiver = ast.unparse(func.value)
+            return f"{receiver}.{func.attr}()"
+        return None
+
+    # Don't descend into nested defs: their bodies run later, not
+    # under the locks currently held here.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        return None
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        return None
+
+
+def _gather(program: Program) -> dict[str, _FunctionFacts]:
+    facts: dict[str, _FunctionFacts] = {}
+    for qualname in sorted(program.functions):
+        fn = program.functions[qualname]
+        env = build_local_env(program, fn)
+        f = _FunctionFacts(
+            fn=fn, env=env, acquires={}, calls=[], blocking=[], pairs=[]
+        )
+        walker = _AcquisitionWalker(program, f)
+        for stmt in fn.node.body:
+            walker.visit(stmt)
+        facts[qualname] = f
+    return facts
+
+
+def _transitive_acquires(
+    facts: dict[str, _FunctionFacts]
+) -> dict[str, set[str]]:
+    """Fixpoint: every lock a call to ``f`` may end up acquiring."""
+    closure = {name: set(f.acquires) for name, f in facts.items()}
+    changed = True
+    while changed:
+        changed = False
+        for name in sorted(facts):
+            for _line, callee, _held, _lines in facts[name].calls:
+                extra = closure.get(callee, set()) - closure[name]
+                if extra:
+                    closure[name] |= extra
+                    changed = True
+    return closure
+
+
+def _witness_chain(
+    facts: dict[str, _FunctionFacts],
+    closure: dict[str, set[str]],
+    start: str,
+    lock: str,
+) -> str:
+    """Deterministic call chain from ``start`` to an acquisition of
+    ``lock``: ``a.b -> c.d -> takes LOCK at path:line``."""
+    chain: list[str] = []
+    current = start
+    seen: set[str] = set()
+    while current not in seen:
+        seen.add(current)
+        f = facts[current]
+        if lock in f.acquires:
+            site = f"{f.fn.path}:{f.acquires[lock]}"
+            chain.append(f"{_short(current)} takes {lock} at {site}")
+            return " -> ".join(chain)
+        chain.append(_short(current))
+        step = None
+        for line, callee, _held, _lines in sorted(f.calls):
+            if callee in closure and lock in closure.get(callee, set()):
+                step = callee
+                break
+        if step is None:
+            break
+        current = step
+    chain.append(f"... {lock}")
+    return " -> ".join(chain)
+
+
+def _collect_edges(
+    facts: dict[str, _FunctionFacts], closure: dict[str, set[str]]
+) -> list[_Edge]:
+    edges: list[_Edge] = []
+    for name in sorted(facts):
+        f = facts[name]
+        for first, first_line, second, second_line in f.pairs:
+            edges.append(
+                _Edge(
+                    first,
+                    second,
+                    f"{_short(name)} takes {first} at "
+                    f"{f.fn.path}:{first_line} then {second} at "
+                    f"{f.fn.path}:{second_line}",
+                    f.fn.path,
+                    first_line,
+                )
+            )
+        for line, callee, held, held_lines in f.calls:
+            if not held or callee not in closure:
+                continue
+            for lock in sorted(closure[callee]):
+                for held_lock in held:
+                    if held_lock == lock:
+                        continue
+                    tail = _witness_chain(facts, closure, callee, lock)
+                    edges.append(
+                        _Edge(
+                            held_lock,
+                            lock,
+                            f"{_short(name)} takes {held_lock} at "
+                            f"{f.fn.path}:{held_lines[held_lock]} then "
+                            f"calls ({f.fn.path}:{line}) {tail}",
+                            f.fn.path,
+                            held_lines[held_lock],
+                        )
+                    )
+    return edges
+
+
+def _find_cycles(edges: list[_Edge]) -> list[list[_Edge]]:
+    """Minimal representative cycles, deterministically chosen.
+
+    For each ordered pair (a, b) with edges both ways we report one
+    two-edge cycle; longer cycles without a two-cycle core are found
+    via DFS from the lexicographically smallest node.
+    """
+    by_pair: dict[tuple[str, str], _Edge] = {}
+    for edge in sorted(edges, key=lambda e: (e.first, e.second, e.witness)):
+        by_pair.setdefault((edge.first, edge.second), edge)
+    cycles: list[list[_Edge]] = []
+    reported: set[frozenset[str]] = set()
+    for (a, b), edge in sorted(by_pair.items()):
+        back = by_pair.get((b, a))
+        if back is not None and a < b:
+            cycles.append([edge, back])
+            reported.add(frozenset((a, b)))
+    # Longer cycles: DFS over the pair graph.
+    adjacency: dict[str, list[str]] = {}
+    for a, b in by_pair:
+        adjacency.setdefault(a, []).append(b)
+    for node in adjacency.values():
+        node.sort()
+
+    def dfs(start: str) -> list[str] | None:
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        while stack:
+            current, path = stack.pop()
+            for nxt in adjacency.get(current, ()):  # sorted
+                if nxt == start and len(path) > 2:
+                    return path
+                if nxt in path or nxt < start:
+                    continue
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    for start in sorted(adjacency):
+        path = dfs(start)
+        if path is None:
+            continue
+        members = frozenset(path)
+        if any(members >= r for r in reported):
+            continue
+        cycle_edges = [
+            by_pair[(path[i], path[(i + 1) % len(path)])]
+            for i in range(len(path))
+        ]
+        cycles.append(cycle_edges)
+        reported.add(members)
+    return cycles
+
+
+def analyze_locks(program: Program) -> list[Finding]:
+    facts = _gather(program)
+    closure = _transitive_acquires(facts)
+    edges = _collect_edges(facts, closure)
+    findings: list[Finding] = []
+    for cycle in _find_cycles(edges):
+        ring = " -> ".join(
+            [edge.first for edge in cycle] + [cycle[0].first]
+        )
+        proof = "; ".join(edge.witness for edge in cycle)
+        first = min(cycle, key=lambda e: (e.path, e.line))
+        findings.append(
+            make_finding(
+                "lock-order-cycle",
+                f"lock-order cycle {ring}: {proof}",
+                path=first.path,
+                line=first.line,
+                hint="pick one global acquisition order and release "
+                "before taking a lock that ranks earlier",
+            )
+        )
+    for name in sorted(facts):
+        f = facts[name]
+        for line, what, held, held_lines in f.blocking:
+            held_desc = ", ".join(
+                f"{lock} (taken at line {held_lines[lock]})"
+                for lock in held
+            )
+            findings.append(
+                make_finding(
+                    "lock-held-blocking",
+                    f"{_short(name)} calls blocking {what} while "
+                    f"holding {held_desc}",
+                    path=f.fn.path,
+                    line=line,
+                    hint="move the wait outside the critical section, "
+                    "or snapshot state under the lock and block after "
+                    "releasing it",
+                )
+            )
+    return findings

@@ -1,0 +1,287 @@
+"""Metrics-contract checker: code ↔ documentation drift.
+
+The README metric table ("| Metric | Type | Labels | Meaning |") is
+the canonical contract for every family the system emits.  This pass
+
+* extracts every ``registry.counter/gauge/histogram("name", ...)``
+  registration in code — including *indirect* registrations through a
+  parameter-forwarding helper (``FeatureBuilder._count(metric, kind)``)
+  by resolving call sites that pass a literal name;
+* parses the README table (name, kind, label set) and DESIGN.md's
+  backticked metric references;
+* reports ``undocumented-metric`` (ERROR) for families the code emits
+  but the table omits, ``orphaned-metric-doc`` (WARN) for table rows
+  and DESIGN references no code path registers, and
+  ``metric-label-drift`` (WARN) when the documented kind or label set
+  disagrees with the registration.
+
+Histogram series suffixes (``_bucket``/``_count``/``_sum``) are
+stripped to the family name before comparison, and DESIGN.md prose is
+only held to the contract for tokens that *look* like metric names
+(``*_total``/``*_seconds`` or an exact README name) so ordinary
+identifiers in prose don't false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..findings import Finding, make_finding
+from .callgraph import Program, build_local_env
+
+__all__ = ["analyze_metrics_contract", "collect_registrations"]
+
+_KINDS = {"counter", "gauge", "histogram"}
+
+_ROW = re.compile(r"^\|\s*`(?P<name>[A-Za-z_][\w]*)`\s*\|"
+                  r"\s*(?P<kind>\w+)\s*\|(?P<labels>[^|]*)\|")
+_LABEL = re.compile(r"`([\w]+)`")
+_DESIGN_TOKEN = re.compile(r"`([a-z_][a-z0-9_]*)`")
+_SERIES_SUFFIXES = ("_bucket", "_count", "_sum")
+
+
+@dataclass(frozen=True)
+class Registration:
+    name: str
+    kind: str
+    labels: tuple[str, ...] | None  # None: labels not statically known
+    path: str
+    line: int
+
+
+def _literal_str(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _labels_tuple(call: ast.Call) -> tuple[str, ...] | None:
+    for kw in call.keywords:
+        if kw.arg != "labels":
+            continue
+        if isinstance(kw.value, (ast.Tuple, ast.List)):
+            out = []
+            for element in kw.value.elts:
+                value = _literal_str(element)
+                if value is None:
+                    return None
+                out.append(value)
+            return tuple(out)
+        return None
+    return ()
+
+
+def collect_registrations(program: Program) -> list[Registration]:
+    """Every metric registration, literal or helper-forwarded."""
+    direct: list[Registration] = []
+    # Helper functions whose parameter N is forwarded as a metric
+    # name: qualname -> (param index, kind, labels).
+    forwarders: dict[str, tuple[int, str, tuple[str, ...] | None]] = {}
+
+    for qualname in sorted(program.functions):
+        fn = program.functions[qualname]
+        for node in ast.walk(fn.node):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _KINDS
+                and node.args
+            ):
+                continue
+            kind = node.func.attr
+            labels = _labels_tuple(node)
+            name = _literal_str(node.args[0])
+            if name is not None:
+                direct.append(
+                    Registration(name, kind, labels, fn.path, node.lineno)
+                )
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Name) and first.id in fn.params:
+                forwarders[qualname] = (
+                    fn.params.index(first.id), kind, labels
+                )
+            # Non-literal, non-parameter first args (e.g. an ndarray
+            # passed to some other object's .histogram()) are ignored:
+            # they are not registry registrations.
+
+    # Resolve forwarder call sites that pass a literal name.
+    resolved: list[Registration] = []
+    if forwarders:
+        for qualname in sorted(program.functions):
+            fn = program.functions[qualname]
+            env = build_local_env(program, fn)
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                for callee in program.resolve_call(fn, node, env):
+                    if callee not in forwarders:
+                        continue
+                    idx, kind, labels = forwarders[callee]
+                    info = program.functions[callee]
+                    offset = 1 if info.class_qualname is not None else 0
+                    name = None
+                    arg_pos = idx - offset
+                    if 0 <= arg_pos < len(node.args):
+                        name = _literal_str(node.args[arg_pos])
+                    if name is None:
+                        param = info.params[idx]
+                        for kw in node.keywords:
+                            if kw.arg == param:
+                                name = _literal_str(kw.value)
+                    if name is not None:
+                        resolved.append(
+                            Registration(
+                                name, kind, labels, fn.path, node.lineno
+                            )
+                        )
+    return sorted(
+        direct + resolved,
+        key=lambda r: (r.name, r.path, r.line),
+    )
+
+
+def _parse_readme(
+    readme_path: Path,
+) -> dict[str, tuple[str, tuple[str, ...], int]]:
+    """README table rows: name -> (kind, labels, line)."""
+    rows: dict[str, tuple[str, tuple[str, ...], int]] = {}
+    for lineno, line in enumerate(
+        readme_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        match = _ROW.match(line.strip())
+        if match is None:
+            continue
+        kind = match.group("kind").lower()
+        if kind not in _KINDS:
+            continue  # some other table (knobs, commands)
+        labels = tuple(_LABEL.findall(match.group("labels")))
+        rows.setdefault(
+            match.group("name"), (kind, labels, lineno)
+        )
+    return rows
+
+
+def _family(name: str) -> str:
+    for suffix in _SERIES_SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def _design_references(
+    design_path: Path, documented: set[str]
+) -> list[tuple[str, int]]:
+    """Backticked tokens in DESIGN.md that look like metric names."""
+    refs: list[tuple[str, int]] = []
+    for lineno, line in enumerate(
+        design_path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for token in _DESIGN_TOKEN.findall(line):
+            base = _family(token)
+            looks_metric = base.endswith("_total") or base.endswith(
+                "_seconds"
+            )
+            if looks_metric or base in documented:
+                refs.append((base, lineno))
+    return refs
+
+
+def analyze_metrics_contract(
+    program: Program,
+    readme_path=None,
+    design_path=None,
+) -> list[Finding]:
+    registrations = collect_registrations(program)
+    code: dict[str, Registration] = {}
+    for reg in registrations:
+        code.setdefault(reg.name, reg)
+
+    findings: list[Finding] = []
+    if readme_path is None:
+        return findings
+    readme_path = Path(readme_path)
+    if not readme_path.exists():
+        return findings
+    documented = _parse_readme(readme_path)
+
+    for name in sorted(code):
+        reg = code[name]
+        if name not in documented:
+            findings.append(
+                make_finding(
+                    "undocumented-metric",
+                    f"metric {name} ({reg.kind}) is emitted here but "
+                    f"missing from the {readme_path.name} metric table",
+                    path=reg.path,
+                    line=reg.line,
+                    hint=f"add a `| \\`{name}\\` | {reg.kind} | ... |` "
+                    "row to the metric table (it is the canonical "
+                    "contract), or rename the registration",
+                )
+            )
+            continue
+        doc_kind, doc_labels, doc_line = documented[name]
+        if doc_kind != reg.kind:
+            findings.append(
+                make_finding(
+                    "metric-label-drift",
+                    f"metric {name} documented as {doc_kind} but "
+                    f"registered as {reg.kind} at {reg.path}:{reg.line}",
+                    path=str(readme_path),
+                    line=doc_line,
+                )
+            )
+        elif reg.labels is not None and set(doc_labels) != set(reg.labels):
+            doc_desc = ", ".join(sorted(doc_labels)) or "(none)"
+            code_desc = ", ".join(sorted(reg.labels)) or "(none)"
+            findings.append(
+                make_finding(
+                    "metric-label-drift",
+                    f"metric {name} documented with labels {doc_desc} "
+                    f"but registered with {code_desc} at "
+                    f"{reg.path}:{reg.line}",
+                    path=str(readme_path),
+                    line=doc_line,
+                )
+            )
+
+    for name in sorted(documented):
+        if name not in code:
+            _kind, _labels, doc_line = documented[name]
+            findings.append(
+                make_finding(
+                    "orphaned-metric-doc",
+                    f"documented metric {name} is registered by no "
+                    "analyzed code path",
+                    path=str(readme_path),
+                    line=doc_line,
+                    hint="drop the row or restore the emission; stale "
+                    "rows teach operators to query series that never "
+                    "exist",
+                )
+            )
+
+    if design_path is not None:
+        design_path = Path(design_path)
+        if design_path.exists():
+            seen: set[tuple[str, int]] = set()
+            for base, lineno in _design_references(
+                design_path, set(documented)
+            ):
+                if base in code or (base, lineno) in seen:
+                    continue
+                seen.add((base, lineno))
+                findings.append(
+                    make_finding(
+                        "orphaned-metric-doc",
+                        f"{design_path.name} references metric {base} "
+                        "which no analyzed code path registers",
+                        path=str(design_path),
+                        line=lineno,
+                    )
+                )
+    return findings

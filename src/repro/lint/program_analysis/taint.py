@@ -1,0 +1,491 @@
+"""Determinism taint pass.
+
+Tracks nondeterminism *sources* —
+
+* wall-clock reads (``time.time()``, ``datetime.now()``, …),
+* unseeded RNG draws (``random.random()``, ``np.random.rand()``),
+* ``uuid`` generation,
+* iteration over an unordered ``set``
+
+— flowing into determinism *sinks*:
+
+* decision-log appends (``self._log.append(...)`` on a list attribute
+  whose name marks it as a log),
+* metric emissions (``.inc``/``.observe``/``.set`` on a
+  ``MetricsRegistry`` instrument, including tainted label values),
+* ``ServingDecision(...)`` constructor fields.
+
+The sanctioned idioms stay clean by construction: an *injected* clock
+(``self._clock()``, where ``_clock`` was bound from a
+``clock=time.perf_counter`` parameter) is not a canonical clock call,
+and ``sorted(...)`` launders set-iteration taint (ordering is the only
+thing wrong with a set walk).  Flow is interprocedural via two
+fixpoint summaries: which functions *return* tainted values, and which
+function *parameters* reach a sink.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from ..findings import Finding, make_finding
+from .callgraph import (
+    FunctionInfo,
+    LocalEnv,
+    Program,
+    build_local_env,
+)
+
+__all__ = ["analyze_taint"]
+
+_CLOCK_SOURCES = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+_UUID_SOURCES = {"uuid.uuid1", "uuid.uuid3", "uuid.uuid4", "uuid.uuid5"}
+
+_RANDOM_PREFIXES = ("random.", "numpy.random.")
+_RANDOM_ALLOWED = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "random.Random",
+    "random.SystemRandom",
+}
+
+_INSTRUMENT_METHODS = {"counter", "gauge", "histogram", "bind"}
+_EMIT_METHODS = {"inc", "observe", "set"}
+_SET_ITER = "unordered set iteration"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """What an expression's value may carry: concrete nondeterminism
+    descriptions, plus the parameter indices it may have flowed from."""
+
+    descs: frozenset[str] = frozenset()
+    params: frozenset[int] = frozenset()
+
+    def __or__(self, other: "Taint") -> "Taint":
+        return Taint(self.descs | other.descs, self.params | other.params)
+
+    @property
+    def clean(self) -> bool:
+        return not self.descs and not self.params
+
+
+_EMPTY = Taint()
+
+
+@dataclass
+class _Summary:
+    """Interprocedural summary for one function."""
+
+    return_descs: frozenset[str] = frozenset()
+    return_params: frozenset[int] = frozenset()
+    sink_params: dict[int, str] = field(default_factory=dict)  # idx -> sink
+
+
+class _FunctionPass(ast.NodeVisitor):
+    """One flow-insensitive-ish pass over a function body.
+
+    Statements are walked in order with a per-variable taint map; the
+    body is traversed twice so loop-carried assignments stabilize.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        env: LocalEnv,
+        summaries: dict[str, _Summary],
+        report: bool,
+    ) -> None:
+        self.program = program
+        self.fn = fn
+        self.env = env
+        self.summaries = summaries
+        self.report = report
+        self.vars: dict[str, Taint] = {}
+        self.summary = _Summary()
+        self.findings: list[tuple] = []
+        self._param_index = {name: i for i, name in enumerate(fn.params)}
+
+    # -- driving -----------------------------------------------------------
+
+    def run(self) -> None:
+        for _ in range(2):
+            for stmt in self.fn.node.body:
+                self._stmt(stmt)
+
+    def _stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return
+        if isinstance(node, ast.Assign):
+            taint = self._expr(node.value)
+            for target in node.targets:
+                self._bind(target, taint)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            self._bind(node.target, self._expr(node.value))
+        elif isinstance(node, ast.AugAssign):
+            taint = self._expr(node.value) | self._expr(node.target)
+            self._bind(node.target, taint)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                taint = self._expr(node.value)
+                self.summary.return_descs |= taint.descs
+                self.summary.return_params |= taint.params
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            taint = self._expr(node.iter)
+            if self._is_raw_set(node.iter):
+                taint = taint | Taint(descs=frozenset({_SET_ITER}))
+            self._bind(node.target, taint)
+            for stmt in node.body + node.orelse:
+                self._stmt(stmt)
+        elif isinstance(node, ast.While):
+            self._expr(node.test)
+            for stmt in node.body + node.orelse:
+                self._stmt(stmt)
+        elif isinstance(node, ast.If):
+            self._expr(node.test)
+            for stmt in node.body + node.orelse:
+                self._stmt(stmt)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                taint = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, taint)
+            for stmt in node.body:
+                self._stmt(stmt)
+        elif isinstance(node, ast.Try):
+            for stmt in node.body:
+                self._stmt(stmt)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._stmt(stmt)
+            for stmt in node.orelse + node.finalbody:
+                self._stmt(stmt)
+        elif isinstance(node, ast.Expr):
+            self._expr(node.value)
+        elif isinstance(node, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        # pass/break/continue/import/global: nothing flows
+
+    def _bind(self, target: ast.expr, taint: Taint) -> None:
+        if isinstance(target, ast.Name):
+            self.vars[target.id] = self.vars.get(target.id, _EMPTY) | taint
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, taint)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, taint)
+        # Attribute/Subscript stores: no instance-field taint tracking.
+
+    # -- expressions -------------------------------------------------------
+
+    def _expr(self, node: ast.expr) -> Taint:
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Name):
+            taint = self.vars.get(node.id, _EMPTY)
+            if node.id in self._param_index and node.id != "self":
+                taint = taint | Taint(
+                    params=frozenset({self._param_index[node.id]})
+                )
+            return taint
+        if isinstance(node, ast.Attribute):
+            return self._expr(node.value)
+        if isinstance(node, (ast.Constant, ast.Lambda)):
+            return _EMPTY
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            return self._comprehension(node)
+        taint = _EMPTY
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint = taint | self._expr(child)
+        return taint
+
+    def _comprehension(self, node: ast.expr) -> Taint:
+        taint = _EMPTY
+        for gen in node.generators:
+            taint = taint | self._expr(gen.iter)
+            if self._is_raw_set(gen.iter):
+                taint = taint | Taint(descs=frozenset({_SET_ITER}))
+            self._bind(gen.target, taint)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                taint = taint | self._expr(child)
+        return taint
+
+    def _is_raw_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in self.env.local_sets
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.fn.class_qualname is not None
+        ):
+            return self.program.attr_flag(
+                self.fn.class_qualname, node.attr, "set_attrs"
+            )
+        if isinstance(node, ast.Call):
+            name = self.program.canonical_call_name(self.fn, node)
+            return name in ("set", "frozenset")
+        return False
+
+    # -- calls: sources, launder, sinks, summaries -------------------------
+
+    def _call(self, node: ast.Call) -> Taint:
+        canonical = self.program.canonical_call_name(self.fn, node)
+        arg_taints = [self._expr(arg) for arg in node.args]
+        kw_taints = {
+            kw.arg: self._expr(kw.value) for kw in node.keywords
+        }
+        merged = _EMPTY
+        for taint in arg_taints:
+            merged = merged | taint
+        for taint in kw_taints.values():
+            merged = merged | taint
+
+        # sorted() launders ordering nondeterminism — the one legal way
+        # to iterate a set into anything deterministic.
+        if canonical == "sorted":
+            return Taint(
+                merged.descs - {_SET_ITER}, merged.params
+            )
+
+        source = self._source_desc(canonical)
+        if source is not None:
+            return merged | Taint(descs=frozenset({source}))
+
+        sink = self._sink_desc(node, canonical)
+        if sink is not None:
+            self._record_sink_hit(node, sink, arg_taints, kw_taints)
+            return merged
+
+        # Resolved callees: pick up return taint and check whether any
+        # tainted argument lands on a parameter that reaches a sink.
+        result = _EMPTY
+        for callee in sorted(
+            self.program.resolve_call(self.fn, node, self.env)
+        ):
+            summary = self.summaries.get(callee)
+            info = self.program.functions.get(callee)
+            if summary is None or info is None:
+                continue
+            result = result | Taint(descs=summary.return_descs)
+            offset = 1 if info.class_qualname is not None else 0
+            for i, taint in enumerate(arg_taints):
+                idx = i + offset
+                if idx in summary.return_params:
+                    result = result | taint
+                if idx in summary.sink_params:
+                    self._flag_arg(
+                        node, taint, summary.sink_params[idx],
+                        via=f"{callee.split('.')[-1]}()",
+                    )
+            for name, taint in kw_taints.items():
+                if name is None or name not in info.params:
+                    continue
+                idx = info.params.index(name)
+                if idx in summary.return_params:
+                    result = result | taint
+                if idx in summary.sink_params:
+                    self._flag_arg(
+                        node, taint, summary.sink_params[idx],
+                        via=f"{callee.split('.')[-1]}()",
+                    )
+        if isinstance(node.func, ast.Attribute):
+            # Method result carries its receiver's taint
+            # (``stamp.isoformat()`` is as tainted as ``stamp``).
+            result = result | self._expr(node.func.value)
+        return merged | result
+
+    def _source_desc(self, canonical: str | None) -> str | None:
+        if canonical is None:
+            return None
+        if canonical in _CLOCK_SOURCES:
+            return f"wall-clock {canonical}()"
+        if canonical in _UUID_SOURCES:
+            return f"{canonical}()"
+        if canonical.startswith(_RANDOM_PREFIXES):
+            if canonical in _RANDOM_ALLOWED:
+                return None
+            return f"unseeded RNG {canonical}()"
+        return None
+
+    def _sink_desc(
+        self, node: ast.Call, canonical: str | None
+    ) -> str | None:
+        func = node.func
+        # ServingDecision(...) — by resolved class or by literal name.
+        target_names = [
+            c for c in self.program.resolve_call(self.fn, node, self.env)
+        ]
+        for callee in target_names:
+            info = self.program.functions.get(callee)
+            if info and info.class_qualname and \
+                    info.class_qualname.rsplit(".", 1)[-1] == \
+                    "ServingDecision":
+                return "ServingDecision field"
+        tail = canonical.rsplit(".", 1)[-1] if canonical else None
+        if tail == "ServingDecision" and not target_names:
+            return "ServingDecision field"
+        if not isinstance(func, ast.Attribute):
+            return None
+        if func.attr in _EMIT_METHODS and self._is_instrument(func.value):
+            return "metric emission"
+        if func.attr == "append" and self._is_log_list(func.value):
+            return "decision-log append"
+        return None
+
+    def _is_instrument(self, receiver: ast.expr) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in self.env.local_instruments
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and self.fn.class_qualname is not None
+        ):
+            return self.program.attr_flag(
+                self.fn.class_qualname, receiver.attr, "instrument_attrs"
+            )
+        if isinstance(receiver, ast.Call) and isinstance(
+            receiver.func, ast.Attribute
+        ):
+            return receiver.func.attr in _INSTRUMENT_METHODS
+        return False
+
+    def _is_log_list(self, receiver: ast.expr) -> bool:
+        name = None
+        if (
+            isinstance(receiver, ast.Attribute)
+            and isinstance(receiver.value, ast.Name)
+            and receiver.value.id == "self"
+            and self.fn.class_qualname is not None
+        ):
+            if self.program.attr_flag(
+                self.fn.class_qualname, receiver.attr, "list_attrs"
+            ):
+                name = receiver.attr
+        elif isinstance(receiver, ast.Name):
+            name = receiver.id
+        if name is None:
+            return False
+        # "log", "_log", "decision_log", "log_entries" — but not
+        # "backlog"/"catalog": the token must stand alone.
+        parts = name.strip("_").lower().split("_")
+        return "log" in parts
+
+    def _record_sink_hit(
+        self,
+        node: ast.Call,
+        sink: str,
+        arg_taints: list[Taint],
+        kw_taints: dict[str | None, Taint],
+    ) -> None:
+        items = [(None, t) for t in arg_taints] + sorted(
+            kw_taints.items(), key=lambda kv: kv[0] or ""
+        )
+        for kw_name, taint in items:
+            self._flag_arg(node, taint, sink, kw=kw_name)
+
+    def _flag_arg(
+        self,
+        node: ast.Call,
+        taint: Taint,
+        sink: str,
+        *,
+        via: str | None = None,
+        kw: str | None = None,
+    ) -> None:
+        self.summary.sink_params.update(
+            {idx: sink for idx in taint.params}
+        )
+        if not self.report or not taint.descs:
+            return
+        where = f" (field {kw}=)" if kw else ""
+        through = f" through {via}" if via else ""
+        for desc in sorted(taint.descs):
+            self.findings.append(
+                (
+                    self.fn.path,
+                    node.lineno,
+                    f"{desc} value flows into {sink}{where}{through}",
+                )
+            )
+
+
+def analyze_taint(program: Program) -> list[Finding]:
+    envs = {
+        name: build_local_env(program, program.functions[name])
+        for name in sorted(program.functions)
+    }
+    summaries: dict[str, _Summary] = {
+        name: _Summary() for name in program.functions
+    }
+    # Fixpoint over summaries (monotone; small lattice, so the loop is
+    # bounded in practice by call-chain depth).
+    for _ in range(len(program.functions) + 2):
+        changed = False
+        for name in sorted(program.functions):
+            fn_pass = _FunctionPass(
+                program, program.functions[name], envs[name],
+                summaries, report=False,
+            )
+            fn_pass.run()
+            new = fn_pass.summary
+            old = summaries[name]
+            if (
+                new.return_descs != old.return_descs
+                or new.return_params != old.return_params
+                or new.sink_params != old.sink_params
+            ):
+                summaries[name] = new
+                changed = True
+        if not changed:
+            break
+    seen: set[tuple] = set()
+    findings: list[Finding] = []
+    for name in sorted(program.functions):
+        fn_pass = _FunctionPass(
+            program, program.functions[name], envs[name],
+            summaries, report=True,
+        )
+        fn_pass.run()
+        for path, line, message in fn_pass.findings:
+            key = (path, line, message)
+            if key in seen:
+                continue
+            seen.add(key)
+            findings.append(
+                make_finding(
+                    "determinism-taint",
+                    message,
+                    path=path,
+                    line=line,
+                    hint="inject the clock/RNG (clock=..., seeded "
+                    "Generator) or launder set order through sorted() "
+                    "before it reaches a logged or emitted value",
+                )
+            )
+    return findings

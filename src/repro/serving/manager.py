@@ -797,7 +797,11 @@ class IncidentManager:
             if self._pool is not None and self._pool_size >= workers:
                 return self._pool
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
+                # Draining under _pool_lock is deliberate: the lock
+                # exists precisely to serialize pool replacement, and
+                # nothing else ever blocks on it (fan-out threads use
+                # the pool, not the lock).
+                self._pool.shutdown(wait=True)  # scoutlint: disable=lock-held-blocking
             self._pool = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix="scout-serve"
             )
@@ -814,7 +818,10 @@ class IncidentManager:
         """
         with self._pool_lock:
             if self._pool is not None:
-                self._pool.shutdown(wait=True)
+                # Teardown waits for in-flight work by design; the
+                # lock only guards pool identity (see _ensure_pool),
+                # so holding it across the drain cannot deadlock.
+                self._pool.shutdown(wait=True)  # scoutlint: disable=lock-held-blocking
                 self._pool = None
                 self._pool_size = 0
         # Free chunk memory for stores this manager sharded (stores

@@ -391,7 +391,11 @@ class TestSuppression:
 
     def test_inline_disable_wrong_rule_keeps_finding(self):
         source = "def f():\n    print('x')  # scoutlint: disable=naked-clock\n"
-        assert rules_of(lint_source(source)) == {"no-print"}
+        # The finding survives, and the wrong-rule disable is itself
+        # reported as dead (it suppressed nothing).
+        assert rules_of(lint_source(source)) == {
+            "no-print", "stale-suppression"
+        }
 
     def test_dsl_disable(self, store):
         text = BASE + (
